@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper, saves the
+rendered series under ``benchmarks/results/`` and attaches the headline
+numbers to the pytest-benchmark record (``extra_info``), so a
+``pytest benchmarks/ --benchmark-only`` run leaves a complete, diffable
+record of the reproduction.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full-fidelity sweeps (three seeds,
+tighter convergence); the default single-seed runs keep the suite fast
+while preserving every qualitative conclusion.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_fidelity() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,162 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **delta sweep** — the Laplace component factor trades privacy noise
+  amplitude against cost (the paper fixes delta = 0.5).
+* **coordination modes** — paper-literal residual caps vs the
+  congestion-price enhancement (Theorem 2's product-set caveat).
+* **caching baselines** — LRFU vs popularity-greedy vs the optimum,
+  isolating how much of the gap is caching vs routing.
+* **attack** — reconstruction error of the differencing eavesdropper
+  with and without LPPM.
+"""
+
+import numpy as np
+
+from repro.attacks.reconstruction import run_eavesdropper_experiment
+from repro.baselines.greedy import solve_greedy
+from repro.core.centralized import solve_centralized
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.experiments.config import ScenarioConfig, build_problem
+from repro.experiments.schemes import run_lppm, run_lrfu, run_optimum
+from repro.privacy.mechanism import LPPMConfig
+from repro.workload.trace import TraceConfig
+
+from _helpers import save_result
+
+FAST = DistributedConfig(accuracy=1e-3, max_iterations=8)
+
+SMALL = ScenarioConfig(
+    num_groups=12,
+    num_links=18,
+    bandwidth=200.0,
+    cache_capacity=5,
+    trace=TraceConfig(num_videos=20, head_views=20000.0, tail_views=500.0),
+    demand_to_bandwidth=3.0,
+)
+
+
+def test_ablation_delta_sweep(benchmark):
+    """Cost overhead vs the Laplace component factor delta (eps = 0.1)."""
+    problem = build_problem()
+    optimum = run_optimum(problem, config=FAST, rng=0)
+
+    def sweep():
+        overheads = {}
+        for delta in (0.1, 0.3, 0.5, 0.7):
+            costs = [
+                run_lppm(problem, 0.1, delta=delta, config=FAST, rng=seed).cost
+                for seed in (1, 2)
+            ]
+            overheads[delta] = float(np.mean(costs)) / optimum.cost - 1.0
+        return overheads
+
+    overheads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    deltas = sorted(overheads)
+    values = [overheads[d] for d in deltas]
+    # Larger delta allows larger noise -> weakly higher cost overhead.
+    assert values[-1] > values[0]
+
+    text = "\n".join(
+        [f"delta={d}: LPPM overhead {100 * overheads[d]:+.1f}%" for d in deltas]
+    )
+    save_result("ablation_delta", text)
+    benchmark.extra_info["overheads"] = {str(k): v for k, v in overheads.items()}
+
+
+def test_ablation_coordination_modes(benchmark):
+    """Caps (paper-literal) vs congestion prices on an overlap-heavy
+    instance where the caps equilibrium is suboptimal."""
+    problem = build_problem(SMALL.replace(num_links=30, demand_to_bandwidth=1.3))
+    centralized = solve_centralized(problem)
+
+    def run_modes():
+        caps = solve_distributed(
+            problem, DistributedConfig(accuracy=1e-6, max_iterations=20)
+        )
+        prices = solve_distributed(
+            problem,
+            DistributedConfig(
+                accuracy=1e-6, max_iterations=20, coordination="prices", restarts=3
+            ),
+            rng=0,
+        )
+        return caps, prices
+
+    caps, prices = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    gap_caps = caps.cost / centralized.cost - 1.0
+    gap_prices = prices.cost / centralized.cost - 1.0
+    assert gap_prices <= gap_caps + 1e-6
+    assert prices.solution.is_feasible(problem)
+
+    text = "\n".join(
+        [
+            f"centralized optimum: {centralized.cost:.1f}",
+            f"caps coordination:   {caps.cost:.1f} ({100 * gap_caps:+.2f}%)",
+            f"price coordination:  {prices.cost:.1f} ({100 * gap_prices:+.2f}%)",
+        ]
+    )
+    save_result("ablation_coordination", text)
+    benchmark.extra_info["gap_caps"] = gap_caps
+    benchmark.extra_info["gap_prices"] = gap_prices
+
+
+def test_ablation_caching_baselines(benchmark):
+    """Decompose the LRFU gap: replacement caching + naive routing vs
+    popularity caching vs the joint optimum."""
+    problem = build_problem()
+
+    def run_all():
+        return {
+            "centralized": solve_centralized(problem).cost,
+            "distributed_optimum": run_optimum(problem, config=FAST, rng=0).cost,
+            "greedy_cache_optimal_routing": solve_greedy(
+                problem, routing="optimal"
+            ).cost(problem),
+            "greedy_cache_greedy_routing": solve_greedy(
+                problem, routing="greedy"
+            ).cost(problem),
+            "lrfu": run_lrfu(problem, rng=0).cost,
+        }
+
+    costs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # The exact-ish centralized solution lower-bounds every heuristic;
+    # the distributed optimum tracks it closely.  (Greedy caching with
+    # *exact* routing can edge out the distributed run by a hair — the
+    # interesting decomposition is routing quality, below.)
+    assert costs["centralized"] <= costs["greedy_cache_optimal_routing"] + 1e-6
+    assert costs["distributed_optimum"] <= costs["centralized"] * 1.02
+    assert (
+        costs["greedy_cache_optimal_routing"]
+        <= costs["greedy_cache_greedy_routing"] + 1e-6
+    )
+
+    text = "\n".join(f"{name}: {cost:.1f}" for name, cost in costs.items())
+    save_result("ablation_caching", text)
+    benchmark.extra_info.update({k: float(v) for k, v in costs.items()})
+
+
+def test_ablation_eavesdropper(benchmark):
+    """Reconstruction error of the differencing attack vs epsilon."""
+    problem = build_problem(SMALL)
+    config = DistributedConfig(accuracy=1e-3, max_iterations=4)
+
+    def attack_sweep():
+        rows = {}
+        breach, _ = run_eavesdropper_experiment(problem, config)
+        rows["no-privacy"] = breach.mean_error_vs_true
+        for epsilon in (0.01, 1.0, 100.0):
+            report, _ = run_eavesdropper_experiment(
+                problem, config, privacy=LPPMConfig(epsilon=epsilon), rng=0
+            )
+            rows[f"eps={epsilon}"] = report.mean_error_vs_true
+        return rows
+
+    rows = benchmark.pedantic(attack_sweep, rounds=1, iterations=1)
+    assert rows["no-privacy"] < 1e-9  # total breach without LPPM
+    assert rows["eps=0.01"] > rows["eps=100.0"]  # noise shields the policy
+
+    text = "\n".join(
+        f"{name}: RMS reconstruction error {error:.5f}" for name, error in rows.items()
+    )
+    save_result("ablation_eavesdropper", text)
+    benchmark.extra_info.update({k: float(v) for k, v in rows.items()})

@@ -1,0 +1,70 @@
+"""Asynchrony benchmark: what does giving up synchronization cost?
+
+The paper's future-work question, quantified: the fully asynchronous
+event-driven protocol (random wake-ups, delayed messages, stale
+aggregates) against the synchronized Gauss-Seidel ideal, across message
+delays.
+"""
+
+import numpy as np
+
+from repro.core.asynchronous import AsyncConfig, solve_asynchronous
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.experiments.config import ScenarioConfig, build_problem
+from repro.workload.trace import TraceConfig
+
+from _helpers import save_result
+
+SCENARIO = ScenarioConfig(
+    num_groups=10,
+    num_links=16,
+    bandwidth=150.0,
+    cache_capacity=4,
+    trace=TraceConfig(num_videos=15, head_views=8000.0, tail_views=300.0),
+    demand_to_bandwidth=3.0,
+)
+
+
+def test_asynchrony_cost(benchmark):
+    problem = build_problem(SCENARIO)
+    sync = solve_distributed(problem, DistributedConfig(accuracy=1e-5, max_iterations=10))
+
+    def sweep():
+        rows = {}
+        for delay in (0.1, 0.5, 2.0):
+            result = solve_asynchronous(
+                problem,
+                AsyncConfig(
+                    duration=60.0, mean_update_interval=3.0, mean_message_delay=delay
+                ),
+                rng=0,
+            )
+            window = result.final_window_costs()
+            rows[delay] = {
+                "settled_cost": float(window.mean()),
+                "staleness": result.mean_staleness,
+                "updates": sum(result.updates_per_sbs.values()),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for delay, stats in rows.items():
+        # Asynchrony degrades gracefully: within 15% of the synchronized
+        # ideal even at large delays.
+        assert stats["settled_cost"] <= sync.cost * 1.15
+    # Staleness grows with the message delay.
+    assert rows[2.0]["staleness"] > rows[0.1]["staleness"]
+
+    lines = [f"synchronized Gauss-Seidel: {sync.cost:,.1f}"]
+    for delay, stats in rows.items():
+        gap = stats["settled_cost"] / sync.cost - 1.0
+        lines.append(
+            f"async, delay {delay:>4}: settled {stats['settled_cost']:,.1f} "
+            f"({gap:+.2%}), staleness {stats['staleness']:.2f}, "
+            f"{stats['updates']} updates"
+        )
+    save_result("async_cost", "\n".join(lines))
+    benchmark.extra_info.update(
+        {f"gap_delay_{k}": float(v["settled_cost"] / sync.cost - 1.0) for k, v in rows.items()}
+    )

@@ -1,0 +1,76 @@
+"""Communication-cost benchmark for the distributed protocol.
+
+A core selling point of the paper's architecture (Section I): the BS
+never collects raw per-MU data, only aggregate-sized policy messages.
+This benchmark counts the messages and bytes Algorithm 1 actually
+exchanges and compares them against the naive centralized alternative
+(every SBS ships its full local view to the BS once), and checks how the
+price-coordination mode changes the bill (its broadcasts are twice the
+size: aggregate + prices).
+"""
+
+import numpy as np
+
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.experiments.config import build_problem
+from repro.network.messaging import MessageKind
+
+from _helpers import save_result
+
+
+def test_communication_cost(benchmark):
+    problem = build_problem()
+
+    def run_modes():
+        rows = {}
+        for label, config in (
+            ("caps", DistributedConfig(accuracy=1e-4, max_iterations=10)),
+            (
+                "prices",
+                DistributedConfig(
+                    accuracy=1e-4, max_iterations=10, coordination="prices"
+                ),
+            ),
+        ):
+            result = solve_distributed(problem, config)
+            stats = result.channel.stats
+            rows[label] = {
+                "iterations": result.iterations,
+                "messages": stats.messages_sent,
+                "bytes": stats.bytes_sent,
+                "uploads": stats.by_kind.get(MessageKind.POLICY_UPLOAD.value, 0),
+                "broadcasts": stats.by_kind.get(
+                    MessageKind.AGGREGATE_BROADCAST.value, 0
+                ),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+
+    # The centralized strawman: each SBS ships demand + connectivity +
+    # capability data to the BS once (conservatively, just the demand
+    # matrix it observes).
+    centralized_bytes = problem.num_sbs * problem.demand.nbytes
+
+    for label, stats in rows.items():
+        assert stats["uploads"] == stats["iterations"] * problem.num_sbs + (
+            problem.num_sbs if label == "prices" else 0
+        )
+        assert stats["messages"] > 0
+    # Price broadcasts are stacked (2, U, F) payloads: more bytes per
+    # message than caps mode at equal message count.
+    caps_bpm = rows["caps"]["bytes"] / rows["caps"]["messages"]
+    prices_bpm = rows["prices"]["bytes"] / rows["prices"]["messages"]
+    assert prices_bpm > caps_bpm
+
+    lines = [f"centralized strawman (ship all local demand once): {centralized_bytes:,} bytes"]
+    for label, stats in rows.items():
+        lines.append(
+            f"{label:7s}: {stats['iterations']} iterations, "
+            f"{stats['messages']} messages ({stats['uploads']} uploads, "
+            f"{stats['broadcasts']} broadcasts), {stats['bytes']:,} bytes"
+        )
+    save_result("communication_cost", "\n".join(lines))
+    benchmark.extra_info.update(
+        {f"{k}_bytes": float(v["bytes"]) for k, v in rows.items()}
+    )

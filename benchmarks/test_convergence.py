@@ -1,0 +1,81 @@
+"""Convergence of Algorithm 1 with and without LPPM (Theorems 2-3).
+
+Not a figure in the paper, but the claims behind Figs. 3-6: the
+distributed algorithm converges to (near) the centralized optimum, it
+keeps converging under LPPM noise, and the per-phase cost trajectory is
+non-increasing in the noiseless case.
+"""
+
+import numpy as np
+
+from repro.core.centralized import solve_centralized
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.experiments.config import build_problem
+from repro.privacy.mechanism import LPPMConfig
+
+from _helpers import save_result
+
+
+def test_convergence_noiseless(benchmark):
+    problem = build_problem()
+    config = DistributedConfig(accuracy=1e-6, max_iterations=15)
+
+    result = benchmark.pedantic(
+        lambda: solve_distributed(problem, config), rounds=1, iterations=1
+    )
+    centralized = solve_centralized(problem)
+
+    assert result.converged
+    assert result.history.is_non_increasing()
+    gap = result.cost / centralized.cost - 1.0
+    assert gap < 0.02  # near-optimal in the evaluation regime
+
+    text = "\n".join(
+        [
+            f"iterations to converge: {result.iterations}",
+            f"final cost: {result.cost:.1f}",
+            f"centralized reference: {centralized.cost:.1f} "
+            f"(LP lower bound {centralized.lower_bound:.1f})",
+            f"gap vs centralized: {100 * gap:+.2f}%",
+            "per-iteration costs: "
+            + ", ".join(f"{c:.0f}" for c in result.history.iteration_costs),
+        ]
+    )
+    save_result("convergence_noiseless", text)
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["gap_vs_centralized"] = gap
+
+
+def test_convergence_with_lppm(benchmark):
+    problem = build_problem()
+    config = DistributedConfig(accuracy=1e-3, max_iterations=10)
+
+    result = benchmark.pedantic(
+        lambda: solve_distributed(
+            problem, config, privacy=LPPMConfig(epsilon=0.1), rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Theorem 3: the algorithm still terminates and the cost stays
+    # bounded between the noiseless optimum and W.
+    noiseless = solve_distributed(problem, DistributedConfig(max_iterations=10))
+    assert noiseless.cost <= result.cost + 1e-6
+    assert result.cost < problem.max_cost()
+    # The cost trajectory stabilises: the last two iterations differ by
+    # far less than the initial descent.
+    costs = np.asarray(result.history.iteration_costs)
+    assert abs(costs[-1] - costs[-2]) < 0.25 * (problem.max_cost() - costs[0] + 1e-9)
+
+    text = "\n".join(
+        [
+            f"iterations run: {result.iterations} (converged={result.converged})",
+            f"final cost with LPPM(eps=0.1): {result.cost:.1f}",
+            f"noiseless reference: {noiseless.cost:.1f}",
+            f"total injected noise (L1): {result.history.total_noise():.2f}",
+            f"per-SBS epsilon spent: {result.total_epsilon:.2f}",
+        ]
+    )
+    save_result("convergence_lppm", text)
+    benchmark.extra_info["cost_overhead"] = result.cost / noiseless.cost - 1.0

@@ -1,0 +1,39 @@
+"""Fig. 2 — the request distribution of the top trending videos.
+
+Paper: "the number of reviews of top 50 trending videos in 30 minutes";
+the first video has ~140k views, the tail a few thousand.  The benchmark
+regenerates the top-20 series the figure plots and checks its shape.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure2_trace
+from repro.experiments.reporting import format_series
+from repro.workload.zipf import fit_zipf_exponent
+
+from _helpers import save_result
+
+
+def test_fig2_request_distribution(benchmark):
+    views = benchmark(figure2_trace, 20)
+
+    assert views.shape == (20,)
+    assert views[0] == 140_000.0
+    assert np.all(np.diff(views) <= 0)
+    # Heavy tail: top video dominates the 20th by an order of magnitude.
+    assert views[0] / views[-1] > 5.0
+
+    full = figure2_trace(50)
+    exponent = fit_zipf_exponent(full)
+    assert 0.7 < exponent < 1.6  # recognisably Zipf-like
+
+    text = "\n".join(
+        [
+            format_series("top-20 view counts", views, precision=0),
+            f"fitted Zipf exponent over 50 videos: {exponent:.3f}",
+            f"tail (50th) views: {full[-1]:.0f}",
+        ]
+    )
+    save_result("fig2_trace", text)
+    benchmark.extra_info["head_views"] = float(views[0])
+    benchmark.extra_info["zipf_exponent"] = exponent

@@ -1,0 +1,71 @@
+"""Fig. 3 — total serving cost vs privacy budget epsilon.
+
+Paper reference points (Section V-B): LPPM costs 10.1% more than the
+optimum at eps = 0.01, dropping to 1.2% at eps = 100; across the sweep
+LPPM averages 17.3% below LRFU and 6.6% above the optimum.  Optimum and
+LRFU add no noise, so their curves are flat.
+
+The reproduction must match the *shape*: a monotone (in expectation)
+decrease of the LPPM overhead with epsilon, the saturation band at small
+epsilon near ~10%, near-zero overhead at eps = 100, and LRFU strictly
+worst throughout.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure3_privacy_budget
+from repro.experiments.reporting import format_headline_gaps, format_sweep_table
+from repro.experiments.runner import average_gap
+
+from _helpers import full_fidelity, save_result
+
+EPSILONS = (0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+def test_fig3_cost_vs_privacy_budget(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure3_privacy_budget(epsilons=EPSILONS, fast=not full_fidelity()),
+        rounds=1,
+        iterations=1,
+    )
+
+    optimum = result.series("optimum")
+    lppm = result.series("lppm")
+    lrfu = result.series("lrfu")
+
+    # Optimum and LRFU are epsilon-independent.
+    np.testing.assert_allclose(optimum, optimum[0])
+    np.testing.assert_allclose(lrfu, lrfu[0])
+
+    overhead = lppm / optimum - 1.0
+    # Saturation at strong privacy: paper reports 10.1%.
+    assert 0.05 < overhead[0] < 0.20
+    # Near-vanishing overhead at eps = 100: paper reports 1.2%.
+    assert overhead[-1] < 0.03
+    # The overhead trend decreases along the sweep.
+    assert overhead[0] > overhead[-1]
+    assert np.all(np.diff(overhead) <= 0.02)  # monotone up to noise
+
+    # LRFU is the most expensive scheme at every point.
+    assert np.all(lrfu >= lppm - 1e-6)
+    assert np.all(lrfu >= optimum)
+
+    lppm_over_opt = average_gap(result, "lppm", "optimum")
+    lppm_vs_lrfu = average_gap(result, "lppm", "lrfu")
+    text = "\n".join(
+        [
+            format_sweep_table(result),
+            format_headline_gaps(result),
+            "paper: LPPM +10.1% at eps=0.01 -> +1.2% at eps=100; "
+            "avg +6.6% over optimum, -17.3% vs LRFU",
+            f"measured: LPPM {100 * overhead[0]:+.1f}% at eps=0.01 -> "
+            f"{100 * overhead[-1]:+.1f}% at eps=100; "
+            f"avg {100 * lppm_over_opt:+.1f}% over optimum, "
+            f"{100 * lppm_vs_lrfu:+.1f}% vs LRFU",
+        ]
+    )
+    save_result("fig3_privacy_budget", text)
+    benchmark.extra_info["overhead_eps_0.01"] = float(overhead[0])
+    benchmark.extra_info["overhead_eps_100"] = float(overhead[-1])
+    benchmark.extra_info["avg_over_optimum"] = lppm_over_opt
+    benchmark.extra_info["avg_vs_lrfu"] = lppm_vs_lrfu

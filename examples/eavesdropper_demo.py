@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The eavesdropper attack, end to end.
+
+Section IV's threat model: an attacker observes the aggregated routing
+policy the BS broadcasts.  Because Algorithm 1 updates one SBS per
+broadcast, *differencing* consecutive aggregates isolates each SBS's
+report — so without protection the attacker reconstructs every SBS's
+routing policy exactly, exposing MU locations/preferences and the
+operators' commercial information.
+
+This demo runs the attack against a real protocol transcript, with and
+without LPPM, and prints what the attacker learns at several privacy
+budgets.
+
+Run:  python examples/eavesdropper_demo.py
+"""
+
+import numpy as np
+
+from repro.attacks import run_eavesdropper_experiment
+from repro.core import DistributedConfig
+from repro.experiments.config import ScenarioConfig, build_problem
+from repro.privacy import LPPMConfig
+from repro.workload.trace import TraceConfig
+
+
+def main() -> None:
+    scenario = ScenarioConfig(
+        num_groups=12,
+        num_links=18,
+        bandwidth=200.0,
+        cache_capacity=5,
+        trace=TraceConfig(num_videos=20, head_views=20_000.0, tail_views=500.0),
+        demand_to_bandwidth=3.0,
+    )
+    problem = build_problem(scenario)
+    config = DistributedConfig(accuracy=1e-3, max_iterations=5)
+
+    print("--- no protection ---")
+    report, result = run_eavesdropper_experiment(problem, config)
+    print(f"broadcasts observed: {report.broadcasts_observed}")
+    print(
+        "RMS reconstruction error vs true policies per SBS: "
+        + ", ".join(f"{e:.2e}" for e in report.per_sbs_error_vs_true)
+    )
+    print(f"=> total breach: {report.breached}")
+    print(
+        "   the attacker recovers every y[n, u, f] exactly: which MU "
+        "groups each operator serves, which videos they prefer, and how "
+        "much spare capacity each SBS has.\n"
+    )
+
+    print("--- with LPPM ---")
+    print(f"{'epsilon':>8} | {'attacker RMS error':>19} | {'cost overhead':>13}")
+    baseline_cost = result.cost
+    for epsilon in (0.01, 0.1, 1.0, 10.0, 100.0):
+        report, private = run_eavesdropper_experiment(
+            problem, config, privacy=LPPMConfig(epsilon=epsilon), rng=0
+        )
+        overhead = private.cost / baseline_cost - 1.0
+        print(
+            f"{epsilon:>8g} | {report.mean_error_vs_true:>19.4f} | {overhead:>12.1%}"
+        )
+
+    print(
+        "\nThe attacker still decodes the *reported* policies perfectly "
+        "(they are public by construction), but the true policies stay "
+        "behind the mechanism's noise floor — and by Theorem 4 no "
+        "analysis, however clever, can do better than epsilon allows.  "
+        "Smaller epsilon buys a higher noise floor at a higher serving "
+        "cost: the privacy-utility dial of Fig. 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Online adaptation: re-optimizing as trending content churns.
+
+The Fig. 2 workload is a snapshot of *trending* videos — a population
+that churns hour by hour.  This example evolves the demand over 12 time
+slots (drift + viral events) and compares:
+
+* **static** — solve once, keep the caches forever;
+* **adaptive** — re-run the distributed algorithm every slot, paying a
+  switching cost per newly cached content;
+* **lazy adaptive** — re-optimize every 3 slots (cheaper switching,
+  staler caches);
+* **private adaptive** — adaptive with LPPM, showing how the privacy
+  budget accumulates across slots (composition!).
+
+Run:  python examples/online_adaptation.py
+"""
+
+import numpy as np
+
+from repro.core import DistributedConfig, OnlineConfig, simulate_online
+from repro.experiments.config import ScenarioConfig, build_problem
+from repro.privacy import LPPMConfig
+from repro.workload import DynamicsConfig, demand_sequence
+from repro.workload.trace import TraceConfig
+
+SLOTS = 12
+SWITCH_COST = 150.0  # backhaul cost of fetching one content into a cache
+
+
+def main() -> None:
+    scenario = ScenarioConfig(
+        num_groups=15,
+        num_links=22,
+        bandwidth=300.0,
+        cache_capacity=5,
+        trace=TraceConfig(num_videos=25, head_views=30_000.0, tail_views=800.0),
+        demand_to_bandwidth=3.0,
+    )
+    problem = build_problem(scenario)
+    dynamics = DynamicsConfig(
+        drift=0.35, viral_probability=0.4, viral_boost=8.0, decay=0.7
+    )
+    slots = demand_sequence(problem.demand, SLOTS, dynamics, rng=1)
+    print(
+        f"Workload: {SLOTS} slots, volume {problem.total_demand():,.0f}/slot, "
+        f"drift {dynamics.drift}, viral p={dynamics.viral_probability}"
+    )
+
+    fast = DistributedConfig(accuracy=1e-3, max_iterations=6)
+    policies = {
+        "static (solve once)": dict(
+            config=OnlineConfig(switch_cost=SWITCH_COST, distributed=fast),
+            adaptive=False,
+        ),
+        "adaptive (every slot)": dict(
+            config=OnlineConfig(switch_cost=SWITCH_COST, distributed=fast),
+            adaptive=True,
+        ),
+        "lazy adaptive (every 3)": dict(
+            config=OnlineConfig(
+                switch_cost=SWITCH_COST, reoptimize_every=3, distributed=fast
+            ),
+            adaptive=True,
+        ),
+        "private adaptive (eps=0.1/upload)": dict(
+            config=OnlineConfig(
+                switch_cost=SWITCH_COST,
+                distributed=fast,
+                privacy=LPPMConfig(epsilon=0.1),
+            ),
+            adaptive=True,
+        ),
+    }
+
+    print(
+        f"\n{'policy':34} | {'serving':>12} | {'switching':>10} | "
+        f"{'total':>12} | {'eps spent':>9}"
+    )
+    print("-" * 90)
+    for label, kwargs in policies.items():
+        result = simulate_online(
+            problem, slots, kwargs["config"], adaptive=kwargs["adaptive"], rng=7
+        )
+        serving = float(result.serving_costs().sum())
+        switching = result.total_cost() - serving
+        print(
+            f"{label:34} | {serving:>12,.0f} | {switching:>10,.0f} | "
+            f"{result.total_cost():>12,.0f} | {result.epsilon_spent:>9.1f}"
+        )
+
+    print(
+        "\nAdaptation pays when the workload churns faster than the "
+        "switching cost amortises; the lazy policy is the usual sweet "
+        "spot.  Note how the private policy's budget grows linearly with "
+        "re-optimizations — in a deployment the accountant would force a "
+        "larger per-release epsilon or rarer re-optimization."
+    )
+
+
+if __name__ == "__main__":
+    main()

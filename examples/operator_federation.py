@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Multi-operator federation: coordination modes and the async variant.
+
+The paper's motivating deployment has SBSs owned by *different* wireless
+operators that will not share routing policies.  This example compares,
+on an overlap-heavy deployment where coordination actually matters:
+
+* the paper-literal Gauss-Seidel with residual caps (which can stall at
+  a block-coordinate equilibrium),
+* the congestion-price enhancement (BS broadcasts per-pair prices),
+* best-of-3 sweep orders,
+* the asynchronous Jacobi variant (the paper's future work) with and
+  without damping,
+
+all against the centralized reference an omniscient planner would
+compute.
+
+Run:  python examples/operator_federation.py
+"""
+
+from repro.core import DistributedConfig, solve_centralized, solve_distributed
+from repro.experiments.config import ScenarioConfig, build_problem
+from repro.workload.trace import TraceConfig
+
+
+def main() -> None:
+    # Light evening load over a dense deployment: lots of MU groups are
+    # covered by two or three operators, so who-serves-whom matters.
+    scenario = ScenarioConfig(
+        num_groups=20,
+        num_links=45,
+        bandwidth=400.0,
+        cache_capacity=6,
+        demand_to_bandwidth=1.3,
+        trace=TraceConfig(num_videos=30, head_views=50_000.0, tail_views=1_000.0),
+        seed=11,
+    )
+    problem = build_problem(scenario)
+    print("Deployment:", problem.describe())
+
+    reference = solve_centralized(problem)
+    print(f"\nCentralized planner reference: {reference.cost:,.0f}")
+    print(f"  (LP lower bound {reference.lower_bound:,.0f})\n")
+
+    runs = {
+        "Gauss-Seidel, caps (paper Algorithm 1)": DistributedConfig(
+            accuracy=1e-6, max_iterations=20
+        ),
+        "Gauss-Seidel, congestion prices": DistributedConfig(
+            accuracy=1e-6, max_iterations=20, coordination="prices"
+        ),
+        "prices + best-of-3 sweep orders": DistributedConfig(
+            accuracy=1e-6, max_iterations=20, coordination="prices", restarts=3
+        ),
+        "Jacobi (async), undamped": DistributedConfig(
+            mode="jacobi", max_iterations=20
+        ),
+        "Jacobi (async), damping 0.5": DistributedConfig(
+            mode="jacobi", max_iterations=20, damping=0.5
+        ),
+    }
+
+    for label, config in runs.items():
+        result = solve_distributed(problem, config, rng=0)
+        # Jacobi can transiently over-serve; repair before costing so the
+        # comparison is on deployable policies.
+        solution = result.solution
+        if not solution.is_feasible(problem):
+            solution = solution.repaired(problem)
+        cost = solution.cost(problem)
+        gap = cost / reference.cost - 1.0
+        print(
+            f"{label:45s} cost {cost:>12,.0f}  ({gap:+6.2%} vs centralized, "
+            f"{result.iterations} iterations)"
+        )
+
+    print(
+        "\nTakeaway: residual caps alone can lock the federation into a "
+        "suboptimal split of the shared MU groups; letting the BS "
+        "broadcast congestion prices (no individual policies revealed!) "
+        "recovers the centralized optimum."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Auditing the privacy claim — and what the audit actually finds.
+
+Theorem 4 claims LPPM is ``epsilon``-DP.  This demo runs an empirical
+DP audit (max log-likelihood-ratio over histogrammed releases) against
+the mechanism and shows three things:
+
+1. **The support finding.**  LPPM's noise interval ``[0, delta * y]``
+   depends on the private value ``y``, so the *support* of the release
+   moves with the secret: the strict audit reports an unbounded loss
+   for every perturbation size.  Pure epsilon-DP does not hold as
+   stated — the guarantee that survives is of the (epsilon, delta')
+   flavour, with delta' the small boundary mass.
+2. **The interior guarantee.**  Restricted to the common support, the
+   likelihood ratio is bounded exactly as ``beta = Delta f / epsilon``
+   intends: the interior estimate sits well below the claimed budget
+   and scales with the neighbour distance.
+3. **The audit has teeth.**  A canary mechanism that claims a tight
+   budget but adds far too little noise is caught immediately.
+
+Run:  python examples/privacy_audit_demo.py
+"""
+
+import numpy as np
+
+from repro.privacy import (
+    GaussianPPMConfig,
+    GaussianPrivacyMechanism,
+    LaplacePrivacyMechanism,
+    LPPMConfig,
+    audit_mechanism,
+)
+
+
+def show(result, label: str) -> None:
+    estimate = "inf" if np.isinf(result.epsilon_hat) else f"{result.epsilon_hat:.3f}"
+    verdict = "consistent" if result.consistent else "VIOLATION"
+    print(
+        f"{label:55s} eps_hat = {estimate:>7} "
+        f"(claimed {result.claimed_epsilon:g}) -> {verdict}"
+    )
+
+
+def main() -> None:
+    claimed = 2.0
+
+    print("--- 1. strict audit: the support finding ---")
+    for delta_neighbour in (0.05, 0.2, 0.5):
+        result = audit_mechanism(
+            lambda rng: LaplacePrivacyMechanism(LPPMConfig(epsilon=claimed), rng=rng),
+            claimed_epsilon=claimed,
+            base_value=0.9,
+            neighbour_delta=delta_neighbour,
+            samples=6000,
+            rng=0,
+        )
+        show(result, f"LPPM, neighbour distance {delta_neighbour}")
+    print(
+        "   -> the release support [0.45, 0.9] vs [0.45-x, 0.9-x] always has a\n"
+        "      distinguishing sliver; Holohan et al.'s bounded Laplace fixes the\n"
+        "      output domain to avoid exactly this.\n"
+    )
+
+    print("--- 2. interior audit: what beta = Delta/eps controls ---")
+    for delta_neighbour in (0.02, 0.05, 0.1):
+        result = audit_mechanism(
+            lambda rng: LaplacePrivacyMechanism(LPPMConfig(epsilon=claimed), rng=rng),
+            claimed_epsilon=claimed,
+            base_value=0.9,
+            neighbour_delta=delta_neighbour,
+            samples=6000,
+            interior_only=True,
+            rng=1,
+        )
+        show(result, f"LPPM interior, neighbour distance {delta_neighbour}")
+    result = audit_mechanism(
+        lambda rng: GaussianPrivacyMechanism(GaussianPPMConfig(epsilon=claimed), rng=rng),
+        claimed_epsilon=claimed,
+        base_value=0.9,
+        neighbour_delta=0.05,
+        samples=6000,
+        interior_only=True,
+        rng=2,
+    )
+    show(result, "Gaussian interior, neighbour distance 0.05")
+    print()
+
+    print("--- 3. the canary: an under-noised mechanism is caught ---")
+
+    class Undernoised:
+        """Claims eps = 0.05 but calibrates noise for eps = 50."""
+
+        def __init__(self, rng):
+            self._inner = LaplacePrivacyMechanism(LPPMConfig(epsilon=50.0), rng=rng)
+
+        def perturb(self, routing):
+            return self._inner.perturb(routing)
+
+    result = audit_mechanism(
+        lambda rng: Undernoised(rng),
+        claimed_epsilon=0.05,
+        base_value=0.9,
+        neighbour_delta=0.05,
+        samples=6000,
+        interior_only=True,
+        rng=3,
+    )
+    show(result, "canary claiming eps=0.05, noised for eps=50")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The privacy-utility trade-off, quantified three ways.
+
+For a sweep of privacy budgets this example reports:
+
+1. the **measured** serving-cost overhead of LPPM over the noiseless
+   optimum (what Fig. 3 plots);
+2. the **analytical** Theorem 5 bound on the expected cost increase,
+   evaluated via the exact bounded-Laplace convolution;
+3. the **accounting** view: per-SBS budget consumed across iterations
+   under basic and advanced composition.
+
+Run:  python examples/privacy_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import DistributedConfig, build_problem, run_lppm, run_optimum
+from repro.privacy import (
+    LPPMConfig,
+    advanced_composition_epsilon,
+    sample_total_noise,
+    theorem5_bound,
+)
+
+
+def main() -> None:
+    problem = build_problem()
+    config = DistributedConfig(accuracy=1e-3, max_iterations=8)
+    optimum = run_optimum(problem, config=config, rng=0)
+    print(f"Noiseless optimum: {optimum.cost:,.0f}\n")
+
+    header = (
+        f"{'epsilon':>8} | {'cost':>12} | {'overhead':>9} | {'increase':>10} | "
+        f"{'Thm5 bound*':>12} | {'eps total**':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for epsilon in (0.01, 0.1, 1.0, 10.0, 100.0):
+        result = run_lppm(problem, epsilon, config=config, rng=1)
+        overhead = result.cost / optimum.cost - 1.0
+        increase = result.cost - optimum.cost
+
+        # Theorem 5 bounds E[f(y_hat) - f(y*)]; evaluate it with zeta at
+        # the 95th percentile of the total disturbance.
+        lppm = LPPMConfig(epsilon=epsilon, delta=0.5)
+        noise_samples = sample_total_noise(
+            optimum.solution.routing, lppm, samples=300, rng=2
+        )
+        zeta = float(np.quantile(noise_samples, 0.95))
+        bound = theorem5_bound(problem, optimum.solution.routing, lppm, zeta)
+
+        spent = result.metadata.get("epsilon_spent_basic", 0.0)
+        releases = int(round(spent / epsilon)) if epsilon else 0
+        advanced = (
+            advanced_composition_epsilon(epsilon, releases, delta_prime=1e-6)
+            if releases
+            else 0.0
+        )
+        best_total = min(spent, advanced) if releases else 0.0
+        print(
+            f"{epsilon:>8g} | {result.cost:>12,.0f} | {overhead:>8.1%} | "
+            f"{increase:>10,.0f} | {bound.bound:>12,.0f} | {best_total:>11.2f}"
+        )
+
+    print(
+        "\n*  Theorem 5's bound on the expected cost increase, at zeta = the "
+        "95th percentile of the total disturbance.  It is a worst-case bound "
+        "(the W term enters with the 5% tail mass), so it sits far above the "
+        "measured increase."
+    )
+    print(
+        "** per-SBS budget over the run's uploads: the better of basic "
+        "composition (sum) and advanced composition at delta' = 1e-6 — "
+        "advanced wins only when releases are numerous and individually "
+        "small."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — Privacy-Preserving Distributed Edge Caching (ICDCS 2020).
+
+A full reproduction of Zeng, Huang, Liu & Yang, *Privacy-Preserving
+Distributed Edge Caching for Mobile Data Offloading in 5G Networks*
+(ICDCS 2020): the joint caching/routing model, the distributed
+Gauss-Seidel algorithm with Lagrangian subproblems, the bounded-Laplace
+differential-privacy mechanism (LPPM), the LRFU baseline, and the
+complete Section V evaluation harness.
+
+Quick start::
+
+    from repro import build_problem, run_optimum, run_lppm, run_lrfu
+
+    problem = build_problem()                 # Section V default scenario
+    optimum = run_optimum(problem)            # Algorithm 1 (no privacy)
+    private = run_lppm(problem, epsilon=0.1)  # Algorithm 1 + LPPM
+    baseline = run_lrfu(problem)              # classic replacement caching
+    print(optimum.cost, private.cost, baseline.cost)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from .core import (
+    DistributedConfig,
+    DistributedResult,
+    ProblemInstance,
+    Solution,
+    SubproblemConfig,
+    solve_centralized,
+    solve_distributed,
+    solve_exact,
+    total_cost,
+)
+from .experiments import (
+    DEFAULT_SCENARIO,
+    ScenarioConfig,
+    build_problem,
+    run_lppm,
+    run_lrfu,
+    run_optimum,
+)
+from .privacy import LaplacePrivacyMechanism, LPPMConfig, PrivacyAccountant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistributedConfig",
+    "DistributedResult",
+    "ProblemInstance",
+    "Solution",
+    "SubproblemConfig",
+    "solve_centralized",
+    "solve_distributed",
+    "solve_exact",
+    "total_cost",
+    "DEFAULT_SCENARIO",
+    "ScenarioConfig",
+    "build_problem",
+    "run_lppm",
+    "run_lrfu",
+    "run_optimum",
+    "LaplacePrivacyMechanism",
+    "LPPMConfig",
+    "PrivacyAccountant",
+    "__version__",
+]

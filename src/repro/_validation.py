@@ -1,0 +1,162 @@
+"""Shared validation helpers used across the package.
+
+These helpers normalise user input to ``numpy`` arrays with a known dtype
+and shape, raising :class:`repro.exceptions.ValidationError` with a precise
+message when the input is malformed.  Centralising the checks keeps the
+public constructors short and the error messages consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+ArrayLike = Union[np.ndarray, Sequence, float, int]
+
+
+def as_float_array(
+    value: ArrayLike,
+    name: str,
+    *,
+    shape: Optional[Tuple[int, ...]] = None,
+    ndim: Optional[int] = None,
+    nonnegative: bool = False,
+    positive: bool = False,
+    finite: bool = True,
+) -> np.ndarray:
+    """Convert ``value`` to a float64 array and validate it.
+
+    Parameters
+    ----------
+    value:
+        Anything convertible by :func:`numpy.asarray`.
+    name:
+        Name used in error messages.
+    shape:
+        Exact shape the array must have, if given.
+    ndim:
+        Exact number of dimensions the array must have, if given.
+    nonnegative / positive:
+        Require every entry to be ``>= 0`` / ``> 0``.
+    finite:
+        Require every entry to be finite (no NaN or infinity).
+    """
+    try:
+        array = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to a float array: {exc}") from exc
+    if shape is not None and array.shape != shape:
+        raise ValidationError(f"{name} must have shape {shape}, got {array.shape}")
+    if ndim is not None and array.ndim != ndim:
+        raise ValidationError(f"{name} must have {ndim} dimension(s), got {array.ndim}")
+    if finite and not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} must be finite everywhere")
+    if positive and not np.all(array > 0):
+        raise ValidationError(f"{name} must be strictly positive everywhere")
+    if nonnegative and not np.all(array >= 0):
+        raise ValidationError(f"{name} must be nonnegative everywhere")
+    return array
+
+
+def as_binary_array(
+    value: ArrayLike,
+    name: str,
+    *,
+    shape: Optional[Tuple[int, ...]] = None,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Convert ``value`` to a float64 array whose entries are 0 or 1.
+
+    Entries within ``tol`` of 0 or 1 are snapped exactly; anything else is
+    rejected.
+    """
+    array = as_float_array(value, name, shape=shape)
+    snapped = np.where(np.abs(array) <= tol, 0.0, np.where(np.abs(array - 1.0) <= tol, 1.0, array))
+    if not np.all((snapped == 0.0) | (snapped == 1.0)):
+        bad = snapped[(snapped != 0.0) & (snapped != 1.0)]
+        raise ValidationError(f"{name} must be binary (0/1); found values such as {bad.flat[0]!r}")
+    return snapped
+
+
+def as_probability_array(
+    value: ArrayLike,
+    name: str,
+    *,
+    shape: Optional[Tuple[int, ...]] = None,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Convert ``value`` to a float64 array with entries in ``[0, 1]``.
+
+    Entries within ``tol`` outside the interval are clipped back; anything
+    further out is rejected.
+    """
+    array = as_float_array(value, name, shape=shape)
+    if np.any(array < -tol) or np.any(array > 1.0 + tol):
+        low, high = float(array.min()), float(array.max())
+        raise ValidationError(f"{name} must lie in [0, 1]; observed range [{low}, {high}]")
+    return np.clip(array, 0.0, 1.0)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_nonnegative_float(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite nonnegative number and return it."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(number) or number < 0:
+        raise ValidationError(f"{name} must be finite and nonnegative, got {number}")
+    return number
+
+
+def check_in_interval(
+    value: float,
+    name: str,
+    *,
+    low: float,
+    high: float,
+    low_open: bool = False,
+    high_open: bool = False,
+) -> float:
+    """Validate that ``value`` lies in the given interval and return it."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(number):
+        raise ValidationError(f"{name} must be finite, got {number}")
+    low_ok = number > low if low_open else number >= low
+    high_ok = number < high if high_open else number <= high
+    if not (low_ok and high_ok):
+        lb = "(" if low_open else "["
+        rb = ")" if high_open else "]"
+        raise ValidationError(f"{name} must lie in {lb}{low}, {high}{rb}, got {number}")
+    return number
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def rng_from(seed_or_rng: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or None."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+# numpy renamed trapz -> trapezoid in 2.0; support both.
+trapezoid = getattr(np, "trapezoid", None) or np.trapz

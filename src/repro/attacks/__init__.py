@@ -1,0 +1,5 @@
+"""Privacy attacks used to evaluate the mechanism empirically."""
+
+from .reconstruction import AttackReport, Eavesdropper, run_eavesdropper_experiment
+
+__all__ = ["AttackReport", "Eavesdropper", "run_eavesdropper_experiment"]

@@ -1,0 +1,21 @@
+"""Baseline caching/routing schemes the paper compares against."""
+
+from .greedy import popularity_caching, solve_greedy
+from .lrfu import CacheStats, LRFUCache
+from .lrfu_scheme import LRFUSchemeConfig, LRFUSchemeResult, solve_lrfu
+from .lru import LFUCache, LRUCache
+from .routing_policies import greedy_routing, proportional_routing
+
+__all__ = [
+    "popularity_caching",
+    "solve_greedy",
+    "CacheStats",
+    "LRFUCache",
+    "LRFUSchemeConfig",
+    "LRFUSchemeResult",
+    "solve_lrfu",
+    "LFUCache",
+    "LRUCache",
+    "greedy_routing",
+    "proportional_routing",
+]

@@ -1,0 +1,91 @@
+"""LRU and LFU caches — the two endpoints of the LRFU spectrum.
+
+Kept as independent, straightforward implementations (an ``OrderedDict``
+LRU and a counter-based LFU) so the test suite can verify that
+:class:`~repro.baselines.lrfu.LRFUCache` converges to each endpoint as
+its decay parameter goes to the corresponding limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Set
+
+from ..exceptions import ValidationError
+from .lrfu import CacheStats
+
+__all__ = ["LRUCache", "LFUCache"]
+
+
+class LRUCache:
+    """Least-recently-used cache of unit-size contents."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValidationError(f"capacity must be nonnegative, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def contents(self) -> Set[int]:
+        return set(self._entries)
+
+    def contains(self, file: int) -> bool:
+        """Whether ``file`` is currently cached."""
+        return file in self._entries
+
+    def access(self, file: int, time: float = 0.0) -> bool:
+        """Process a reference; returns ``True`` on a hit.  ``time`` unused."""
+        if file in self._entries:
+            self._entries.move_to_end(file)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if self.capacity == 0:
+            return False
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[file] = None
+        return False
+
+
+class LFUCache:
+    """Least-frequently-used cache with FIFO tie-breaking."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValidationError(f"capacity must be nonnegative, got {capacity}")
+        self.capacity = int(capacity)
+        self._counts: Dict[int, int] = {}
+        self._arrival: Dict[int, int] = {}
+        self._ticks = 0
+        self.stats = CacheStats()
+
+    @property
+    def contents(self) -> Set[int]:
+        return set(self._counts)
+
+    def contains(self, file: int) -> bool:
+        """Whether ``file`` is currently cached."""
+        return file in self._counts
+
+    def access(self, file: int, time: float = 0.0) -> bool:
+        """Process a reference; returns ``True`` on a hit.  ``time`` unused."""
+        self._ticks += 1
+        if file in self._counts:
+            self._counts[file] += 1
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if self.capacity == 0:
+            return False
+        if len(self._counts) >= self.capacity:
+            victim = min(self._counts, key=lambda f: (self._counts[f], self._arrival[f], f))
+            del self._counts[victim]
+            del self._arrival[victim]
+            self.stats.evictions += 1
+        self._counts[file] = 1
+        self._arrival[file] = self._ticks
+        return False

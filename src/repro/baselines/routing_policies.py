@@ -1,0 +1,81 @@
+"""Uncoordinated routing heuristics used by the baseline schemes.
+
+The distributed algorithm co-optimizes routing with caching; classical
+replacement baselines like LRFU decide only *what to cache*, so they
+need a routing rule.  We provide the natural uncoordinated ones:
+
+* :func:`greedy_routing` — requests are processed most-demanded first;
+  each is assigned to the connected, caching SBS with the most remaining
+  bandwidth (plain load balancing, no cost awareness).  This is the rule
+  used for the LRFU scheme in the evaluation.
+* :func:`proportional_routing` — every eligible SBS serves an equal
+  share of each request, truncated by bandwidth; a softer baseline used
+  in ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_binary_array
+from ..core.problem import ProblemInstance
+
+__all__ = ["greedy_routing", "proportional_routing"]
+
+
+def greedy_routing(problem: ProblemInstance, caching: np.ndarray) -> np.ndarray:
+    """Load-balancing greedy assignment; returns an ``(N, U, F)`` routing.
+
+    Requests (``(u, f)`` pairs) are visited in decreasing demand volume.
+    Each is served as fully as possible, repeatedly picking the eligible
+    SBS (connected, file cached, bandwidth left) with the most remaining
+    bandwidth.  No cost information is consulted — this is exactly the
+    kind of uncoordinated policy the optimum's routing gains are measured
+    against.
+    """
+    caching = as_binary_array(caching, "caching", shape=(problem.num_sbs, problem.num_files))
+    routing = np.zeros(problem.shape)
+    remaining = problem.bandwidth.astype(np.float64).copy()
+    order = np.argsort(-problem.demand, axis=None, kind="stable")
+    for flat in order:
+        u, f = np.unravel_index(flat, problem.demand.shape)
+        volume = problem.demand[u, f]
+        if volume <= 0:
+            break  # descending order: the rest are zero too
+        unserved = 1.0
+        eligible = [
+            n
+            for n in range(problem.num_sbs)
+            if problem.connectivity[n, u] > 0 and caching[n, f] > 0 and remaining[n] > 0
+        ]
+        while unserved > 1e-12 and eligible:
+            n = max(eligible, key=lambda i: remaining[i])
+            fraction = min(unserved, remaining[n] / volume)
+            if fraction <= 0:
+                break
+            routing[n, u, f] += fraction
+            remaining[n] -= fraction * volume
+            unserved -= fraction
+            eligible = [i for i in eligible if remaining[i] > 1e-12]
+    return routing
+
+
+def proportional_routing(problem: ProblemInstance, caching: np.ndarray) -> np.ndarray:
+    """Equal-split routing truncated by bandwidth.
+
+    Each request is split evenly across its eligible SBSs; every SBS then
+    scales its block down uniformly if the bandwidth budget is exceeded.
+    Simple, oblivious, and never infeasible.
+    """
+    caching = as_binary_array(caching, "caching", shape=(problem.num_sbs, problem.num_files))
+    eligible = (
+        (problem.connectivity[:, :, np.newaxis] > 0) & (caching[:, np.newaxis, :] > 0)
+    ).astype(np.float64)
+    counts = eligible.sum(axis=0)  # (U, F)
+    shares = np.divide(1.0, counts, out=np.zeros_like(counts), where=counts > 0)
+    routing = eligible * shares[np.newaxis, :, :]
+    usage = np.einsum("nuf,uf->n", routing, problem.demand)
+    for n in range(problem.num_sbs):
+        if usage[n] > problem.bandwidth[n] and usage[n] > 0:
+            routing[n] *= problem.bandwidth[n] / usage[n]
+    return routing

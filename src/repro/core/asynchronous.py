@@ -1,0 +1,199 @@
+"""Fully asynchronous distributed optimization (the paper's future work).
+
+Section III closes with: *"In practice, SBSs may not update in one
+iteration using possible outdated information.  The asynchronized
+settings can be generalized by this algorithm while the convergence
+proof is more complex."*  This module builds that setting as a
+discrete-event simulation:
+
+* every SBS wakes up on its own (exponential) clock, solves ``P_n``
+  against the **latest aggregate it has received** — which may be
+  arbitrarily stale — and uploads its policy;
+* uploads and broadcasts traverse the network with random delays, so
+  different SBSs hold different views of the aggregate at any instant;
+* the BS folds uploads in as they arrive and broadcasts the running
+  aggregate;
+* LPPM can be applied per upload exactly as in the synchronous run.
+
+The result records the cost trajectory over simulated time, per-SBS
+staleness statistics (how old the acted-upon aggregate was), and the
+final policy — letting the benchmarks quantify how much asynchrony
+actually costs relative to Theorem 2's synchronized ideal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_nonnegative_float, check_positive_int, rng_from
+from ..exceptions import ValidationError
+from ..network.eventsim import EventScheduler
+from ..privacy.factory import MechanismConfig, build_mechanism
+from .cost import total_cost
+from .problem import ProblemInstance
+from .solution import Solution
+from .subproblem import SubproblemConfig, solve_subproblem
+
+__all__ = ["AsyncConfig", "AsyncResult", "solve_asynchronous"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AsyncConfig:
+    """Parameters of the asynchronous simulation.
+
+    Attributes
+    ----------
+    duration:
+        Simulated time horizon.
+    mean_update_interval:
+        Mean of each SBS's exponential wake-up clock.
+    mean_message_delay:
+        Mean one-way latency of uploads and broadcasts (exponential).
+    damping:
+        Upload damping in ``(0, 1]``: the uploaded policy is
+        ``damping * new + (1 - damping) * previous`` — the async
+        analogue of the Jacobi damping, taming oscillation caused by
+        simultaneous best responses to the same stale view.
+    subproblem:
+        Per-SBS solver configuration.
+    """
+
+    duration: float = 50.0
+    mean_update_interval: float = 3.0
+    mean_message_delay: float = 0.5
+    damping: float = 0.6
+    subproblem: SubproblemConfig = dataclasses.field(default_factory=SubproblemConfig)
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("duration", self.duration),
+            ("mean_update_interval", self.mean_update_interval),
+        ):
+            if value <= 0:
+                raise ValidationError(f"{name} must be positive, got {value}")
+        check_nonnegative_float(self.mean_message_delay, "mean_message_delay")
+        if not 0.0 < self.damping <= 1.0:
+            raise ValidationError(f"damping must lie in (0, 1], got {self.damping}")
+
+
+@dataclasses.dataclass
+class AsyncResult:
+    """Outcome of an asynchronous run."""
+
+    solution: Solution
+    cost: float
+    cost_trajectory: List[Tuple[float, float]]
+    updates_per_sbs: Dict[int, int]
+    mean_staleness: float
+    events_processed: int
+    epsilon_spent: float = 0.0
+
+    def final_window_costs(self, fraction: float = 0.25) -> np.ndarray:
+        """Costs recorded in the trailing ``fraction`` of the run."""
+        if not self.cost_trajectory:
+            return np.array([])
+        t_end = self.cost_trajectory[-1][0]
+        cutoff = t_end * (1.0 - fraction)
+        return np.array([c for t, c in self.cost_trajectory if t >= cutoff])
+
+
+def solve_asynchronous(
+    problem: ProblemInstance,
+    config: Optional[AsyncConfig] = None,
+    *,
+    privacy: Optional[MechanismConfig] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> AsyncResult:
+    """Run the asynchronous protocol for ``config.duration`` time units."""
+    config = config or AsyncConfig()
+    generator = rng_from(rng)
+    scheduler = EventScheduler()
+
+    num_groups, num_files = problem.num_groups, problem.num_files
+    reports = np.zeros(problem.shape)          # BS's view
+    caches = np.zeros((problem.num_sbs, num_files))
+    true_routing = np.zeros(problem.shape)
+
+    # Per-SBS local state.
+    local_aggregate = [np.zeros((num_groups, num_files)) for _ in problem.sbs_indices()]
+    local_aggregate_time = [0.0 for _ in problem.sbs_indices()]
+    last_report = [np.zeros((num_groups, num_files)) for _ in problem.sbs_indices()]
+    mechanisms = []
+    for _ in problem.sbs_indices():
+        if privacy is None:
+            mechanisms.append(None)
+        else:
+            child_seed = int(generator.integers(np.iinfo(np.int64).max))
+            mechanisms.append(build_mechanism(privacy, rng=child_seed))
+
+    trajectory: List[Tuple[float, float]] = []
+    updates: Dict[int, int] = {n: 0 for n in problem.sbs_indices()}
+    staleness_samples: List[float] = []
+    epsilon_spent = 0.0
+
+    def delay(mean: float) -> float:
+        if mean <= 0:
+            return 0.0
+        return float(generator.exponential(mean))
+
+    def bs_receive_upload(sbs: int, block: np.ndarray) -> None:
+        nonlocal epsilon_spent
+        reports[sbs] = block
+        trajectory.append((scheduler.now, total_cost(problem, reports)))
+        aggregate = reports.sum(axis=0)
+        sent_at = scheduler.now
+        for receiver in problem.sbs_indices():
+            scheduler.schedule(
+                delay(config.mean_message_delay),
+                lambda r=receiver, a=aggregate.copy(), t=sent_at: sbs_receive_aggregate(
+                    r, a, t
+                ),
+            )
+
+    def sbs_receive_aggregate(sbs: int, aggregate: np.ndarray, sent_at: float) -> None:
+        # Keep only the freshest view (messages can arrive out of order).
+        if sent_at >= local_aggregate_time[sbs]:
+            local_aggregate[sbs] = aggregate
+            local_aggregate_time[sbs] = sent_at
+
+    def sbs_wakeup(sbs: int) -> None:
+        nonlocal epsilon_spent
+        staleness_samples.append(scheduler.now - local_aggregate_time[sbs])
+        aggregate_others = np.clip(local_aggregate[sbs] - last_report[sbs], 0.0, None)
+        result = solve_subproblem(
+            problem, sbs, aggregate_others, config.subproblem
+        )
+        caches[sbs] = result.caching
+        true_routing[sbs] = result.routing
+        report = result.routing
+        if mechanisms[sbs] is not None:
+            report = mechanisms[sbs].perturb(report)
+            epsilon_spent += mechanisms[sbs].config.epsilon
+        damped = config.damping * report + (1.0 - config.damping) * last_report[sbs]
+        last_report[sbs] = damped
+        updates[sbs] += 1
+        scheduler.schedule(
+            delay(config.mean_message_delay),
+            lambda s=sbs, b=damped.copy(): bs_receive_upload(s, b),
+        )
+        scheduler.schedule(delay(config.mean_update_interval), lambda s=sbs: sbs_wakeup(s))
+
+    # Kick off: every SBS gets an initial wake-up at a random offset.
+    for n in problem.sbs_indices():
+        scheduler.schedule(delay(config.mean_update_interval), lambda s=n: sbs_wakeup(s))
+
+    scheduler.run_until(config.duration, max_events=1_000_000)
+
+    solution = Solution(caching=caches.copy(), routing=reports.copy())
+    return AsyncResult(
+        solution=solution,
+        cost=total_cost(problem, reports),
+        cost_trajectory=trajectory,
+        updates_per_sbs=updates,
+        mean_staleness=float(np.mean(staleness_samples)) if staleness_samples else 0.0,
+        events_processed=scheduler.events_processed,
+        epsilon_spent=epsilon_spent,
+    )

@@ -1,0 +1,90 @@
+"""Convergence tracking for the distributed algorithm.
+
+Theorem 2 guarantees the Gauss-Seidel cost sequence converges to the
+optimum; Theorem 3 shows each phase's update is non-increasing even with
+LPPM noise.  :class:`CostHistory` records the cost after every phase and
+iteration so tests can assert those properties and the benchmarks can
+report convergence speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PhaseRecord", "CostHistory"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseRecord:
+    """Cost snapshot after one SBS finished its phase."""
+
+    iteration: int
+    phase: int
+    sbs: int
+    cost: float
+    noise_l1: float = 0.0
+
+
+@dataclasses.dataclass
+class CostHistory:
+    """Cost trajectory of one distributed run."""
+
+    initial_cost: float
+    phases: List[PhaseRecord] = dataclasses.field(default_factory=list)
+    iteration_costs: List[float] = dataclasses.field(default_factory=list)
+
+    def record_phase(self, record: PhaseRecord) -> None:
+        """Append one phase's cost snapshot."""
+        self.phases.append(record)
+
+    def close_iteration(self, cost: float) -> None:
+        """Record the system cost at the end of a full iteration."""
+        self.iteration_costs.append(float(cost))
+
+    @property
+    def final_cost(self) -> float:
+        if self.iteration_costs:
+            return self.iteration_costs[-1]
+        return self.initial_cost
+
+    def relative_improvement(self) -> Optional[float]:
+        """Last iteration's relative cost change (Algorithm 1's test)."""
+        if len(self.iteration_costs) < 2:
+            return None
+        previous, current = self.iteration_costs[-2], self.iteration_costs[-1]
+        if current == 0:
+            return 0.0
+        return abs(previous - current) / abs(current)
+
+    def phase_costs(self) -> np.ndarray:
+        """Per-phase cost values as an array."""
+        return np.array([record.cost for record in self.phases])
+
+    def is_non_increasing(self, *, tol: float = 1e-7) -> bool:
+        """Whether the per-phase cost trajectory never increases.
+
+        Holds exactly for the noiseless algorithm; with LPPM it holds for
+        each phase's *optimization* step but the noise subtraction can
+        nudge the evaluated cost either way, so callers should only
+        assert this on noiseless runs.
+        """
+        costs = np.concatenate(([self.initial_cost], self.phase_costs()))
+        scale = max(abs(self.initial_cost), 1.0)
+        return bool(np.all(np.diff(costs) <= tol * scale))
+
+    def total_noise(self) -> float:
+        """Total L1 privacy noise injected across all phases."""
+        return float(sum(record.noise_l1 for record in self.phases))
+
+    def summary(self) -> dict:
+        """Compact run summary for logs and reports."""
+        return {
+            "initial_cost": self.initial_cost,
+            "final_cost": self.final_cost,
+            "iterations": len(self.iteration_costs),
+            "phases": len(self.phases),
+            "total_noise_l1": self.total_noise(),
+        }

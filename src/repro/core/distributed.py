@@ -1,0 +1,572 @@
+"""Algorithm 1 — the distributed updating algorithm (Section III).
+
+The algorithm is a Gauss-Seidel sweep over SBSs.  In phase ``n`` of
+iteration ``tau``, SBS ``n``:
+
+1. receives the BS's broadcast of the *aggregated* routing policy and
+   subtracts its own last report to obtain ``y_{-n}`` (Eq. 25) — it never
+   sees another SBS's individual policy;
+2. solves its subproblem ``P_n`` (Lagrangian decomposition, see
+   :mod:`repro.core.subproblem`);
+3. optionally perturbs the resulting routing block with LPPM
+   (Section IV) and uploads it to the BS (line 4 of Algorithm 1);
+4. the BS folds the upload into its aggregate and broadcasts it (line 5).
+
+All exchanges go through :class:`repro.network.messaging.Channel`, so an
+eavesdropper tap observes exactly what the paper's attacker observes —
+the broadcast aggregates — and nothing more.
+
+Termination follows Algorithm 1: stop when the relative cost change
+drops to the accuracy level ``gamma`` or after ``T`` iterations.  With
+LPPM the evaluated cost uses the *reported* (perturbed) policies, since
+those are the fractions actually served from the edge; the residual is
+picked up by the BS.
+
+An asynchronous (Jacobi-style) variant with stale aggregates — the
+paper's stated future work — is provided via ``mode="jacobi"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_in_interval, check_positive_int, rng_from
+from ..exceptions import ProtocolError, ValidationError
+from ..network.messaging import Channel, Message, MessageKind
+from ..privacy.accountant import PrivacyAccountant
+from ..privacy.factory import MechanismConfig, build_mechanism
+from ..privacy.mechanism import LaplacePrivacyMechanism, LPPMConfig
+from .convergence import CostHistory, PhaseRecord
+from .cost import total_cost
+from .problem import ProblemInstance
+from .solution import Solution
+from .subproblem import SubproblemConfig, solve_subproblem
+
+__all__ = [
+    "DistributedConfig",
+    "DistributedResult",
+    "BaseStationAgent",
+    "SBSAgent",
+    "DistributedOptimizer",
+    "solve_distributed",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributedConfig:
+    """Run parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    accuracy:
+        The accuracy level ``gamma``: stop once the relative cost change
+        between iterations is at most this.
+    max_iterations:
+        The iteration cap ``T``.
+    subproblem:
+        Configuration forwarded to every per-SBS solve.
+    mode:
+        ``"gauss-seidel"`` (the paper's synchronized algorithm) or
+        ``"jacobi"`` (asynchronous-style: every SBS best-responds to the
+        previous iteration's aggregate simultaneously; convergence is not
+        guaranteed by Theorem 2 — damping mitigates oscillation).
+    damping:
+        Jacobi damping factor in ``(0, 1]``; the uploaded policy is
+        ``damping * new + (1 - damping) * previous``.  Ignored in
+        Gauss-Seidel mode.
+    coordination:
+        ``"caps"`` — the paper-literal scheme: each SBS caps its routing
+        at the residual ``1 - y_{-n}``.  Block-coordinate descent over
+        the *coupled* constraint (4) can then stall at a non-optimal
+        equilibrium (Theorem 2's cited result assumes a product
+        constraint set).  ``"prices"`` — an enhancement that dualizes
+        constraint (4) at the BS: the broadcast carries per-pair
+        congestion prices updated by subgradient on the over-service
+        ``sum_n y - 1``, SBSs see them as per-unit charges, and residual
+        caps are loosened by a decaying slack so contested pairs can be
+        transiently over-served while prices equilibrate.  A final
+        zero-slack sweep restores feasibility.  DESIGN.md discusses the
+        trade-off; the evaluation defaults to the paper-literal mode.
+    price_eta0 / price_alpha:
+        Price subgradient step schedule ``eta0 / (1 + alpha * tau)``
+        (prices mode only).
+    slack0 / slack_decay:
+        Initial cap slack and its per-iteration geometric decay
+        (prices mode only).
+    """
+
+    accuracy: float = 1e-4
+    max_iterations: int = 30
+    subproblem: SubproblemConfig = dataclasses.field(default_factory=SubproblemConfig)
+    mode: str = "gauss-seidel"
+    damping: float = 1.0
+    coordination: str = "caps"
+    price_eta0: float = 0.5
+    price_alpha: float = 0.5
+    slack0: float = 0.5
+    slack_decay: float = 0.65
+    restarts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.accuracy < 0:
+            raise ValidationError(f"accuracy must be nonnegative, got {self.accuracy}")
+        check_positive_int(self.max_iterations, "max_iterations")
+        if self.mode not in ("gauss-seidel", "jacobi"):
+            raise ValidationError(f"mode must be 'gauss-seidel' or 'jacobi', got {self.mode!r}")
+        check_in_interval(self.damping, "damping", low=0.0, high=1.0, low_open=True)
+        if self.coordination not in ("caps", "prices"):
+            raise ValidationError(
+                f"coordination must be 'caps' or 'prices', got {self.coordination!r}"
+            )
+        if self.price_eta0 <= 0 or self.price_alpha < 0:
+            raise ValidationError("price_eta0 must be > 0 and price_alpha >= 0")
+        if not 0.0 <= self.slack0 <= 1.0 or not 0.0 < self.slack_decay < 1.0:
+            raise ValidationError("slack0 must lie in [0, 1] and slack_decay in (0, 1)")
+        check_positive_int(self.restarts, "restarts")
+
+
+@dataclasses.dataclass
+class DistributedResult:
+    """Outcome of a distributed run.
+
+    With LPPM active, two policies coexist (Section IV-B):
+
+    * the **reported** (perturbed) routing ``y_hat = y - r`` the BS
+      aggregates — this is what each SBS commits to serving, so the
+      system cost (``cost``, evaluated at ``solution.routing``) is
+      ``f(y_hat)``, the quantity Theorems 3 and 5 analyse; the deflated
+      portion of every request falls back to the BS;
+    * the **pre-noise** routing each SBS computed
+      (``unperturbed_routing`` / ``unperturbed_cost``) — what the run
+      would have served without the mechanism.  The attacker never sees
+      it; :mod:`repro.attacks` measures how well it can be estimated.
+
+    Without privacy the two coincide.
+    """
+
+    solution: Solution
+    cost: float
+    iterations: int
+    converged: bool
+    history: CostHistory
+    channel: Channel
+    unperturbed_routing: Optional[np.ndarray] = None
+    unperturbed_cost: Optional[float] = None
+    accountant: Optional[PrivacyAccountant] = None
+
+    @property
+    def total_epsilon(self) -> Optional[float]:
+        """Per-SBS privacy budget spent (basic composition), if private.
+
+        Each SBS's own data is protected by its own releases, so the
+        per-party total is the meaningful guarantee; all SBSs spend the
+        same budget in a synchronized run.
+        """
+        if self.accountant is None:
+            return None
+        parties = {release.party for release in self.accountant.releases}
+        if not parties:
+            return 0.0
+        return max(self.accountant.total_epsilon_basic(party) for party in parties)
+
+
+class BaseStationAgent:
+    """The BS of Algorithm 1: aggregates uploads, broadcasts the total.
+
+    In ``"prices"`` coordination the BS also maintains per-pair
+    congestion prices and piggybacks them on the broadcast: the payload
+    is then ``(2, U, F)`` — aggregate stacked on prices — instead of the
+    plain ``(U, F)`` aggregate.
+    """
+
+    def __init__(
+        self, problem: ProblemInstance, channel: Channel, *, with_prices: bool = False
+    ) -> None:
+        self.name = "bs"
+        self._problem = problem
+        self._channel = channel
+        channel.register(self.name)
+        self._reports = np.zeros(problem.shape)
+        self._with_prices = with_prices
+        self.prices = np.zeros((problem.num_groups, problem.num_files))
+        # Price update scale: one unit of over-service on pair (u, f) is
+        # worth about the pair's best margin times its demand.
+        best_margin = problem.savings_margin().max(axis=0)  # (U,)
+        self._price_scale = best_margin[:, np.newaxis] * problem.demand
+        self._price_cap = 1.5 * self._price_scale
+
+    @property
+    def reports(self) -> np.ndarray:
+        """Latest (possibly perturbed) routing block reported by each SBS."""
+        return self._reports
+
+    def aggregate(self) -> np.ndarray:
+        """The aggregated load ``sum_n y[n]`` the BS broadcasts."""
+        return self._reports.sum(axis=0)
+
+    def update_prices(self, step: float) -> None:
+        """Projected subgradient step on the dual of constraint (4).
+
+        ``pi <- [pi + step * scale * (sum_n y - 1)]^+``, capped so a
+        price can never exceed 1.5x the pair's best possible margin
+        (beyond which no SBS would serve it anyway).
+        """
+        violation = self.aggregate() - 1.0
+        self.prices = np.clip(
+            self.prices + step * self._price_scale * violation, 0.0, self._price_cap
+        )
+
+    def broadcast_aggregate(self, iteration: int, phase: int) -> None:
+        """Line 5 of Algorithm 1: broadcast the aggregated load."""
+        payload = self.aggregate()
+        if self._with_prices:
+            payload = np.stack([payload, self.prices])
+        self._channel.send(
+            Message(
+                kind=MessageKind.AGGREGATE_BROADCAST,
+                sender=self.name,
+                recipient="*",
+                payload=payload,
+                iteration=iteration,
+                phase=phase,
+            )
+        )
+
+    def collect_upload(self, expected_sbs: int) -> np.ndarray:
+        """Receive one policy upload and fold it into the aggregate."""
+        message = self._channel.receive(self.name)
+        if message.kind is not MessageKind.POLICY_UPLOAD:
+            raise ProtocolError(f"BS expected a policy upload, got {message.kind}")
+        if message.sender != f"sbs-{expected_sbs}":
+            raise ProtocolError(
+                f"BS expected an upload from sbs-{expected_sbs}, got {message.sender}"
+            )
+        block = np.asarray(message.payload)
+        if block.shape != (self._problem.num_groups, self._problem.num_files):
+            raise ProtocolError(f"upload has wrong shape {block.shape}")
+        self._reports[expected_sbs] = block
+        return block
+
+    def system_cost(self) -> float:
+        """Network cost evaluated at the reported policies."""
+        return total_cost(self._problem, self._reports)
+
+
+class SBSAgent:
+    """One SBS: solves ``P_n`` locally, optionally applies LPPM."""
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        index: int,
+        channel: Channel,
+        *,
+        subproblem_config: Optional[SubproblemConfig] = None,
+        mechanism: Optional[LaplacePrivacyMechanism] = None,
+        accountant: Optional[PrivacyAccountant] = None,
+    ) -> None:
+        problem._check_sbs(index)
+        self.index = index
+        self.name = f"sbs-{index}"
+        self._problem = problem
+        self._channel = channel
+        channel.register(self.name)
+        self._config = subproblem_config or SubproblemConfig()
+        self._mechanism = mechanism
+        self._accountant = accountant
+        self.caching = np.zeros(problem.num_files)
+        self.true_routing = np.zeros((problem.num_groups, problem.num_files))
+        self.last_report = np.zeros((problem.num_groups, problem.num_files))
+        self._last_multipliers = None  # warm start across iterations
+        self._has_solved = False
+
+    @property
+    def is_private(self) -> bool:
+        return self._mechanism is not None
+
+    def read_latest_aggregate(self) -> tuple:
+        """Drain the mailbox; return the freshest ``(aggregate, prices)``.
+
+        Plain broadcasts carry a ``(U, F)`` aggregate (prices ``None``);
+        price-coordination broadcasts carry a stacked ``(2, U, F)``
+        payload.
+        """
+        messages = self._channel.drain(self.name)
+        aggregates = [
+            message.payload
+            for message in messages
+            if message.kind is MessageKind.AGGREGATE_BROADCAST
+        ]
+        if not aggregates:
+            raise ProtocolError(f"{self.name} has no aggregate broadcast to read")
+        payload = np.asarray(aggregates[-1])
+        if payload.ndim == 3:
+            return payload[0], payload[1]
+        return payload, None
+
+    def run_phase(self, iteration: int, phase: int, *, cap_slack: float = 0.0) -> float:
+        """Execute one phase: read aggregate, solve ``P_n``, upload.
+
+        Returns the L1 mass of privacy noise injected (zero when not
+        private).
+        """
+        aggregate, prices = self.read_latest_aggregate()
+        aggregate_others = np.clip(aggregate - self.last_report, 0.0, None)
+        result = solve_subproblem(
+            self._problem,
+            self.index,
+            aggregate_others,
+            self._config,
+            prices=prices,
+            cap_slack=cap_slack,
+            initial_multipliers=self._last_multipliers,
+            candidate_caching=self.caching if self._has_solved else None,
+        )
+        self._last_multipliers = result.multipliers
+        self._has_solved = True
+        self.caching = result.caching
+        self.true_routing = result.routing
+        report = result.routing
+        noise_l1 = 0.0
+        if self._mechanism is not None:
+            report = self._mechanism.perturb(report)
+            noise_l1 = float(np.abs(result.routing - report).sum())
+            if self._accountant is not None:
+                self._accountant.record(
+                    party=self.name,
+                    epsilon=self._mechanism.config.epsilon,
+                    label=f"iter-{iteration}-phase-{phase}",
+                )
+        self.last_report = report
+        self._channel.send(
+            Message(
+                kind=MessageKind.POLICY_UPLOAD,
+                sender=self.name,
+                recipient="bs",
+                payload=report,
+                iteration=iteration,
+                phase=phase,
+            )
+        )
+        return noise_l1
+
+
+class DistributedOptimizer:
+    """Orchestrates Algorithm 1 over the message-passing substrate."""
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        config: Optional[DistributedConfig] = None,
+        *,
+        privacy: Optional[MechanismConfig] = None,
+        rng: Union[int, np.random.Generator, None] = None,
+        sweep_order: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or DistributedConfig()
+        if sweep_order is None:
+            sweep_order = list(range(problem.num_sbs))
+        order = [int(i) for i in sweep_order]
+        if sorted(order) != list(range(problem.num_sbs)):
+            raise ValidationError(
+                f"sweep_order must be a permutation of 0..{problem.num_sbs - 1}"
+            )
+        self._order = order
+        self.channel = Channel()
+        self.base_station = BaseStationAgent(
+            problem, self.channel, with_prices=self.config.coordination == "prices"
+        )
+        self.accountant = PrivacyAccountant() if privacy is not None else None
+        generator = rng_from(rng)
+        self.sbss: List[SBSAgent] = []
+        for n in problem.sbs_indices():
+            mechanism = None
+            if privacy is not None:
+                # Independent noise stream per SBS, all derived from one seed.
+                child_seed = int(generator.integers(np.iinfo(np.int64).max))
+                mechanism = build_mechanism(privacy, rng=child_seed)
+            self.sbss.append(
+                SBSAgent(
+                    problem,
+                    n,
+                    self.channel,
+                    subproblem_config=self.config.subproblem,
+                    mechanism=mechanism,
+                    accountant=self.accountant,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> DistributedResult:
+        """Execute Algorithm 1 until the accuracy level or iteration cap."""
+        problem, config = self.problem, self.config
+        history = CostHistory(initial_cost=problem.max_cost())
+        previous_cost = history.initial_cost
+        converged = False
+        iterations = 0
+
+        # Initial broadcast: the all-zero aggregate every SBS starts from
+        # (the paper's y_{-n}(tau=0) = 0 initialisation).
+        self.base_station.broadcast_aggregate(iteration=-1, phase=-1)
+
+        with_prices = config.coordination == "prices"
+        for iteration in range(config.max_iterations):
+            slack = config.slack0 * config.slack_decay**iteration if with_prices else 0.0
+            price_step = (
+                config.price_eta0 / (1.0 + config.price_alpha * iteration)
+                if with_prices
+                else None
+            )
+            if config.mode == "gauss-seidel":
+                self._gauss_seidel_sweep(iteration, history, slack, price_step)
+            else:
+                self._jacobi_sweep(iteration, history, slack, price_step)
+            cost = self.base_station.system_cost()
+            history.close_iteration(cost)
+            iterations = iteration + 1
+            denominator = abs(cost) if cost != 0 else 1.0
+            # In prices mode the early sweeps run with a loose slack and
+            # immature prices; a stable cost there says nothing about
+            # optimality, so hold off the convergence test until the
+            # slack has essentially vanished.
+            slack_settled = (not with_prices) or slack < 0.02
+            if slack_settled and abs(previous_cost - cost) / denominator <= config.accuracy:
+                converged = True
+                break
+            previous_cost = cost
+
+        if with_prices:
+            # Feasibility restoration: one zero-slack sweep with frozen
+            # prices removes any residual over-service left by the
+            # transient slack.
+            self._gauss_seidel_sweep(iterations, history, slack=0.0, price_step=None)
+            history.close_iteration(self.base_station.system_cost())
+
+        unperturbed = np.stack([agent.true_routing for agent in self.sbss])
+        solution = Solution(
+            caching=np.stack([agent.caching for agent in self.sbss]),
+            routing=self.base_station.reports.copy(),
+        )
+        return DistributedResult(
+            solution=solution,
+            cost=history.final_cost,
+            iterations=iterations,
+            converged=converged,
+            history=history,
+            channel=self.channel,
+            unperturbed_routing=unperturbed,
+            unperturbed_cost=total_cost(problem, unperturbed),
+            accountant=self.accountant,
+        )
+
+    # ------------------------------------------------------------------
+    def _gauss_seidel_sweep(
+        self,
+        iteration: int,
+        history: CostHistory,
+        slack: float = 0.0,
+        price_step: Optional[float] = None,
+    ) -> None:
+        """One iteration, following Algorithm 1's lines 2-5 exactly.
+
+        For each phase: the active SBS reads the latest aggregate
+        broadcast, solves ``P_n`` and uploads (line 4); the BS folds the
+        upload in, updates congestion prices when price coordination is
+        on, and broadcasts to everyone (line 5).  Every upload is
+        therefore sandwiched between two broadcasts — exactly the
+        information an eavesdropper on the broadcast channel gets to
+        see.
+        """
+        for phase, index in enumerate(self._order):
+            agent = self.sbss[index]
+            noise_l1 = agent.run_phase(iteration, phase, cap_slack=slack)
+            self.base_station.collect_upload(agent.index)
+            if price_step is not None:
+                self.base_station.update_prices(price_step)
+            self.base_station.broadcast_aggregate(iteration, phase)
+            history.record_phase(
+                PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=agent.index,
+                    cost=self.base_station.system_cost(),
+                    noise_l1=noise_l1,
+                )
+            )
+
+    def _jacobi_sweep(
+        self,
+        iteration: int,
+        history: CostHistory,
+        slack: float = 0.0,
+        price_step: Optional[float] = None,
+    ) -> None:
+        """All SBSs best-respond to the same (stale) aggregate, with damping."""
+        uploads: Dict[int, float] = {}
+        for index in self._order:
+            agent = self.sbss[index]
+            noise_l1 = agent.run_phase(iteration, phase=0, cap_slack=slack)
+            uploads[agent.index] = noise_l1
+        for phase, agent in enumerate(self.sbss):
+            previous = self.base_station.reports[agent.index].copy()
+            block = self.base_station.collect_upload(agent.index)
+            if self.config.damping < 1.0:
+                damped = self.config.damping * block + (1.0 - self.config.damping) * previous
+                self.base_station.reports[agent.index] = damped
+                agent.last_report = damped
+            history.record_phase(
+                PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=agent.index,
+                    cost=self.base_station.system_cost(),
+                    noise_l1=uploads[agent.index],
+                )
+            )
+        if price_step is not None:
+            self.base_station.update_prices(price_step)
+        self.base_station.broadcast_aggregate(iteration, phase=len(self.sbss))
+
+
+def solve_distributed(
+    problem: ProblemInstance,
+    config: Optional[DistributedConfig] = None,
+    *,
+    privacy: Optional[MechanismConfig] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> DistributedResult:
+    """Run Algorithm 1, optionally best-of-``restarts`` sweep orders.
+
+    With ``config.restarts > 1`` the run is repeated under different
+    Gauss-Seidel sweep orders (identity first, then random
+    permutations) and the cheapest final solution is kept — a legitimate
+    distributed protocol, since the BS already evaluates the reported
+    system cost.  Restarts are refused with privacy enabled: every extra
+    run would spend additional budget, which should be an explicit
+    decision, not a solver default.
+    """
+    config = config or DistributedConfig()
+    if config.restarts == 1:
+        return DistributedOptimizer(problem, config, privacy=privacy, rng=rng).run()
+    if privacy is not None:
+        raise ValidationError(
+            "restarts > 1 with LPPM would multiply the privacy budget; "
+            "run the restarts explicitly if that is intended"
+        )
+    generator = rng_from(rng)
+    orders = [list(range(problem.num_sbs))]
+    for _ in range(config.restarts - 1):
+        orders.append(list(generator.permutation(problem.num_sbs)))
+    best: Optional[DistributedResult] = None
+    for order in orders:
+        result = DistributedOptimizer(
+            problem, config, privacy=None, rng=generator, sweep_order=order
+        ).run()
+        if best is None or result.cost < best.cost:
+            best = result
+    assert best is not None
+    return best

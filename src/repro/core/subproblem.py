@@ -1,0 +1,444 @@
+"""Per-SBS subproblem ``P_n`` (Section III, Eqs. 10-23).
+
+Given the aggregate routing policy ``y_{-n}`` of every other SBS, SBS
+``n`` jointly chooses its caching vector ``x_n in {0,1}^F`` and routing
+block ``y_n in [0,1]^{U x F}`` to minimize its view of the network cost.
+The paper solves this by Lagrangian dual decomposition:
+
+1. relax the cache-coupling constraint ``y <= x`` with multipliers
+   ``mu[u, f] >= 0`` (Eq. 15-16);
+2. the **caching subproblem** (Eq. 18) maximizes
+   ``sum_f x[f] * sum_u mu[u, f]`` under the capacity constraint — its LP
+   relaxation is integral (Theorem 1), so it reduces to picking the
+   ``C_n`` files with the largest positive aggregated multipliers;
+3. the **routing subproblem** (Eq. 20) is a linear program with a single
+   budget constraint — an exact fractional knapsack;
+4. the multipliers follow the projected subgradient update of Eq. 21
+   with the diminishing steps of Eq. 22 and subgradient ``y - x``
+   (Eq. 23).
+
+Because the dual iterates' primal pairs need not be jointly feasible, we
+add standard *primal recovery*: at every dual iteration the candidate
+cache set is evaluated exactly (best feasible routing for that set via
+the knapsack) and the cheapest feasible pair seen is returned.  An
+optional local-search polish swaps files in/out of the best cache set
+until no single swap improves the cost, and an exhaustive solver is
+provided for validating optimality on tiny instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import ValidationError
+from ..solvers.fractional_knapsack import solve_fractional_knapsack
+from ..solvers.subgradient import StepSchedule, subgradient_ascent
+from .problem import ProblemInstance
+from .routing import optimal_routing_for_sbs, residual_caps
+
+__all__ = [
+    "SubproblemConfig",
+    "SubproblemSolution",
+    "solve_subproblem",
+    "solve_subproblem_exhaustive",
+    "cache_subproblem",
+    "routing_subproblem",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SubproblemConfig:
+    """Tunables for the Lagrangian decomposition.
+
+    Attributes
+    ----------
+    schedule:
+        Dual step-size schedule.  ``None`` auto-scales ``eta0`` to half
+        the largest absolute routing coefficient so the multipliers can
+        reach the coefficients' magnitude in a handful of steps.
+    max_iter / tol / patience:
+        Stopping controls for the dual ascent (see
+        :func:`repro.solvers.subgradient.subgradient_ascent`).
+    polish:
+        Run single-swap local search on the recovered cache set.
+    """
+
+    schedule: Optional[StepSchedule] = None
+    max_iter: int = 120
+    tol: float = 1e-7
+    patience: int = 25
+    polish: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_iter, "max_iter")
+        check_positive_int(self.patience, "patience")
+        if self.tol < 0:
+            raise ValidationError(f"tol must be nonnegative, got {self.tol}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SubproblemSolution:
+    """Solution of ``P_n`` for one SBS.
+
+    ``cost`` is the *local objective* ``f_n`` of Eq. 10 (it contains the
+    constant BS term induced by ``y_{-n}``, so it is comparable across
+    candidate policies of the same SBS but not across SBSs).
+    """
+
+    caching: np.ndarray  # (F,)
+    routing: np.ndarray  # (U, F)
+    cost: float
+    best_dual: float
+    dual_history: Tuple[float, ...]
+    iterations: int
+    converged: bool
+    multipliers: Optional[np.ndarray] = None  # (U, F) final dual iterate
+
+
+def _routing_coefficients(problem: ProblemInstance, sbs: int) -> np.ndarray:
+    """Linear coefficients ``c[u, f]`` of ``y[n, u, f]`` in ``f_n``.
+
+    From Eq. 10: ``c = (d[n,u] - d_hat[u]) * l[n,u] * lambda[u,f]``,
+    nonpositive wherever offloading pays.
+    """
+    return -problem.savings_margin()[sbs][:, np.newaxis] * problem.demand
+
+
+def _constant_term(problem: ProblemInstance, sbs: int, aggregate_others: np.ndarray) -> float:
+    """The ``y_n``-independent part of ``f_n`` (BS cost of what others leave).
+
+    ``sum_u d_hat[u] * sum_f (1 - y_{-n}[u,f] * l[n,u]) * lambda[u,f]``
+    evaluated with the aggregate clipped to ``[0, 1]``.
+    """
+    aggregate = np.clip(aggregate_others, 0.0, 1.0)
+    residual = 1.0 - aggregate * problem.connectivity[sbs][:, np.newaxis]
+    return float(np.sum(problem.bs_cost[:, np.newaxis] * residual * problem.demand))
+
+
+def cache_subproblem(
+    problem: ProblemInstance,
+    sbs: int,
+    multipliers: np.ndarray,
+    *,
+    tie_break_value: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Solve the caching subproblem (Eq. 18) — integral per Theorem 1.
+
+    Maximizes ``sum_f x[f] * m[f]`` with ``m[f] = sum_u mu[u, f]`` under
+    ``sum_f x[f] <= C_n`` and ``x in [0, 1]``: select up to ``C_n`` files
+    with the largest positive ``m[f]``.  Slots left over by zero
+    multipliers are filled by ``tie_break_value`` (typically potential
+    savings) — any completion is dual-optimal, and this choice speeds up
+    primal recovery.
+    """
+    problem._check_sbs(sbs)
+    multipliers = as_float_array(
+        multipliers, "multipliers", shape=(problem.num_groups, problem.num_files)
+    )
+    aggregated = multipliers.sum(axis=0)
+    capacity = int(np.floor(problem.cache_capacity[sbs] + 1e-9))
+    caching = np.zeros(problem.num_files)
+    if capacity == 0:
+        return caching
+    order = np.argsort(-aggregated, kind="stable")
+    chosen = [f for f in order[:capacity] if aggregated[f] > 0]
+    if len(chosen) < capacity and tie_break_value is not None:
+        filler_order = np.argsort(-np.asarray(tie_break_value, dtype=np.float64), kind="stable")
+        for f in filler_order:
+            if len(chosen) >= capacity:
+                break
+            if f not in chosen:
+                chosen.append(int(f))
+    caching[chosen] = 1.0
+    return caching
+
+
+def routing_subproblem(
+    problem: ProblemInstance,
+    sbs: int,
+    multipliers: np.ndarray,
+    caps: np.ndarray,
+    *,
+    extra_cost: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Solve the routing subproblem (Eq. 20) by fractional knapsack.
+
+    Minimizes ``sum (c[u,f] + mu[u,f]) * y`` under the bandwidth budget
+    and ``0 <= y <= caps``.  Note the cache coupling has been dualized,
+    so ``y`` ranges over all connected pairs regardless of the cache.
+    ``extra_cost`` adds a further per-unit term (the BS congestion
+    prices of the enhanced coordination mode).
+    """
+    costs = _routing_coefficients(problem, sbs) + multipliers
+    if extra_cost is not None:
+        costs = costs + extra_cost
+    result = solve_fractional_knapsack(
+        costs.ravel(),
+        np.broadcast_to(problem.demand, costs.shape).ravel(),
+        float(problem.bandwidth[sbs]),
+        np.asarray(caps, dtype=np.float64).ravel(),
+    )
+    return result.allocation.reshape(problem.num_groups, problem.num_files)
+
+
+def _evaluate_cache_set(
+    problem: ProblemInstance,
+    sbs: int,
+    caching: np.ndarray,
+    caps: np.ndarray,
+    constant: float,
+    extra_cost: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, float]:
+    """Best feasible routing for a cache set and the resulting objective.
+
+    The objective is the (possibly price-augmented) local cost
+    ``constant + sum((c + extra) * y)``.
+    """
+    routing = optimal_routing_for_sbs(problem, sbs, caching, caps, extra_cost=extra_cost)
+    coefficients = _routing_coefficients(problem, sbs)
+    if extra_cost is not None:
+        coefficients = coefficients + extra_cost
+    cost = constant + float(np.sum(coefficients * routing))
+    return routing, cost
+
+
+def _polish_cache_set(
+    problem: ProblemInstance,
+    sbs: int,
+    caching: np.ndarray,
+    caps: np.ndarray,
+    constant: float,
+    best_routing: np.ndarray,
+    best_cost: float,
+    *,
+    extra_cost: Optional[np.ndarray] = None,
+    max_passes: int = 4,
+    max_candidates: int = 12,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """First-improvement single-swap local search over the cache set.
+
+    Candidate in-files are limited to the ``max_candidates`` highest
+    potential-value uncached files — the only ones that can plausibly
+    displace a cached file under a linear objective.
+    """
+    caching = caching.copy()
+    potential = (problem.savings_margin()[sbs][:, np.newaxis] * problem.demand * caps).sum(axis=0)
+    for _ in range(max_passes):
+        cached_files = np.flatnonzero(caching > 0)
+        empty_slots = int(np.floor(problem.cache_capacity[sbs] + 1e-9)) - cached_files.size
+        uncached_files = np.flatnonzero(caching == 0)
+        # Only candidates with any potential value are worth trying.
+        candidates = uncached_files[potential[uncached_files] > 0]
+        candidates = candidates[np.argsort(-potential[candidates], kind="stable")]
+        candidates = candidates[: max(max_candidates, empty_slots)]
+        improved = False
+        if empty_slots > 0:
+            for f_in in candidates[:empty_slots]:
+                trial = caching.copy()
+                trial[f_in] = 1.0
+                routing, cost = _evaluate_cache_set(
+                    problem, sbs, trial, caps, constant, extra_cost
+                )
+                if cost < best_cost - 1e-12:
+                    caching, best_routing, best_cost = trial, routing, cost
+                    improved = True
+        for f_out in cached_files:
+            for f_in in candidates:
+                trial = caching.copy()
+                trial[f_out] = 0.0
+                trial[f_in] = 1.0
+                routing, cost = _evaluate_cache_set(
+                    problem, sbs, trial, caps, constant, extra_cost
+                )
+                if cost < best_cost - 1e-12:
+                    caching, best_routing, best_cost = trial, routing, cost
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return caching, best_routing, best_cost
+
+
+def solve_subproblem(
+    problem: ProblemInstance,
+    sbs: int,
+    aggregate_others: np.ndarray,
+    config: Optional[SubproblemConfig] = None,
+    *,
+    prices: Optional[np.ndarray] = None,
+    cap_slack: float = 0.0,
+    initial_multipliers: Optional[np.ndarray] = None,
+    candidate_caching: Optional[np.ndarray] = None,
+) -> SubproblemSolution:
+    """Solve ``P_n`` by the paper's dual decomposition with primal recovery.
+
+    ``prices`` (shape ``(U, F)``) and ``cap_slack`` support the enhanced
+    price-coordination mode of the distributed optimizer: prices add a
+    per-unit congestion charge to the routing coefficients, and
+    ``cap_slack`` loosens the residual caps by a constant so contested
+    pairs can be transiently over-served while the prices equilibrate.
+    With the defaults (no prices, zero slack) this is exactly the
+    paper's subproblem; the reported ``cost`` is the (price-augmented)
+    local objective.
+
+    ``initial_multipliers`` warm-starts the dual ascent — across
+    Gauss-Seidel iterations the aggregate changes little, so reusing the
+    previous multipliers reaches the dual region in far fewer steps
+    (the :class:`~repro.core.distributed.SBSAgent` passes its last
+    multipliers automatically).  ``candidate_caching`` seeds the primal
+    recovery with an incumbent cache set (evaluated exactly under the
+    current caps), guaranteeing the returned solution is never worse
+    than keeping the incumbent — which is what makes every Gauss-Seidel
+    phase non-increasing regardless of dual-ascent noise.
+    """
+    config = config or SubproblemConfig()
+    problem._check_sbs(sbs)
+    caps = residual_caps(problem, sbs, aggregate_others)
+    if cap_slack < 0:
+        raise ValidationError(f"cap_slack must be nonnegative, got {cap_slack}")
+    if cap_slack > 0:
+        reach = problem.connectivity[sbs][:, np.newaxis]
+        caps = np.minimum(caps + cap_slack * reach, reach)
+    if prices is not None:
+        prices = np.asarray(prices, dtype=np.float64)
+        if prices.shape != (problem.num_groups, problem.num_files):
+            raise ValidationError(
+                f"prices must have shape {(problem.num_groups, problem.num_files)}"
+            )
+    constant = _constant_term(problem, sbs, aggregate_others)
+    coefficients = _routing_coefficients(problem, sbs)
+    tie_break = (problem.savings_margin()[sbs][:, np.newaxis] * problem.demand * caps).sum(axis=0)
+
+    schedule = config.schedule
+    if schedule is None:
+        scale = float(np.max(np.abs(coefficients), initial=0.0))
+        # Warm-started duals sit near the optimum already: restart with a
+        # quarter of the cold step so successive Gauss-Seidel iterations
+        # don't re-inject oscillation into an almost-converged dual.
+        eta0_factor = 0.125 if initial_multipliers is not None else 0.5
+        schedule = StepSchedule(eta0=max(scale, 1e-12) * eta0_factor, alpha=0.25)
+
+    best: dict = {"cost": np.inf, "caching": None, "routing": None}
+    if candidate_caching is not None:
+        seed_caching = as_float_array(
+            candidate_caching, "candidate_caching", shape=(problem.num_files,)
+        )
+        seed_routing, seed_cost = _evaluate_cache_set(
+            problem, sbs, seed_caching, caps, constant, prices
+        )
+        best.update(cost=seed_cost, caching=seed_caching, routing=seed_routing)
+
+    priced = coefficients if prices is None else coefficients + prices
+
+    def oracle(multipliers: np.ndarray):
+        mu = multipliers.reshape(problem.num_groups, problem.num_files)
+        caching = cache_subproblem(problem, sbs, mu, tie_break_value=tie_break)
+        routing = routing_subproblem(problem, sbs, mu, caps, extra_cost=prices)
+        dual_value = (
+            constant
+            + float(np.sum((priced + mu) * routing))
+            - float(np.sum(mu.sum(axis=0) * caching))
+        )
+        subgradient = routing - caching[np.newaxis, :]
+        # Primal recovery: evaluate the candidate cache set exactly.
+        recovered_routing, recovered_cost = _evaluate_cache_set(
+            problem, sbs, caching, caps, constant, prices
+        )
+        if recovered_cost < best["cost"]:
+            best["cost"] = recovered_cost
+            best["caching"] = caching
+            best["routing"] = recovered_routing
+        return dual_value, subgradient.ravel(), None
+
+    if initial_multipliers is None:
+        start = np.zeros(problem.num_groups * problem.num_files)
+    else:
+        start = np.asarray(initial_multipliers, dtype=np.float64).ravel()
+        if start.size != problem.num_groups * problem.num_files:
+            raise ValidationError(
+                "initial_multipliers must have U*F entries, got "
+                f"{start.size}"
+            )
+        start = np.maximum(start, 0.0)
+    result = subgradient_ascent(
+        oracle,
+        start,
+        schedule=schedule,
+        max_iter=config.max_iter,
+        tol=config.tol,
+        patience=config.patience,
+    )
+
+    caching, routing, cost = best["caching"], best["routing"], best["cost"]
+    if caching is None:  # pragma: no cover - oracle always runs at least once
+        raise ValidationError("subgradient ascent performed no iterations")
+    if config.polish:
+        caching, routing, cost = _polish_cache_set(
+            problem, sbs, caching, caps, constant, routing, cost, extra_cost=prices
+        )
+    return SubproblemSolution(
+        caching=caching,
+        routing=routing,
+        cost=cost,
+        best_dual=result.best_dual,
+        dual_history=tuple(result.dual_history),
+        iterations=result.iterations,
+        converged=result.converged,
+        multipliers=result.multipliers.reshape(
+            problem.num_groups, problem.num_files
+        ),
+    )
+
+
+def solve_subproblem_exhaustive(
+    problem: ProblemInstance,
+    sbs: int,
+    aggregate_others: np.ndarray,
+    *,
+    max_subsets: int = 200_000,
+) -> SubproblemSolution:
+    """Exact ``P_n`` optimum by enumerating every feasible cache set.
+
+    Exponential in ``F``; guarded by ``max_subsets``.  Used in tests to
+    certify the dual-decomposition solver.
+    """
+    problem._check_sbs(sbs)
+    caps = residual_caps(problem, sbs, aggregate_others)
+    constant = _constant_term(problem, sbs, aggregate_others)
+    capacity = int(np.floor(problem.cache_capacity[sbs] + 1e-9))
+    capacity = min(capacity, problem.num_files)
+    from math import comb
+
+    total = sum(comb(problem.num_files, k) for k in range(capacity + 1))
+    if total > max_subsets:
+        raise ValidationError(
+            f"exhaustive search would enumerate {total} subsets (> {max_subsets})"
+        )
+    best_cost = np.inf
+    best_caching: Optional[np.ndarray] = None
+    best_routing: Optional[np.ndarray] = None
+    files = range(problem.num_files)
+    for size in range(capacity + 1):
+        for subset in itertools.combinations(files, size):
+            caching = np.zeros(problem.num_files)
+            caching[list(subset)] = 1.0
+            routing, cost = _evaluate_cache_set(problem, sbs, caching, caps, constant)
+            if cost < best_cost - 1e-12:
+                best_cost, best_caching, best_routing = cost, caching, routing
+    assert best_caching is not None and best_routing is not None
+    return SubproblemSolution(
+        caching=best_caching,
+        routing=best_routing,
+        cost=best_cost,
+        best_dual=np.nan,
+        dual_history=(),
+        iterations=0,
+        converged=True,
+    )

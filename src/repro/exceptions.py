@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from numerical failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (problem instance, policy, configuration) is malformed."""
+
+
+class InfeasibleError(ReproError):
+    """A requested optimization problem has no feasible point."""
+
+
+class UnboundedError(ReproError):
+    """A requested optimization problem is unbounded below."""
+
+
+class SolverError(ReproError):
+    """A solver failed to converge or hit an internal numerical limit."""
+
+
+class PrivacyError(ReproError):
+    """A privacy mechanism was configured with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """The message-passing simulation was driven out of protocol order."""

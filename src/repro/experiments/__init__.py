@@ -1,0 +1,64 @@
+"""Experiment harness: scenarios, schemes, sweeps, figure reproduction."""
+
+from .config import DEFAULT_SCENARIO, ScenarioConfig, build_problem
+from .figures import (
+    figure2_trace,
+    figure3_privacy_budget,
+    figure4_num_mus,
+    figure5_num_links,
+    figure6_bandwidth,
+)
+from .reporting import (
+    ascii_chart,
+    format_headline_gaps,
+    format_series,
+    format_sweep_chart,
+    format_sweep_table,
+)
+from .export import sweep_from_csv, sweep_to_csv, sweep_to_json
+from .metrics import SolutionMetrics, compute_metrics, jain_fairness
+from .runner import SweepPoint, SweepResult, average_gap, run_sweep
+from .validation import CheckResult, ValidationReport, validate_reproduction
+from .schemes import (
+    SCHEMES,
+    SchemeResult,
+    run_centralized,
+    run_lppm,
+    run_lrfu,
+    run_optimum,
+)
+
+__all__ = [
+    "DEFAULT_SCENARIO",
+    "ScenarioConfig",
+    "build_problem",
+    "figure2_trace",
+    "figure3_privacy_budget",
+    "figure4_num_mus",
+    "figure5_num_links",
+    "figure6_bandwidth",
+    "ascii_chart",
+    "format_headline_gaps",
+    "format_sweep_chart",
+    "format_series",
+    "format_sweep_table",
+    "sweep_from_csv",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "SolutionMetrics",
+    "compute_metrics",
+    "jain_fairness",
+    "CheckResult",
+    "ValidationReport",
+    "validate_reproduction",
+    "SweepPoint",
+    "SweepResult",
+    "average_gap",
+    "run_sweep",
+    "SCHEMES",
+    "SchemeResult",
+    "run_centralized",
+    "run_lppm",
+    "run_lrfu",
+    "run_optimum",
+]

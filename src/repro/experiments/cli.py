@@ -1,0 +1,148 @@
+"""Command-line entry point: ``repro-experiments <target> [--fast]``.
+
+Regenerates any of the paper's figures as a printed table, plus two
+diagnostic targets::
+
+    repro-experiments fig3              # cost vs privacy budget
+    repro-experiments fig6 --fast       # quick smoke run
+    repro-experiments all               # every figure
+    repro-experiments convergence       # Algorithm 1 vs centralized
+    repro-experiments attack            # the eavesdropper experiment
+    repro-experiments validate          # quick end-to-end sanity chain
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .figures import (
+    figure2_trace,
+    figure3_privacy_budget,
+    figure4_num_mus,
+    figure5_num_links,
+    figure6_bandwidth,
+)
+from .reporting import (
+    format_headline_gaps,
+    format_series,
+    format_sweep_chart,
+    format_sweep_table,
+)
+
+__all__ = ["main"]
+
+_FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6")
+_TARGETS = _FIGURES + ("all", "convergence", "attack", "validate")
+
+
+def _run_figure(name: str, fast: bool) -> str:
+    if name == "fig2":
+        views = figure2_trace()
+        return format_series("Fig. 2 top-20 view counts", views, precision=0)
+    runners = {
+        "fig3": figure3_privacy_budget,
+        "fig4": figure4_num_mus,
+        "fig5": figure5_num_links,
+        "fig6": figure6_bandwidth,
+    }
+    result = runners[name](fast=fast)
+    return "\n".join(
+        [
+            format_sweep_table(result),
+            format_headline_gaps(result),
+            "",
+            format_sweep_chart(result, "lppm"),
+        ]
+    )
+
+
+def _run_convergence(fast: bool) -> str:
+    from ..core.centralized import solve_centralized
+    from ..core.distributed import DistributedConfig, solve_distributed
+    from .config import build_problem
+
+    problem = build_problem()
+    config = DistributedConfig(
+        accuracy=1e-3 if fast else 1e-6, max_iterations=6 if fast else 15
+    )
+    result = solve_distributed(problem, config)
+    reference = solve_centralized(problem)
+    gap = result.cost / reference.cost - 1.0
+    return "\n".join(
+        [
+            f"Algorithm 1: cost {result.cost:,.1f} in {result.iterations} iterations "
+            f"(converged={result.converged})",
+            f"centralized: cost {reference.cost:,.1f} "
+            f"(LP lower bound {reference.lower_bound:,.1f})",
+            f"gap: {100 * gap:+.2f}%",
+            f"monotone phase costs: {result.history.is_non_increasing()}",
+        ]
+    )
+
+
+def _run_attack(fast: bool) -> str:
+    from ..attacks.reconstruction import run_eavesdropper_experiment
+    from ..core.distributed import DistributedConfig
+    from ..privacy.mechanism import LPPMConfig
+    from .config import build_problem
+
+    problem = build_problem()
+    config = DistributedConfig(accuracy=1e-3, max_iterations=3 if fast else 5)
+    lines = []
+    breach, _ = run_eavesdropper_experiment(problem, config)
+    lines.append(
+        f"no privacy: RMS reconstruction error {breach.mean_error_vs_true:.2e} "
+        f"(breached={breach.breached})"
+    )
+    for epsilon in (0.01, 1.0, 100.0):
+        report, _ = run_eavesdropper_experiment(
+            problem, config, privacy=LPPMConfig(epsilon=epsilon), rng=0
+        )
+        lines.append(
+            f"LPPM eps={epsilon:g}: RMS reconstruction error "
+            f"{report.mean_error_vs_true:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of the ICDCS 2020 edge-caching paper.",
+    )
+    parser.add_argument(
+        "target",
+        choices=_TARGETS,
+        help="which figure or diagnostic to run",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller sweeps / single seed (quick smoke run)",
+    )
+    args = parser.parse_args(argv)
+    if args.target == "convergence":
+        print(_run_convergence(args.fast))
+        return 0
+    if args.target == "attack":
+        print(_run_attack(args.fast))
+        return 0
+    if args.target == "validate":
+        from .validation import validate_reproduction
+
+        report = validate_reproduction()
+        print(report.render())
+        return 0 if report.passed else 1
+    names = list(_FIGURES) if args.target == "all" else [args.target]
+    for name in names:
+        print(f"=== {name} ===")
+        print(_run_figure(name, args.fast))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Exporting sweep results for external plotting.
+
+The benchmarks print ASCII tables/charts; anyone producing the paper's
+actual figures will want the raw series in a standard format.  These
+helpers write a :class:`~repro.experiments.runner.SweepResult` to CSV
+(one row per sweep point, one column per scheme, plus per-scheme
+standard deviations) or JSON (fully structured), and read the CSV back
+for round-trip workflows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List, Union
+
+from ..exceptions import ValidationError
+from .runner import SweepPoint, SweepResult
+
+__all__ = ["sweep_to_csv", "sweep_to_json", "sweep_from_csv"]
+
+
+def sweep_to_csv(result: SweepResult, path: Union[str, pathlib.Path]) -> None:
+    """Write a sweep as CSV: ``x, <scheme>..., <scheme>_std...``."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = [result.x_label]
+        header.extend(result.schemes)
+        header.extend(f"{scheme}_std" for scheme in result.schemes)
+        writer.writerow(header)
+        for point in result.points:
+            row: List[float] = [point.x]
+            row.extend(point.costs[scheme] for scheme in result.schemes)
+            row.extend(point.stds.get(scheme, 0.0) for scheme in result.schemes)
+            writer.writerow(row)
+
+
+def sweep_to_json(result: SweepResult, path: Union[str, pathlib.Path]) -> None:
+    """Write a sweep as structured JSON."""
+    payload = {
+        "name": result.name,
+        "x_label": result.x_label,
+        "schemes": list(result.schemes),
+        "points": [
+            {
+                "x": point.x,
+                "costs": dict(point.costs),
+                "stds": dict(point.stds),
+            }
+            for point in result.points
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def sweep_from_csv(
+    path: Union[str, pathlib.Path],
+    *,
+    name: str = "imported",
+) -> SweepResult:
+    """Read a sweep back from the CSV written by :func:`sweep_to_csv`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"sweep file not found: {path}")
+    with path.open(newline="") as handle:
+        rows = list(csv.reader(handle))
+    if len(rows) < 2:
+        raise ValidationError(f"sweep file has no data rows: {path}")
+    header = rows[0]
+    x_label = header[0]
+    scheme_names = [name for name in header[1:] if not name.endswith("_std")]
+    points = []
+    for row in rows[1:]:
+        if not row:
+            continue
+        try:
+            values = [float(cell) for cell in row]
+        except ValueError as exc:
+            raise ValidationError(f"non-numeric cell in {path}: {exc}") from exc
+        costs: Dict[str, float] = {}
+        stds: Dict[str, float] = {}
+        for index, scheme in enumerate(scheme_names):
+            costs[scheme] = values[1 + index]
+            std_column = 1 + len(scheme_names) + index
+            stds[scheme] = values[std_column] if std_column < len(values) else 0.0
+        points.append(SweepPoint(x=values[0], costs=costs, stds=stds))
+    return SweepResult(
+        name=name,
+        x_label=x_label,
+        points=tuple(points),
+        schemes=tuple(scheme_names),
+    )

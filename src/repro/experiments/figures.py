@@ -1,0 +1,158 @@
+"""One reproduction function per figure of the paper's evaluation.
+
+Each function returns the data behind the corresponding figure.  Default
+parameters follow Section V; every function takes ``fast=True`` knobs
+used by the test suite (fewer seeds, smaller sweeps) while the
+benchmarks run the full settings and record the series in
+EXPERIMENTS.md.
+
+Paper reference values (captions and prose of Section V):
+
+* Fig. 3 — LPPM costs 10.1% over optimum at eps=0.01, 1.2% at eps=100;
+  across the sweep LPPM averages 17.3% below LRFU and 6.6% above
+  optimum.
+* Fig. 4 — cost rises slowly with MUs (LPPM +5.1% from 20 to 40 MUs);
+  LPPM 11.0% below LRFU, 9.1% above optimum.
+* Fig. 5 — cost falls with links, flattening out; LPPM 11.7% below
+  LRFU, 8.5% above optimum.
+* Fig. 6 — cost falls with bandwidth, near-linear then saturating for
+  OPT/LPPM while LRFU keeps falling; LPPM 15.4% below LRFU, 13.8% above
+  optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.distributed import DistributedConfig
+from ..workload.trace import TraceConfig, trending_video_trace
+from .config import DEFAULT_SCENARIO, ScenarioConfig
+from .runner import SweepResult, run_sweep
+
+__all__ = ["figure2_trace", "figure3_privacy_budget", "figure4_num_mus", "figure5_num_links", "figure6_bandwidth"]
+
+_FAST_SEEDS = (7,)
+_FULL_SEEDS = (7, 11, 13)
+
+
+def _seeds(fast: bool) -> Sequence[int]:
+    return _FAST_SEEDS if fast else _FULL_SEEDS
+
+
+def _config(fast: bool) -> DistributedConfig:
+    if fast:
+        return DistributedConfig(accuracy=1e-3, max_iterations=8)
+    return DistributedConfig(accuracy=1e-4, max_iterations=20)
+
+
+def figure2_trace(top_k: int = 20, config: TraceConfig = TraceConfig()) -> np.ndarray:
+    """Fig. 2: view counts of the ``top_k`` most requested videos."""
+    return trending_video_trace(config).top(top_k)
+
+
+def figure3_privacy_budget(
+    *,
+    epsilons: Sequence[float] = (0.01, 0.1, 1.0, 10.0, 100.0),
+    scenario: ScenarioConfig = DEFAULT_SCENARIO,
+    delta: float = 0.5,
+    fast: bool = False,
+) -> SweepResult:
+    """Fig. 3: total serving cost vs privacy budget epsilon.
+
+    Optimum and LRFU add no noise, so they are flat; LPPM's cost falls
+    monotonically (in expectation) as epsilon grows.
+    """
+    return run_sweep(
+        name="fig3",
+        x_label="privacy budget epsilon",
+        x_values=list(epsilons),
+        scenario_of_x=lambda _x: scenario,
+        epsilon_of_x=lambda x: float(x),
+        seeds=_seeds(fast),
+        delta=delta,
+        distributed_config=_config(fast),
+    )
+
+
+def figure4_num_mus(
+    *,
+    group_counts: Sequence[int] = (20, 25, 30, 35, 40),
+    scenario: ScenarioConfig = DEFAULT_SCENARIO,
+    epsilon: float = 0.1,
+    delta: float = 0.5,
+    fast: bool = False,
+) -> SweepResult:
+    """Fig. 4: total serving cost vs number of MU groups (eps = 0.1)."""
+    return run_sweep(
+        name="fig4",
+        x_label="number of MUs",
+        x_values=[float(u) for u in group_counts],
+        scenario_of_x=lambda x: scenario.replace(num_groups=int(x)),
+        epsilon_of_x=lambda _x: epsilon,
+        seeds=_seeds(fast),
+        delta=delta,
+        distributed_config=_config(fast),
+    )
+
+
+def figure5_num_links(
+    *,
+    link_counts: Sequence[int] = (6, 10, 14, 18, 26, 40),
+    scenario: ScenarioConfig = DEFAULT_SCENARIO,
+    epsilon: float = 0.1,
+    delta: float = 0.5,
+    fast: bool = False,
+) -> SweepResult:
+    """Fig. 5: total serving cost vs number of SBS-MU links (eps = 0.1).
+
+    Link availability binds only while the *reachable* demand is below
+    the SBS bandwidth; once every SBS can fill its radio link from the
+    MUs it covers, extra links stop helping — exactly the paper's
+    "increasing links to some extent will have fewer impact due to the
+    bottleneck like cache size, bandwidth capacity" flattening.  Under
+    our demand calibration (3.5x the edge bandwidth, needed for the
+    Fig. 3 overhead band) that knee sits at roughly nine links, so the
+    sweep covers 4-40 links rather than the paper's 20-70; the shape —
+    steep decline, then flat — is the reproduction target
+    (EXPERIMENTS.md discusses the axis shift).
+    """
+    return run_sweep(
+        name="fig5",
+        x_label="number of links",
+        x_values=[float(k) for k in link_counts],
+        scenario_of_x=lambda x: scenario.replace(num_links=int(x)),
+        epsilon_of_x=lambda _x: epsilon,
+        seeds=_seeds(fast),
+        delta=delta,
+        distributed_config=_config(fast),
+    )
+
+
+def figure6_bandwidth(
+    *,
+    bandwidths: Sequence[float] = (500.0, 1000.0, 1500.0, 2000.0, 2500.0),
+    scenario: ScenarioConfig = DEFAULT_SCENARIO,
+    epsilon: float = 0.1,
+    delta: float = 0.5,
+    fast: bool = False,
+) -> SweepResult:
+    """Fig. 6: total serving cost vs SBS bandwidth (eps = 0.1).
+
+    Demand is pinned to the *reference* bandwidth (the scenario default)
+    so the sweep varies capacity against a fixed workload.
+    """
+    reference = scenario.bandwidth
+    return run_sweep(
+        name="fig6",
+        x_label="SBS bandwidth",
+        x_values=[float(b) for b in bandwidths],
+        scenario_of_x=lambda x: scenario.replace(
+            bandwidth=float(x), reference_bandwidth=reference
+        ),
+        epsilon_of_x=lambda _x: epsilon,
+        seeds=_seeds(fast),
+        delta=delta,
+        distributed_config=_config(fast),
+    )

@@ -1,0 +1,116 @@
+"""Operational metrics of a caching/routing solution.
+
+The paper reports one number per scheme (total serving cost); a network
+operator evaluating the system would look at more.  These metrics are
+used by the examples and the validation report:
+
+* **offload ratio** — fraction of demand served at the edge (the
+  business value of the whole exercise);
+* **bandwidth utilization** — per-SBS and mean radio-link load;
+* **cache diversity** — distinct contents cached network-wide vs total
+  slots, and the duplication profile across operators;
+* **Jain fairness** — across SBSs' realized savings, relevant when the
+  SBSs belong to competing operators that each expect a return;
+* **per-operator savings** — each SBS's contribution to the cost
+  reduction (its traffic times its margins).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.cost import total_cost
+from ..core.problem import ProblemInstance
+from ..core.solution import Solution
+from ..exceptions import ValidationError
+
+__all__ = ["SolutionMetrics", "compute_metrics", "jain_fairness"]
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in ``(0, 1]``.
+
+    1 means perfectly equal shares; ``1/n`` means one party takes all.
+    A zero vector is defined as perfectly fair (nothing to share).
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValidationError("values must be nonempty")
+    if np.any(values < 0):
+        raise ValidationError("Jain fairness is defined for nonnegative values")
+    total = values.sum()
+    if total <= 0:
+        return 1.0
+    return float(total**2 / (values.size * np.sum(values**2)))
+
+
+@dataclasses.dataclass(frozen=True)
+class SolutionMetrics:
+    """Operational summary of one solution."""
+
+    cost: float
+    savings: float
+    offload_ratio: float
+    bandwidth_utilization: Tuple[float, ...]
+    mean_utilization: float
+    distinct_contents_cached: int
+    cache_slots_used: int
+    duplication_ratio: float
+    per_sbs_savings: Tuple[float, ...]
+    savings_fairness: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Scalar metrics as a flat dictionary (for logging)."""
+        return {
+            "cost": self.cost,
+            "savings": self.savings,
+            "offload_ratio": self.offload_ratio,
+            "mean_utilization": self.mean_utilization,
+            "distinct_contents_cached": float(self.distinct_contents_cached),
+            "cache_slots_used": float(self.cache_slots_used),
+            "duplication_ratio": self.duplication_ratio,
+            "savings_fairness": self.savings_fairness,
+        }
+
+
+def compute_metrics(problem: ProblemInstance, solution: Solution) -> SolutionMetrics:
+    """Compute every operational metric for a solution."""
+    routing = solution.routing
+    cost = total_cost(problem, routing)
+    savings = problem.max_cost() - cost
+
+    total_demand = problem.total_demand()
+    offloaded = solution.offloaded_traffic(problem)
+    offload_ratio = offloaded / total_demand if total_demand > 0 else 0.0
+
+    usage = solution.bandwidth_usage(problem)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        utilization = np.where(problem.bandwidth > 0, usage / problem.bandwidth, 0.0)
+
+    caching = solution.caching
+    slots_used = int(caching.sum())
+    distinct = int(np.count_nonzero(caching.sum(axis=0) > 0))
+    duplication = 1.0 - distinct / slots_used if slots_used > 0 else 0.0
+
+    # Each SBS's savings: its served volume weighted by its margins.
+    margin = problem.savings_margin()  # (N, U)
+    per_sbs = tuple(
+        float(np.einsum("uf,u->", routing[n] * problem.demand, margin[n]))
+        for n in range(problem.num_sbs)
+    )
+
+    return SolutionMetrics(
+        cost=cost,
+        savings=savings,
+        offload_ratio=float(offload_ratio),
+        bandwidth_utilization=tuple(float(u) for u in utilization),
+        mean_utilization=float(np.mean(utilization)),
+        distinct_contents_cached=distinct,
+        cache_slots_used=slots_used,
+        duplication_ratio=float(duplication),
+        per_sbs_savings=per_sbs,
+        savings_fairness=jain_fairness(per_sbs),
+    )

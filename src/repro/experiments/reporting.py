@@ -1,0 +1,115 @@
+"""Plain-text rendering of sweep results (the paper's figures as tables).
+
+The benchmarks print these tables so `pytest benchmarks/ --benchmark-only`
+regenerates every figure's series in a form that can be diffed against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .runner import SweepResult, average_gap
+
+__all__ = [
+    "format_sweep_table",
+    "format_headline_gaps",
+    "format_series",
+    "ascii_chart",
+    "format_sweep_chart",
+]
+
+
+def format_series(label: str, values: Sequence[float], *, precision: int = 1) -> str:
+    """One labelled row of numbers, comma separated."""
+    rendered = ", ".join(f"{value:.{precision}f}" for value in values)
+    return f"{label}: [{rendered}]"
+
+
+def format_sweep_table(result: SweepResult, *, precision: int = 1) -> str:
+    """Render a sweep as an aligned ASCII table (one row per x)."""
+    headers = [result.x_label] + [scheme for scheme in result.schemes]
+    rows: List[List[str]] = []
+    for point in result.points:
+        row = [f"{point.x:g}"]
+        for scheme in result.schemes:
+            row.append(f"{point.costs[scheme]:.{precision}f}")
+        rows.append(row)
+    widths = [max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    lines.extend("  ".join(row[i].ljust(widths[i]) for i in range(len(row))) for row in rows)
+    return "\n".join(lines)
+
+
+def format_headline_gaps(result: SweepResult) -> str:
+    """The paper-style summary: LPPM vs optimum and vs LRFU.
+
+    Mirrors sentences like "our proposed mechanism is 17.3% better than
+    LRFU in average, and only 6.6% more cost than the optimum".
+    """
+    lines = [f"[{result.name}] headline gaps across the sweep:"]
+    over_optimum = average_gap(result, "lppm", "optimum")
+    lines.append(f"  LPPM over optimum : {100.0 * over_optimum:+.1f}%")
+    if "lrfu" in result.schemes:
+        under_lrfu = average_gap(result, "lppm", "lrfu")
+        lines.append(f"  LPPM vs LRFU      : {100.0 * under_lrfu:+.1f}% (negative = cheaper)")
+        lrfu_over_optimum = average_gap(result, "lrfu", "optimum")
+        lines.append(f"  LRFU over optimum : {100.0 * lrfu_over_optimum:+.1f}%")
+    per_point = ", ".join(
+        f"eps/x={point.x:g}: {100.0 * point.gap('lppm', 'optimum'):+.1f}%"
+        for point in result.points
+    )
+    lines.append(f"  LPPM over optimum by point: {per_point}")
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Sequence[float],
+    *,
+    width: int = 50,
+    label_format: str = "{:.0f}",
+) -> str:
+    """Horizontal bar chart of a numeric series, one row per value.
+
+    Bars are scaled to the series range (a flat series renders
+    half-width bars) so trends and knees are visible straight from the
+    terminal — the closest a text harness gets to the paper's figures.
+    """
+    values = [float(v) for v in series]
+    if not values:
+        return "(empty series)"
+    low, high = min(values), max(values)
+    span = high - low
+    labels = [label_format.format(v) for v in values]
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for value, label in zip(values, labels):
+        if span <= 0:
+            filled = width // 2
+        else:
+            filled = int(round((value - low) / span * (width - 1))) + 1
+        lines.append(f"{label.rjust(label_width)} |{'#' * filled}")
+    return "\n".join(lines)
+
+
+def format_sweep_chart(result: SweepResult, scheme: str, *, width: int = 50) -> str:
+    """Bar-chart one scheme's series across the sweep, labelled by x."""
+    if scheme not in result.schemes:
+        raise ValueError(f"unknown scheme {scheme!r}; have {result.schemes}")
+    values = result.series(scheme)
+    x_values = result.x_values()
+    low, high = float(values.min()), float(values.max())
+    span = high - low
+    lines = [f"[{result.name}] {scheme} vs {result.x_label}"]
+    for x, value in zip(x_values, values):
+        if span <= 0:
+            filled = width // 2
+        else:
+            filled = int(round((value - low) / span * (width - 1))) + 1
+        lines.append(f"{x:>10g} |{'#' * filled} {value:,.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Parameter-sweep runner producing the paper's figure series.
+
+A sweep varies one scenario knob (epsilon, number of MUs, number of
+links, bandwidth) and evaluates every scheme at each point, averaging
+over seeds.  Results come back as :class:`SweepResult` — a small typed
+table the reporting module renders and the benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.distributed import DistributedConfig
+from ..exceptions import ValidationError
+from .config import ScenarioConfig, build_problem
+from .schemes import run_lppm, run_lrfu, run_optimum
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "average_gap"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """Mean scheme costs at one sweep coordinate."""
+
+    x: float
+    costs: Dict[str, float]
+    stds: Dict[str, float]
+
+    def gap(self, scheme: str, reference: str) -> float:
+        """Relative gap ``(cost[scheme] - cost[reference]) / cost[reference]``."""
+        return (self.costs[scheme] - self.costs[reference]) / self.costs[reference]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """A full sweep: one :class:`SweepPoint` per x value."""
+
+    name: str
+    x_label: str
+    points: Tuple[SweepPoint, ...]
+    schemes: Tuple[str, ...]
+
+    def series(self, scheme: str) -> np.ndarray:
+        """One scheme's mean cost at every sweep point."""
+        return np.array([point.costs[scheme] for point in self.points])
+
+    def x_values(self) -> np.ndarray:
+        """The sweep coordinates as an array."""
+        return np.array([point.x for point in self.points])
+
+
+def average_gap(result: SweepResult, scheme: str, reference: str) -> float:
+    """Mean relative gap of ``scheme`` vs ``reference`` across the sweep."""
+    return float(np.mean([point.gap(scheme, reference) for point in result.points]))
+
+
+def run_sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    scenario_of_x: Callable[[float], ScenarioConfig],
+    *,
+    epsilon_of_x: Callable[[float], float],
+    seeds: Sequence[int] = (7, 11, 13),
+    delta: float = 0.5,
+    sensitivity: float = 1.0,
+    distributed_config: Optional[DistributedConfig] = None,
+    include_lrfu: bool = True,
+) -> SweepResult:
+    """Evaluate optimum / LPPM (/ LRFU) across ``x_values``.
+
+    ``scenario_of_x`` maps a sweep coordinate to a scenario config;
+    ``epsilon_of_x`` supplies the privacy budget at each coordinate
+    (constant for Figs. 4-6, the coordinate itself for Fig. 3).  Every
+    (x, seed) pair builds an independent problem instance; costs are
+    averaged over seeds.
+    """
+    if not x_values:
+        raise ValidationError("x_values must be nonempty")
+    schemes = ["optimum", "lppm"] + (["lrfu"] if include_lrfu else [])
+    points: List[SweepPoint] = []
+    for x in x_values:
+        scenario = scenario_of_x(x)
+        per_scheme: Dict[str, List[float]] = {scheme: [] for scheme in schemes}
+        for seed in seeds:
+            problem = build_problem(scenario.replace(seed=int(seed)))
+            optimum = run_optimum(problem, config=distributed_config, rng=int(seed))
+            per_scheme["optimum"].append(optimum.cost)
+            lppm = run_lppm(
+                problem,
+                epsilon_of_x(x),
+                delta=delta,
+                sensitivity=sensitivity,
+                config=distributed_config,
+                rng=int(seed) + 1,
+            )
+            per_scheme["lppm"].append(lppm.cost)
+            if include_lrfu:
+                lrfu = run_lrfu(problem, rng=int(seed) + 2)
+                per_scheme["lrfu"].append(lrfu.cost)
+        points.append(
+            SweepPoint(
+                x=float(x),
+                costs={s: float(np.mean(v)) for s, v in per_scheme.items()},
+                stds={s: float(np.std(v)) for s, v in per_scheme.items()},
+            )
+        )
+    return SweepResult(name=name, x_label=x_label, points=tuple(points), schemes=tuple(schemes))

@@ -1,0 +1,131 @@
+"""The three schemes compared throughout Section V.
+
+* ``optimum`` — Algorithm 1 without privacy (the paper plots it as
+  "Optimum"; Theorem 2 says it reaches the global optimum);
+* ``lppm`` — Algorithm 1 with the LPPM mechanism at a given epsilon;
+* ``lrfu`` — the classical replacement baseline.
+
+Each scheme runner consumes a :class:`~repro.core.problem.ProblemInstance`
+and returns a :class:`SchemeResult` with the serving cost and policy, so
+the sweep runner can treat them uniformly.  A ``centralized`` reference
+(LP relaxation + rounding) is included for validation plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..baselines.lrfu_scheme import LRFUSchemeConfig, solve_lrfu
+from ..core.centralized import solve_centralized
+from ..core.distributed import DistributedConfig, solve_distributed
+from ..core.problem import ProblemInstance
+from ..core.solution import Solution
+from ..exceptions import ValidationError
+from ..privacy.mechanism import LPPMConfig
+
+__all__ = ["SchemeResult", "run_optimum", "run_lppm", "run_lrfu", "run_centralized", "SCHEMES"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeResult:
+    """Uniform scheme output used by the sweep runner."""
+
+    scheme: str
+    cost: float
+    solution: Solution
+    metadata: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+
+def run_optimum(
+    problem: ProblemInstance,
+    *,
+    config: Optional[DistributedConfig] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> SchemeResult:
+    """Algorithm 1 without LPPM (the 'Optimum' curve)."""
+    result = solve_distributed(problem, config, rng=rng)
+    return SchemeResult(
+        scheme="optimum",
+        cost=result.cost,
+        solution=result.solution,
+        metadata={
+            "iterations": float(result.iterations),
+            "converged": float(result.converged),
+        },
+    )
+
+
+def run_lppm(
+    problem: ProblemInstance,
+    epsilon: float,
+    *,
+    delta: float = 0.5,
+    sensitivity: float = 1.0,
+    config: Optional[DistributedConfig] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> SchemeResult:
+    """Algorithm 1 with the LPPM mechanism."""
+    privacy = LPPMConfig(epsilon=epsilon, delta=delta, sensitivity=sensitivity)
+    result = solve_distributed(problem, config, privacy=privacy, rng=rng)
+    metadata = {
+        "iterations": float(result.iterations),
+        "converged": float(result.converged),
+        "epsilon": float(epsilon),
+        "delta": float(delta),
+        "noise_l1": result.history.total_noise(),
+    }
+    if result.total_epsilon is not None:
+        metadata["epsilon_spent_basic"] = float(result.total_epsilon)
+    return SchemeResult(
+        scheme="lppm", cost=result.cost, solution=result.solution, metadata=metadata
+    )
+
+
+def run_lrfu(
+    problem: ProblemInstance,
+    *,
+    config: Optional[LRFUSchemeConfig] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> SchemeResult:
+    """The LRFU replacement baseline."""
+    result = solve_lrfu(problem, config, rng=rng)
+    hit_ratio = (
+        float(np.mean([stats.hit_ratio for stats in result.cache_stats]))
+        if result.cache_stats
+        else 0.0
+    )
+    return SchemeResult(
+        scheme="lrfu",
+        cost=result.cost(problem),
+        solution=result.solution,
+        metadata={
+            "hit_ratio": hit_ratio,
+            "requests": float(result.requests_processed),
+            "edge_volume": result.edge_served_volume,
+        },
+    )
+
+
+def run_centralized(problem: ProblemInstance) -> SchemeResult:
+    """Centralized LP-relaxation reference (validation only)."""
+    result = solve_centralized(problem)
+    return SchemeResult(
+        scheme="centralized",
+        cost=result.cost,
+        solution=result.solution,
+        metadata={
+            "lower_bound": result.lower_bound,
+            "integrality_gap": result.integrality_gap,
+        },
+    )
+
+
+SCHEMES: Dict[str, Callable] = {
+    "optimum": run_optimum,
+    "lppm": run_lppm,
+    "lrfu": run_lrfu,
+    "centralized": run_centralized,
+}

@@ -1,0 +1,155 @@
+"""One-call reproduction validation.
+
+``validate_reproduction()`` runs the chain of sanity checks that DESIGN
+§7 describes — solver cross-checks, feasibility, scheme orderings,
+privacy behaviour — on a configurable scenario and returns a structured
+report.  The CLI exposes it as ``repro-experiments validate`` so a user
+can confirm an installation reproduces the paper's core claims in under
+a minute, without running the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.centralized import solve_centralized
+from ..core.distributed import DistributedConfig, solve_distributed
+from ..privacy.mechanism import LPPMConfig
+from .config import ScenarioConfig, build_problem
+from .metrics import compute_metrics
+from .schemes import run_lrfu
+from ..workload.trace import TraceConfig
+
+__all__ = ["CheckResult", "ValidationReport", "validate_reproduction"]
+
+_VALIDATION_SCENARIO = ScenarioConfig(
+    num_groups=12,
+    num_links=18,
+    bandwidth=200.0,
+    cache_capacity=5,
+    trace=TraceConfig(num_videos=20, head_views=20_000.0, tail_views=500.0),
+    demand_to_bandwidth=3.0,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    """One validation check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Every check plus a wall-clock total."""
+
+    checks: List[CheckResult]
+    elapsed_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        """Human-readable PASS/FAIL listing."""
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{mark}] {check.name}: {check.detail}")
+        verdict = "all checks passed" if self.passed else "SOME CHECKS FAILED"
+        lines.append(f"-- {verdict} in {self.elapsed_seconds:.1f}s --")
+        return "\n".join(lines)
+
+
+def validate_reproduction(
+    scenario: Optional[ScenarioConfig] = None,
+) -> ValidationReport:
+    """Run the standard validation chain on a small scenario."""
+    scenario = scenario or _VALIDATION_SCENARIO
+    started = time.perf_counter()
+    checks: List[CheckResult] = []
+    problem = build_problem(scenario)
+    config = DistributedConfig(accuracy=1e-4, max_iterations=8)
+
+    # 1. Distributed vs centralized.
+    distributed = solve_distributed(problem, config)
+    centralized = solve_centralized(problem)
+    gap = distributed.cost / centralized.cost - 1.0
+    checks.append(
+        CheckResult(
+            name="distributed near centralized optimum",
+            passed=bool(0.0 - 1e-9 <= gap <= 0.05),
+            detail=f"gap {100 * gap:+.2f}% (bound: [0%, 5%])",
+        )
+    )
+
+    # 2. Feasibility + monotone descent.
+    report = distributed.solution.check_feasibility(problem)
+    checks.append(
+        CheckResult(
+            name="distributed solution feasible",
+            passed=report.feasible,
+            detail="all constraints hold" if report.feasible else str(report.worst()),
+        )
+    )
+    checks.append(
+        CheckResult(
+            name="noiseless phase costs non-increasing (Thm 3)",
+            passed=distributed.history.is_non_increasing(),
+            detail=f"{len(distributed.history.phases)} phases",
+        )
+    )
+
+    # 3. Privacy ordering: optimum <= LPPM, and LPPM improves with budget.
+    low = solve_distributed(problem, config, privacy=LPPMConfig(epsilon=0.01), rng=0)
+    high = solve_distributed(problem, config, privacy=LPPMConfig(epsilon=100.0), rng=0)
+    checks.append(
+        CheckResult(
+            name="privacy costs (optimum <= LPPM(100) <= LPPM(0.01))",
+            passed=bool(
+                distributed.cost <= high.cost + 1e-6 and high.cost <= low.cost + 1e-6
+            ),
+            detail=(
+                f"optimum {distributed.cost:,.0f} <= eps=100 {high.cost:,.0f} "
+                f"<= eps=0.01 {low.cost:,.0f}"
+            ),
+        )
+    )
+
+    # 4. Baseline ordering.
+    baseline = run_lrfu(problem, rng=0)
+    checks.append(
+        CheckResult(
+            name="LRFU baseline costs at least the optimum",
+            passed=bool(baseline.cost >= distributed.cost - 1e-6),
+            detail=f"LRFU {baseline.cost:,.0f} vs optimum {distributed.cost:,.0f}",
+        )
+    )
+
+    # 5. Metrics sanity.
+    metrics = compute_metrics(problem, distributed.solution)
+    checks.append(
+        CheckResult(
+            name="operational metrics in range",
+            passed=bool(
+                0.0 <= metrics.offload_ratio <= 1.0
+                and 0.0 <= metrics.mean_utilization <= 1.0 + 1e-9
+                and 0.0 < metrics.savings_fairness <= 1.0
+            ),
+            detail=(
+                f"offload {metrics.offload_ratio:.0%}, "
+                f"utilization {metrics.mean_utilization:.0%}, "
+                f"fairness {metrics.savings_fairness:.2f}"
+            ),
+        )
+    )
+
+    return ValidationReport(
+        checks=checks, elapsed_seconds=time.perf_counter() - started
+    )

@@ -1,0 +1,31 @@
+"""5G edge-network substrate: entities, topology and message passing."""
+
+from .entities import BaseStation, MobileUserGroup, Position, SmallBaseStation
+from .eventsim import EventScheduler
+from .messaging import Channel, ChannelStats, Message, MessageKind
+from .topology import (
+    Placement,
+    connectivity_by_proximity,
+    place_network,
+    random_connectivity,
+    to_bipartite_graph,
+    transmission_costs,
+)
+
+__all__ = [
+    "BaseStation",
+    "MobileUserGroup",
+    "Position",
+    "SmallBaseStation",
+    "EventScheduler",
+    "Channel",
+    "ChannelStats",
+    "Message",
+    "MessageKind",
+    "Placement",
+    "connectivity_by_proximity",
+    "place_network",
+    "random_connectivity",
+    "to_bipartite_graph",
+    "transmission_costs",
+]

@@ -1,0 +1,85 @@
+"""Physical entities of the 5G downlink model (Fig. 1 of the paper).
+
+One macro base station (BS) covers the whole area; ``N`` small base
+stations (SBSs) with limited cache and bandwidth sit close to the mobile
+users; mobile users at the same location are aggregated into MU groups.
+These dataclasses carry placement and capability information used by the
+topology generator; the optimization layer only ever sees the distilled
+:class:`~repro.core.problem.ProblemInstance`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+from .._validation import check_nonnegative_float
+from ..exceptions import ValidationError
+
+__all__ = ["Position", "BaseStation", "SmallBaseStation", "MobileUserGroup"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Position:
+    """A point in the planar deployment area (kilometres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to another position."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclasses.dataclass(frozen=True)
+class BaseStation:
+    """The macro base station: unlimited bandwidth, full coverage."""
+
+    position: Position
+    transmit_cost_low: float = 100.0
+    transmit_cost_high: float = 150.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative_float(self.transmit_cost_low, "transmit_cost_low")
+        check_nonnegative_float(self.transmit_cost_high, "transmit_cost_high")
+        if self.transmit_cost_high < self.transmit_cost_low:
+            raise ValidationError("transmit_cost_high must be >= transmit_cost_low")
+
+
+@dataclasses.dataclass(frozen=True)
+class SmallBaseStation:
+    """An edge SBS with finite cache and bandwidth.
+
+    ``operator`` identifies the wireless company owning the SBS; the
+    paper's privacy story is motivated by SBSs belonging to different
+    operators that must not learn each other's routing policies.
+    """
+
+    index: int
+    position: Position
+    cache_capacity: int
+    bandwidth: float
+    operator: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValidationError(f"SBS index must be nonnegative, got {self.index}")
+        if self.cache_capacity < 0:
+            raise ValidationError(f"cache_capacity must be nonnegative, got {self.cache_capacity}")
+        check_nonnegative_float(self.bandwidth, "bandwidth")
+
+
+@dataclasses.dataclass(frozen=True)
+class MobileUserGroup:
+    """Mobile users aggregated at one location (one ``u`` of the paper)."""
+
+    index: int
+    position: Position
+    population: int = 1
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValidationError(f"MU group index must be nonnegative, got {self.index}")
+        if self.population <= 0:
+            raise ValidationError(f"population must be positive, got {self.population}")

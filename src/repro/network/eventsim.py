@@ -1,0 +1,72 @@
+"""Minimal discrete-event scheduler for asynchronous protocol simulation.
+
+A classic event loop: callbacks are scheduled at future timestamps and
+executed in time order (FIFO among equal timestamps).  Used by
+:mod:`repro.core.asynchronous` to model SBSs that wake up on their own
+clocks and messages that take time to arrive — the setting the paper
+defers to future work ("SBSs may not update in one iteration using
+possible outdated information").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..exceptions import ValidationError
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Priority-queue event loop with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` time units from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValidationError(f"delay must be nonnegative, got {delay}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run_until(self, t_end: float, *, max_events: Optional[int] = None) -> int:
+        """Run events with timestamp <= ``t_end``; returns events executed.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        if t_end < self._now:
+            raise ValidationError(
+                f"t_end {t_end} lies in the past (now = {self._now})"
+            )
+        executed = 0
+        while self._queue and self._queue[0][0] <= t_end:
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        self._now = max(self._now, t_end)
+        return executed
+
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-executed events."""
+        return len(self._queue)

@@ -1,0 +1,151 @@
+"""Synchronous message-passing substrate for the distributed algorithm.
+
+The paper's Algorithm 1 exchanges two message kinds per phase:
+
+* each SBS **uploads** its (possibly privacy-perturbed) routing policy to
+  the BS (line 4);
+* the BS **broadcasts** the aggregated load to the SBSs (line 5).
+
+This module simulates those exchanges explicitly instead of sharing
+numpy arrays between solver objects.  That buys three things:
+
+1. the information flow matches the paper — an SBS only ever sees the
+   *aggregate* ``y_{-n}``, never another SBS's individual policy;
+2. channels support *taps*, so the eavesdropper of Section IV (who can
+   observe the broadcast aggregate in transit) is a first-class object
+   used by :mod:`repro.attacks`;
+3. message and byte counters quantify the protocol's communication cost.
+
+Payloads are defensively copied on send so a node mutating its local
+array cannot retroactively alter a delivered message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ProtocolError, ValidationError
+
+__all__ = ["MessageKind", "Message", "Channel", "ChannelStats"]
+
+
+class MessageKind(enum.Enum):
+    """Protocol message types of Algorithm 1."""
+
+    POLICY_UPLOAD = "policy_upload"        # SBS -> BS: routing block (U, F)
+    AGGREGATE_BROADCAST = "aggregate"      # BS -> SBS: aggregated routing (U, F)
+    CONTROL = "control"                    # orchestration metadata
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """A single message in flight.
+
+    ``sender``/``recipient`` are node names (``"bs"`` or ``"sbs-<n>"``;
+    ``recipient="*"`` denotes a broadcast).  ``payload`` is a read-only
+    numpy array; ``iteration`` and ``phase`` tag the Gauss-Seidel step
+    that produced it.
+    """
+
+    kind: MessageKind
+    sender: str
+    recipient: str
+    payload: np.ndarray
+    iteration: int
+    phase: int
+
+    def nbytes(self) -> int:
+        """Size of the payload in bytes (communication-cost accounting)."""
+        return int(self.payload.nbytes)
+
+
+@dataclasses.dataclass
+class ChannelStats:
+    """Cumulative traffic counters for a channel."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        """Fold one sent message into the counters."""
+        self.messages_sent += 1
+        self.bytes_sent += message.nbytes()
+        key = message.kind.value
+        self.by_kind[key] = self.by_kind.get(key, 0) + 1
+
+
+class Channel:
+    """A reliable, in-order, synchronous message channel with taps.
+
+    ``send`` enqueues a message for its recipient; ``receive`` pops the
+    oldest message addressed to a node (broadcasts are delivered to every
+    registered node).  Taps registered via :meth:`tap` observe every
+    message as it is sent — this models the paper's threat: "attackers
+    [can] access the aggregated routing policy during the broadcasting".
+    """
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[Message]] = {}
+        self._taps: List[Callable[[Message], None]] = []
+        self.stats = ChannelStats()
+
+    def register(self, node_name: str) -> None:
+        """Register a node so it can receive broadcasts."""
+        if not node_name or node_name == "*":
+            raise ValidationError(f"invalid node name {node_name!r}")
+        self._queues.setdefault(node_name, deque())
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(self._queues)
+
+    def tap(self, observer: Callable[[Message], None]) -> None:
+        """Attach an observer invoked for every sent message."""
+        self._taps.append(observer)
+
+    def send(self, message: Message) -> None:
+        """Deliver ``message`` (or broadcast it when recipient is ``"*"``)."""
+        payload = np.array(message.payload, dtype=np.float64, copy=True)
+        payload.setflags(write=False)
+        message = dataclasses.replace(message, payload=payload)
+        if message.recipient == "*":
+            recipients = [name for name in self._queues if name != message.sender]
+            if not recipients:
+                raise ProtocolError("broadcast sent but no nodes are registered")
+        else:
+            if message.recipient not in self._queues:
+                raise ProtocolError(f"unknown recipient {message.recipient!r}")
+            recipients = [message.recipient]
+        self.stats.record(message)
+        for observer in self._taps:
+            observer(message)
+        for name in recipients:
+            self._queues[name].append(message)
+
+    def receive(self, node_name: str) -> Message:
+        """Pop the oldest pending message for ``node_name``."""
+        if node_name not in self._queues:
+            raise ProtocolError(f"node {node_name!r} is not registered")
+        queue = self._queues[node_name]
+        if not queue:
+            raise ProtocolError(f"no pending message for {node_name!r}")
+        return queue.popleft()
+
+    def pending(self, node_name: str) -> int:
+        """Number of undelivered messages for ``node_name``."""
+        if node_name not in self._queues:
+            raise ProtocolError(f"node {node_name!r} is not registered")
+        return len(self._queues[node_name])
+
+    def drain(self, node_name: str) -> List[Message]:
+        """Receive every pending message for ``node_name``."""
+        messages = []
+        while self.pending(node_name):
+            messages.append(self.receive(node_name))
+        return messages

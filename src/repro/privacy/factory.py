@@ -1,0 +1,37 @@
+"""Mechanism factory: config dataclass -> stateful mechanism instance.
+
+Lets the distributed optimizer stay agnostic of which noise family is
+in use — pass an :class:`~repro.privacy.mechanism.LPPMConfig` for the
+paper's bounded Laplace or a
+:class:`~repro.privacy.gaussian.GaussianPPMConfig` for the Gaussian
+alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import PrivacyError
+from .gaussian import GaussianPPMConfig, GaussianPrivacyMechanism
+from .mechanism import LaplacePrivacyMechanism, LPPMConfig
+
+__all__ = ["MechanismConfig", "build_mechanism"]
+
+MechanismConfig = Union[LPPMConfig, GaussianPPMConfig]
+
+
+def build_mechanism(
+    config: MechanismConfig,
+    rng: Union[int, np.random.Generator, None] = None,
+):
+    """Instantiate the mechanism matching a config dataclass."""
+    if isinstance(config, LPPMConfig):
+        return LaplacePrivacyMechanism(config, rng=rng)
+    if isinstance(config, GaussianPPMConfig):
+        return GaussianPrivacyMechanism(config, rng=rng)
+    raise PrivacyError(
+        f"unknown privacy mechanism config {type(config).__name__}; "
+        "expected LPPMConfig or GaussianPPMConfig"
+    )

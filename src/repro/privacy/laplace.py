@@ -1,0 +1,224 @@
+"""Laplace and bounded-Laplace distributions (Section IV-B, Eq. 28).
+
+The LPPM mechanism cannot use the standard Laplace distribution because
+the routing policy lives in ``[0, 1]``: the disturbance ``r[n, u, f]``
+must stay inside ``I = [0, delta * y[n, u, f]]``.  The paper therefore
+uses the *bounded* Laplace distribution of Holohan et al. (2018), the
+ordinary Laplace density restricted to an interval and renormalized:
+
+``pdf(r) = (1 / alpha) * (1 / (2 beta)) * exp(-|r| / beta)`` for ``r`` in
+``I`` and ``0`` elsewhere, where ``alpha(beta) = integral over I of the
+unnormalized density``.
+
+:class:`BoundedLaplace` implements the distribution on an arbitrary
+interval ``[lower, upper]`` with closed-form cdf, inverse-cdf sampling
+and moments, all vectorized over numpy arrays.  :class:`Laplace` is the
+unbounded distribution, kept for baselines and tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from .._validation import rng_from, trapezoid
+from ..exceptions import PrivacyError
+
+__all__ = ["Laplace", "BoundedLaplace", "bounded_laplace_normalizer"]
+
+
+def bounded_laplace_normalizer(beta: float, lower, upper) -> np.ndarray:
+    """The normalization constant ``alpha(beta)`` of Eq. 28.
+
+    ``alpha = integral_{lower}^{upper} (1/(2 beta)) exp(-|r|/beta) dr``,
+    computed in closed form; vectorized over ``lower``/``upper`` arrays.
+    """
+    if beta <= 0:
+        raise PrivacyError(f"beta must be positive, got {beta}")
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if np.any(upper < lower):
+        raise PrivacyError("interval upper bounds must be >= lower bounds")
+
+    def unnormalized_cdf(t: np.ndarray) -> np.ndarray:
+        # CDF of the unnormalized density measured from -inf.
+        t = np.asarray(t, dtype=np.float64)
+        negative = 0.5 * np.exp(np.minimum(t, 0.0) / beta)
+        positive = 1.0 - 0.5 * np.exp(-np.maximum(t, 0.0) / beta)
+        return np.where(t < 0, negative, positive)
+
+    return unnormalized_cdf(upper) - unnormalized_cdf(lower)
+
+
+@dataclasses.dataclass(frozen=True)
+class Laplace:
+    """Standard zero-mean Laplace distribution with scale ``beta``."""
+
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise PrivacyError(f"beta must be positive, got {self.beta}")
+
+    def pdf(self, r) -> np.ndarray:
+        """Laplace density ``exp(-|r|/beta) / (2 beta)``."""
+        r = np.asarray(r, dtype=np.float64)
+        return np.exp(-np.abs(r) / self.beta) / (2.0 * self.beta)
+
+    def cdf(self, r) -> np.ndarray:
+        """Cumulative distribution function."""
+        r = np.asarray(r, dtype=np.float64)
+        return np.where(
+            r < 0,
+            0.5 * np.exp(r / self.beta),
+            1.0 - 0.5 * np.exp(-r / self.beta),
+        )
+
+    def sample(self, size=None, rng: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+        """Draw samples from the distribution."""
+        generator = rng_from(rng)
+        return generator.laplace(loc=0.0, scale=self.beta, size=size)
+
+    def mean(self) -> float:
+        """The distribution's mean (zero)."""
+        return 0.0
+
+    def variance(self) -> float:
+        """The distribution's variance ``2 beta^2``."""
+        return 2.0 * self.beta**2
+
+
+class BoundedLaplace:
+    """Laplace distribution truncated and renormalized to ``[lower, upper]``.
+
+    ``lower`` and ``upper`` may be scalars or arrays (broadcast
+    together); a zero-width interval yields the degenerate distribution
+    at that point, which is what the mechanism needs when ``y = 0``
+    (no routing means nothing to perturb).
+    """
+
+    def __init__(self, beta: float, lower, upper) -> None:
+        if beta <= 0:
+            raise PrivacyError(f"beta must be positive, got {beta}")
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        lower, upper = np.broadcast_arrays(lower, upper)
+        if np.any(upper < lower):
+            raise PrivacyError("interval upper bounds must be >= lower bounds")
+        self._beta = float(beta)
+        self._lower = lower.astype(np.float64, copy=True)
+        self._upper = upper.astype(np.float64, copy=True)
+        self._alpha = bounded_laplace_normalizer(beta, self._lower, self._upper)
+        self._degenerate = self._upper - self._lower <= 0
+
+    @property
+    def beta(self) -> float:
+        return self._beta
+
+    @property
+    def lower(self) -> np.ndarray:
+        return self._lower
+
+    @property
+    def upper(self) -> np.ndarray:
+        return self._upper
+
+    @property
+    def alpha(self) -> np.ndarray:
+        """Normalization constant(s) ``alpha(beta)``."""
+        return self._alpha
+
+    # ------------------------------------------------------------------
+    def pdf(self, r) -> np.ndarray:
+        """Density of Eq. 28 (zero outside the interval)."""
+        r = np.asarray(r, dtype=np.float64)
+        base = np.exp(-np.abs(r) / self._beta) / (2.0 * self._beta)
+        inside = (r >= self._lower) & (r <= self._upper) & ~self._degenerate
+        with np.errstate(divide="ignore", invalid="ignore"):
+            density = np.where(inside, base / self._alpha, 0.0)
+        return density
+
+    def cdf(self, r) -> np.ndarray:
+        """Cumulative distribution function on the truncated support."""
+        r = np.asarray(r, dtype=np.float64)
+        clipped = np.clip(r, self._lower, self._upper)
+        partial = bounded_laplace_normalizer(self._beta, self._lower, clipped)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = np.where(self._degenerate, np.where(r >= self._lower, 1.0, 0.0), partial / np.where(self._alpha > 0, self._alpha, 1.0))
+        return np.where(r < self._lower, 0.0, np.where(r >= self._upper, 1.0, value))
+
+    def ppf(self, q) -> np.ndarray:
+        """Inverse cdf; the basis of :meth:`sample`.
+
+        Works by inverting the unnormalized Laplace cdf on the interval:
+        ``F^{-1}(q) = G^{-1}(G(lower) + q * alpha)`` where ``G`` is the
+        unbounded (unnormalized) cdf.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        if np.any((q < 0) | (q > 1)):
+            raise PrivacyError("quantiles must lie in [0, 1]")
+        g_lower = np.where(
+            self._lower < 0,
+            0.5 * np.exp(self._lower / self._beta),
+            1.0 - 0.5 * np.exp(-self._lower / self._beta),
+        )
+        target = g_lower + q * self._alpha
+        target = np.clip(target, 1e-300, 1.0 - 1e-16)
+        negative_branch = target <= 0.5
+        with np.errstate(divide="ignore"):
+            value = np.where(
+                negative_branch,
+                self._beta * np.log(2.0 * target),
+                -self._beta * np.log(2.0 * (1.0 - target)),
+            )
+        value = np.clip(value, self._lower, self._upper)
+        return np.where(self._degenerate, self._lower, value)
+
+    def sample(self, size=None, rng: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+        """Draw samples via inverse-cdf; shape follows the broadcast bounds."""
+        generator = rng_from(rng)
+        shape = self._lower.shape if size is None else size
+        q = generator.uniform(size=shape)
+        return self.ppf(q)
+
+    def mean(self) -> np.ndarray:
+        """Closed-form mean, specialised to intervals with ``lower >= 0``.
+
+        For ``I = [a, b]`` with ``0 <= a <= b``:
+        ``E[r] = [ (a + beta) e^{-a/beta} - (b + beta) e^{-b/beta} ] /
+        (e^{-a/beta} - e^{-b/beta})``.
+        Intervals crossing zero fall back to numerical integration.
+        """
+        if np.any(self._lower < 0):
+            return self._numeric_moment(power=1)
+        a, b, beta = self._lower, self._upper, self._beta
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ea = np.exp(-a / beta)
+            eb = np.exp(-b / beta)
+            mean = ((a + beta) * ea - (b + beta) * eb) / np.where(ea - eb > 0, ea - eb, 1.0)
+        return np.where(self._degenerate, self._lower, mean)
+
+    def variance(self) -> np.ndarray:
+        """Variance via the (numeric) second moment."""
+        first = self.mean()
+        second = self._numeric_moment(power=2)
+        return np.maximum(second - first**2, 0.0)
+
+    def _numeric_moment(self, power: int, resolution: int = 2001) -> np.ndarray:
+        lower = np.atleast_1d(self._lower)
+        upper = np.atleast_1d(self._upper)
+        out = np.zeros(lower.shape)
+        flat_lower, flat_upper = lower.ravel(), upper.ravel()
+        flat_out = out.ravel()
+        for i in range(flat_lower.size):
+            a, b = flat_lower[i], flat_upper[i]
+            if b - a <= 0:
+                flat_out[i] = a**power
+                continue
+            grid = np.linspace(a, b, resolution)
+            point = BoundedLaplace(self._beta, a, b)
+            flat_out[i] = trapezoid(grid**power * point.pdf(grid), grid)
+        result = flat_out.reshape(lower.shape)
+        return result if self._lower.ndim else result.reshape(())

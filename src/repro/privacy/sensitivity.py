@@ -1,0 +1,97 @@
+"""Sensitivity computation for the routing-policy query (Theorem 4).
+
+The quantity protected by LPPM is the aggregated routing policy the BS
+broadcasts.  Differential privacy calibrates the noise scale to the
+query's *sensitivity*: the largest change in the released value when one
+row of the underlying database changes (Definition 1 uses Hamming-1
+neighbours).
+
+The paper states the bound ``beta >= Delta f / epsilon`` (Eq. 30)
+without fixing ``Delta f``; this module provides the natural choices and
+documents their neighbouring relations:
+
+* :func:`routing_sensitivity` — neighbouring databases differ in one
+  SBS's *entire routing report*; each broadcast coordinate then moves by
+  at most ``y_max`` (one, since ``y in [0, 1]``).  This is the
+  worst-case, operator-level protection.
+* :func:`request_sensitivity` — neighbouring databases differ in one MU
+  group's request row; the induced routing change is again bounded by
+  the coordinate range, but scaled by how much of the aggregate a single
+  group can influence.
+* :func:`smooth_sensitivity_bound` — the data-dependent bound
+  ``delta * max(y)``: under LPPM the perturbation interval is
+  ``[0, delta * y]``, so no report can move a coordinate by more than
+  ``delta * y <= delta``.  Using it yields the same curve shape with the
+  epsilon axis rescaled; EXPERIMENTS.md records which convention each
+  figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_in_interval
+from ..exceptions import PrivacyError
+
+__all__ = [
+    "routing_sensitivity",
+    "request_sensitivity",
+    "smooth_sensitivity_bound",
+    "beta_for_epsilon",
+]
+
+
+def routing_sensitivity(y_max: float = 1.0) -> float:
+    """Worst-case per-coordinate sensitivity of the aggregate broadcast.
+
+    Replacing one SBS's routing report with any other feasible report
+    changes each aggregate coordinate by at most the coordinate range
+    ``y_max`` (one for the paper's normalized policies).
+    """
+    if y_max <= 0:
+        raise PrivacyError(f"y_max must be positive, got {y_max}")
+    return float(y_max)
+
+
+def request_sensitivity(demand: np.ndarray, bandwidth: np.ndarray) -> float:
+    """Sensitivity w.r.t. one MU group's request row.
+
+    A single group's demand change can redirect at most
+    ``min(1, max_n B_n / min positive demand)`` of a routing coordinate;
+    with unit-size contents and fractional routing the coordinate range
+    again caps the movement at one.  Returned as the minimum of the two
+    bounds.
+    """
+    demand = np.asarray(demand, dtype=np.float64)
+    bandwidth = np.asarray(bandwidth, dtype=np.float64)
+    positive = demand[demand > 0]
+    if positive.size == 0:
+        return 0.0
+    fraction_bound = float(np.max(bandwidth, initial=0.0)) / float(np.min(positive))
+    return float(min(1.0, fraction_bound))
+
+
+def smooth_sensitivity_bound(delta: float, y_max: float = 1.0) -> float:
+    """Data-dependent bound: LPPM perturbs within ``[0, delta * y]``.
+
+    No report produced by the mechanism differs from the true policy by
+    more than ``delta * y_max`` per coordinate.
+    """
+    check_in_interval(delta, "delta", low=0.0, high=1.0, high_open=True)
+    if y_max <= 0:
+        raise PrivacyError(f"y_max must be positive, got {y_max}")
+    return float(delta * y_max)
+
+
+def beta_for_epsilon(sensitivity: float, epsilon: float) -> float:
+    """Noise scale from Eq. 30: ``beta = Delta f / epsilon``.
+
+    Any ``beta`` at least this large makes the bounded-Laplace release
+    ``epsilon``-differentially private (Theorem 4); we use the smallest
+    allowed scale, which maximizes utility.
+    """
+    if sensitivity <= 0:
+        raise PrivacyError(f"sensitivity must be positive, got {sensitivity}")
+    if epsilon <= 0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+    return float(sensitivity) / float(epsilon)

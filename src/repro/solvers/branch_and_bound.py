@@ -1,0 +1,145 @@
+"""Branch-and-bound for mixed-binary linear programs.
+
+Provides the exact reference optimum for small joint caching-and-routing
+instances (the paper's problem is NP-hard; Section II).  The solver
+relaxes the binary variables to ``[0, 1]``, solves the LP relaxation with
+:func:`repro.solvers.lp.solve_lp`, and branches on the most fractional
+binary variable, fixing it via equality constraints.  Best-first search
+on the relaxation bound keeps the tree small on the well-structured
+instances we feed it (the caching relaxation is integral per SBS by
+Theorem 1, so very little branching happens in practice).
+
+Intended for tests and small-instance validation only — the experiment
+harness uses the distributed algorithm and the LP relaxation instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InfeasibleError, SolverError, ValidationError
+from .lp import solve_lp
+
+__all__ = ["MILPResult", "solve_mixed_binary_lp"]
+
+_INT_TOL = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class MILPResult:
+    """Optimal mixed-binary solution."""
+
+    x: np.ndarray
+    objective: float
+    nodes_explored: int
+    gap: float
+
+
+def _solve_node(
+    c,
+    a_ub,
+    b_ub,
+    upper,
+    fixings: Tuple[Tuple[int, float], ...],
+    backend: str,
+):
+    """Solve the LP relaxation with the given variable fixings."""
+    n = len(c)
+    if fixings:
+        a_eq = np.zeros((len(fixings), n))
+        b_eq = np.zeros(len(fixings))
+        for row, (index, value) in enumerate(fixings):
+            a_eq[row, index] = 1.0
+            b_eq[row] = value
+    else:
+        a_eq = None
+        b_eq = None
+    return solve_lp(c, a_ub, b_ub, a_eq, b_eq, upper, backend=backend)
+
+
+def solve_mixed_binary_lp(
+    c,
+    a_ub,
+    b_ub,
+    binary_indices: Sequence[int],
+    upper=None,
+    *,
+    backend: str = "auto",
+    max_nodes: int = 10_000,
+    tol: float = 1e-7,
+) -> MILPResult:
+    """Minimize ``c @ z`` s.t. ``A_ub z <= b_ub``, ``0 <= z <= upper``,
+    ``z[i] in {0, 1}`` for ``i`` in ``binary_indices``.
+
+    Raises
+    ------
+    InfeasibleError
+        If no feasible mixed-binary point exists.
+    SolverError
+        If ``max_nodes`` is exhausted before proving optimality.
+    """
+    c = np.asarray(c, dtype=np.float64).ravel()
+    binary_indices = list(dict.fromkeys(int(i) for i in binary_indices))
+    for index in binary_indices:
+        if not 0 <= index < c.size:
+            raise ValidationError(f"binary index {index} out of range [0, {c.size})")
+    if upper is None:
+        upper = np.full(c.size, np.inf)
+    upper = np.asarray(upper, dtype=np.float64).ravel().copy()
+    upper[binary_indices] = np.minimum(upper[binary_indices], 1.0)
+
+    counter = itertools.count()  # tie-breaker so the heap never compares tuples of fixings
+    heap: List[Tuple[float, int, Tuple[Tuple[int, float], ...]]] = []
+
+    try:
+        root = _solve_node(c, a_ub, b_ub, upper, (), backend)
+    except InfeasibleError:
+        raise InfeasibleError("MILP infeasible: root relaxation has no feasible point")
+    heapq.heappush(heap, (root.objective, next(counter), ()))
+
+    best_objective = np.inf
+    best_x: Optional[np.ndarray] = None
+    nodes = 0
+    root_bound = root.objective
+
+    while heap:
+        bound, _, fixings = heapq.heappop(heap)
+        if bound >= best_objective - tol:
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverError(f"branch-and-bound exceeded {max_nodes} nodes")
+        try:
+            relaxed = _solve_node(c, a_ub, b_ub, upper, fixings, backend)
+        except InfeasibleError:
+            continue
+        if relaxed.objective >= best_objective - tol:
+            continue
+        fractional = [
+            i for i in binary_indices
+            if min(relaxed.x[i], 1.0 - relaxed.x[i]) > _INT_TOL
+        ]
+        if not fractional:
+            # Integral: candidate incumbent.
+            if relaxed.objective < best_objective:
+                best_objective = relaxed.objective
+                best_x = relaxed.x.copy()
+                for i in binary_indices:
+                    best_x[i] = round(best_x[i])
+            continue
+        branch_var = max(fractional, key=lambda i: min(relaxed.x[i], 1.0 - relaxed.x[i]))
+        for value in (1.0, 0.0):
+            heapq.heappush(
+                heap,
+                (relaxed.objective, next(counter), fixings + ((branch_var, value),)),
+            )
+
+    if best_x is None:
+        raise InfeasibleError("MILP infeasible: no integral point found")
+    gap = max(0.0, best_objective - root_bound)
+    return MILPResult(x=best_x, objective=float(best_objective), nodes_explored=nodes, gap=float(gap))

@@ -1,0 +1,111 @@
+"""Unified linear-programming front-end.
+
+The paper solved its LPs with PuLP/CBC.  We provide two interchangeable
+backends behind one function:
+
+* ``"simplex"`` — the from-scratch two-phase simplex in
+  :mod:`repro.solvers.simplex` (used by default for small instances and
+  always available);
+* ``"scipy"`` — :func:`scipy.optimize.linprog` with the HiGHS solver
+  (used for the large relaxations in the experiment harness).
+
+Both solve::
+
+    min   c @ z
+    s.t.  A_ub @ z <= b_ub
+          A_eq @ z == b_eq
+          0 <= z <= upper
+
+and the test suite cross-checks them on random instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import InfeasibleError, SolverError, UnboundedError, ValidationError
+from .simplex import simplex_solve
+
+__all__ = ["LPResult", "solve_lp"]
+
+_BACKENDS = ("simplex", "scipy", "auto")
+
+# Above this many variables the simplex tableau becomes slow; "auto"
+# switches to scipy/HiGHS.
+_AUTO_SIMPLEX_LIMIT = 400
+
+
+@dataclasses.dataclass(frozen=True)
+class LPResult:
+    """Optimal point and value of a linear program."""
+
+    x: np.ndarray
+    objective: float
+    backend: str
+
+
+def solve_lp(
+    c,
+    a_ub=None,
+    b_ub=None,
+    a_eq=None,
+    b_eq=None,
+    upper=None,
+    *,
+    backend: str = "auto",
+) -> LPResult:
+    """Solve a bounded LP with the selected backend.
+
+    Raises :class:`~repro.exceptions.InfeasibleError` or
+    :class:`~repro.exceptions.UnboundedError` for the corresponding
+    pathologies and :class:`~repro.exceptions.SolverError` for any other
+    backend failure.
+    """
+    if backend not in _BACKENDS:
+        raise ValidationError(f"unknown LP backend {backend!r}; choose from {_BACKENDS}")
+    from scipy import sparse
+
+    c = np.asarray(c, dtype=np.float64).ravel()
+    if backend == "auto":
+        is_sparse = sparse.issparse(a_ub) or sparse.issparse(a_eq)
+        backend = "simplex" if (c.size <= _AUTO_SIMPLEX_LIMIT and not is_sparse) else "scipy"
+    if backend == "simplex":
+        if sparse.issparse(a_ub):
+            a_ub = a_ub.toarray()
+        if sparse.issparse(a_eq):
+            a_eq = a_eq.toarray()
+        result = simplex_solve(c, a_ub, b_ub, a_eq, b_eq, upper)
+        return LPResult(x=result.x, objective=result.objective, backend="simplex")
+    return _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, upper)
+
+
+def _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, upper) -> LPResult:
+    from scipy.optimize import linprog
+
+    n = c.size
+    if upper is None:
+        bounds = [(0.0, None)] * n
+    else:
+        upper = np.asarray(upper, dtype=np.float64).ravel()
+        if upper.size != n:
+            raise ValidationError(f"upper bound vector has size {upper.size}, expected {n}")
+        bounds = [(0.0, None if not np.isfinite(u) else float(u)) for u in upper]
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleError(f"LP infeasible: {result.message}")
+    if result.status == 3:
+        raise UnboundedError(f"LP unbounded: {result.message}")
+    if not result.success:
+        raise SolverError(f"scipy linprog failed (status {result.status}): {result.message}")
+    return LPResult(x=np.asarray(result.x), objective=float(result.fun), backend="scipy")

@@ -1,0 +1,105 @@
+"""Euclidean projections used by the optimization substrate.
+
+These are the standard building blocks for projected (sub)gradient
+methods: nonnegative orthant, box, probability simplex and capped
+simplex.  All run in ``O(d log d)`` or better and are property-tested
+against their defining optimality conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "project_nonnegative",
+    "project_box",
+    "project_simplex",
+    "project_capped_simplex",
+]
+
+
+def project_nonnegative(point: np.ndarray) -> np.ndarray:
+    """Projection onto the nonnegative orthant (the ``[.]^+`` of Eq. 21)."""
+    return np.maximum(np.asarray(point, dtype=np.float64), 0.0)
+
+
+def project_box(point: np.ndarray, low, high) -> np.ndarray:
+    """Projection onto the box ``{z : low <= z <= high}`` (elementwise)."""
+    point = np.asarray(point, dtype=np.float64)
+    low = np.broadcast_to(np.asarray(low, dtype=np.float64), point.shape)
+    high = np.broadcast_to(np.asarray(high, dtype=np.float64), point.shape)
+    if np.any(low > high + 1e-12):
+        raise ValidationError("box projection requires low <= high everywhere")
+    return np.clip(point, low, high)
+
+
+def project_simplex(point: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Projection onto ``{z >= 0 : sum(z) = radius}``.
+
+    Implements the classic sort-based algorithm (Held, Wolfe & Crowder
+    1974).  ``radius`` must be positive.
+    """
+    if radius <= 0:
+        raise ValidationError(f"simplex radius must be positive, got {radius}")
+    v = np.asarray(point, dtype=np.float64).ravel()
+    if v.size == 0:
+        raise ValidationError("cannot project an empty vector onto the simplex")
+    sorted_desc = np.sort(v)[::-1]
+    cumulative = np.cumsum(sorted_desc) - radius
+    indices = np.arange(1, v.size + 1)
+    candidate = sorted_desc - cumulative / indices
+    rho = np.nonzero(candidate > 0)[0][-1]
+    theta = cumulative[rho] / (rho + 1.0)
+    return np.maximum(v - theta, 0.0).reshape(np.asarray(point).shape)
+
+
+def project_capped_simplex(
+    point: np.ndarray,
+    radius: float,
+    cap: Optional[np.ndarray] = None,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Projection onto ``{z : 0 <= z <= cap, sum(z) <= radius}``.
+
+    Solved by bisection on the dual variable of the sum constraint: the
+    projection is ``clip(point - theta, 0, cap)`` where ``theta >= 0`` is
+    the smallest value making the budget hold.  If the unconstrained clip
+    already satisfies the budget, ``theta = 0``.
+    """
+    v = np.asarray(point, dtype=np.float64)
+    shape = v.shape
+    v = v.ravel()
+    if cap is None:
+        cap_vec = np.ones_like(v)
+    else:
+        cap_vec = np.broadcast_to(np.asarray(cap, dtype=np.float64), shape).ravel().copy()
+    if np.any(cap_vec < 0):
+        raise ValidationError("caps must be nonnegative")
+    if radius < 0:
+        raise ValidationError(f"budget radius must be nonnegative, got {radius}")
+
+    def clipped(theta: float) -> np.ndarray:
+        return np.clip(v - theta, 0.0, cap_vec)
+
+    if clipped(0.0).sum() <= radius + tol:
+        return clipped(0.0).reshape(shape)
+    low, high = 0.0, float(np.max(v))
+    for _ in range(max_iter):
+        mid = 0.5 * (low + high)
+        if clipped(mid).sum() > radius:
+            low = mid
+        else:
+            high = mid
+        if high - low < tol:
+            break
+    result = clipped(high)
+    total = result.sum()
+    if total > radius and total > 0:
+        result *= radius / total
+    return result.reshape(shape)

@@ -1,0 +1,203 @@
+"""Dense two-phase primal simplex solver.
+
+Solves linear programs in the inequality form::
+
+    min   c @ z
+    s.t.  A_ub @ z <= b_ub
+          A_eq @ z == b_eq
+          0 <= z <= upper        (upper may contain +inf)
+
+by converting to standard form (slack variables for inequalities, and an
+explicit upper-bound row per finitely-bounded variable) and running a
+two-phase tableau simplex with Bland's anti-cycling rule.
+
+This implementation targets the small-to-medium instances used in the
+unit tests and the per-SBS subproblems; the experiment harness defaults
+to the ``scipy`` (HiGHS) backend in :mod:`repro.solvers.lp` for the big
+relaxations, and the two are cross-checked against each other in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import InfeasibleError, SolverError, UnboundedError, ValidationError
+
+__all__ = ["SimplexResult", "simplex_solve"]
+
+_EPS = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class SimplexResult:
+    """Optimal point and value of an LP solved by :func:`simplex_solve`."""
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+
+
+def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, upper):
+    """Return (c, A, b) for ``min c@z s.t. A z = b, z >= 0``."""
+    c = np.asarray(c, dtype=np.float64).ravel()
+    n = c.size
+    rows = []
+    rhs = []
+    if a_ub is not None:
+        a_ub = np.asarray(a_ub, dtype=np.float64)
+        b_ub = np.asarray(b_ub, dtype=np.float64).ravel()
+        if a_ub.shape != (b_ub.size, n):
+            raise ValidationError(
+                f"A_ub shape {a_ub.shape} inconsistent with c ({n}) and b_ub ({b_ub.size})"
+            )
+        rows.append(("ub", a_ub, b_ub))
+    if a_eq is not None:
+        a_eq = np.asarray(a_eq, dtype=np.float64)
+        b_eq = np.asarray(b_eq, dtype=np.float64).ravel()
+        if a_eq.shape != (b_eq.size, n):
+            raise ValidationError(
+                f"A_eq shape {a_eq.shape} inconsistent with c ({n}) and b_eq ({b_eq.size})"
+            )
+        rows.append(("eq", a_eq, b_eq))
+    if upper is not None:
+        upper = np.asarray(upper, dtype=np.float64).ravel()
+        if upper.size != n:
+            raise ValidationError(f"upper bound vector has size {upper.size}, expected {n}")
+        finite = np.flatnonzero(np.isfinite(upper))
+        if np.any(upper[finite] < 0):
+            raise ValidationError("upper bounds must be nonnegative")
+        if finite.size:
+            bound_rows = np.zeros((finite.size, n))
+            bound_rows[np.arange(finite.size), finite] = 1.0
+            rows.append(("ub", bound_rows, upper[finite]))
+
+    num_slack = sum(block.shape[0] for kind, block, _ in rows if kind == "ub")
+    num_rows = sum(block.shape[0] for _, block, _ in rows)
+    a = np.zeros((num_rows, n + num_slack))
+    b = np.zeros(num_rows)
+    row_offset = 0
+    slack_offset = n
+    for kind, block, block_rhs in rows:
+        m = block.shape[0]
+        a[row_offset : row_offset + m, :n] = block
+        b[row_offset : row_offset + m] = block_rhs
+        if kind == "ub":
+            a[row_offset : row_offset + m, slack_offset : slack_offset + m] = np.eye(m)
+            slack_offset += m
+        row_offset += m
+    c_full = np.concatenate([c, np.zeros(num_slack)])
+    # Make every right-hand side nonnegative for phase 1.
+    negative = b < 0
+    a[negative] *= -1.0
+    b[negative] *= -1.0
+    return c_full, a, b, n
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > 0:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _run_simplex(tableau: np.ndarray, basis: np.ndarray, num_cols: int, max_iter: int) -> int:
+    """Run the simplex loop on a tableau whose last row holds reduced costs.
+
+    Returns the number of iterations performed.  Raises
+    :class:`UnboundedError` when a column can decrease the objective
+    without bound and :class:`SolverError` on iteration exhaustion.
+    Bland's rule (smallest eligible index) guarantees termination.
+    """
+    iterations = 0
+    while True:
+        reduced = tableau[-1, :num_cols]
+        eligible = np.flatnonzero(reduced < -_EPS)
+        if eligible.size == 0:
+            return iterations
+        col = int(eligible[0])  # Bland's rule
+        column = tableau[:-1, col]
+        positive = column > _EPS
+        if not np.any(positive):
+            raise UnboundedError("LP is unbounded below")
+        ratios = np.full(column.shape, np.inf)
+        ratios[positive] = tableau[:-1, -1][positive] / column[positive]
+        best = np.min(ratios)
+        # Bland's rule on the leaving variable: among argmin rows pick the
+        # one whose basic variable has the smallest index.
+        candidates = np.flatnonzero(ratios <= best + _EPS)
+        row = int(candidates[np.argmin(basis[candidates])])
+        _pivot(tableau, basis, row, col)
+        iterations += 1
+        if iterations > max_iter:
+            raise SolverError(f"simplex exceeded {max_iter} iterations")
+
+
+def simplex_solve(
+    c,
+    a_ub=None,
+    b_ub=None,
+    a_eq=None,
+    b_eq=None,
+    upper=None,
+    *,
+    max_iter: int = 50_000,
+) -> SimplexResult:
+    """Solve the LP described in the module docstring.
+
+    Raises
+    ------
+    InfeasibleError
+        If no point satisfies the constraints.
+    UnboundedError
+        If the objective is unbounded below on the feasible set.
+    """
+    c_full, a, b, num_original = _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, upper)
+    num_rows, num_cols = a.shape
+
+    # ---------------- Phase 1: find a basic feasible solution ----------
+    tableau = np.zeros((num_rows + 1, num_cols + num_rows + 1))
+    tableau[:num_rows, :num_cols] = a
+    tableau[:num_rows, num_cols : num_cols + num_rows] = np.eye(num_rows)
+    tableau[:num_rows, -1] = b
+    basis = np.arange(num_cols, num_cols + num_rows)
+    # Phase-1 objective: sum of artificials == sum of rows (after eliminating).
+    tableau[-1, : num_cols + num_rows] = -tableau[:num_rows, : num_cols + num_rows].sum(axis=0)
+    tableau[-1, num_cols : num_cols + num_rows] = 0.0
+    tableau[-1, -1] = -b.sum()
+    iters1 = _run_simplex(tableau, basis, num_cols + num_rows, max_iter)
+    if tableau[-1, -1] < -1e-7 * max(1.0, np.abs(b).max(initial=1.0)):
+        raise InfeasibleError(f"LP infeasible (phase-1 residual {-tableau[-1, -1]:.3e})")
+
+    # Drive any artificial variables out of the basis.
+    for row in range(num_rows):
+        if basis[row] >= num_cols:
+            pivot_candidates = np.flatnonzero(np.abs(tableau[row, :num_cols]) > _EPS)
+            if pivot_candidates.size:
+                _pivot(tableau, basis, row, int(pivot_candidates[0]))
+            # Otherwise the row is redundant (all-zero over real columns);
+            # its artificial stays basic at value zero, which is harmless.
+
+    # ---------------- Phase 2: optimize the real objective -------------
+    phase2 = np.zeros((num_rows + 1, num_cols + 1))
+    phase2[:num_rows, :num_cols] = tableau[:num_rows, :num_cols]
+    phase2[:num_rows, -1] = tableau[:num_rows, -1]
+    phase2[-1, :num_cols] = c_full
+    for row in range(num_rows):
+        col = basis[row]
+        if col < num_cols and abs(phase2[-1, col]) > 0:
+            phase2[-1] -= phase2[-1, col] * phase2[row]
+    # Block leftover artificial basics (they sit at value zero) by treating
+    # their reduced costs as nonnegative; they have no column in phase 2.
+    iters2 = _run_simplex(phase2, basis, num_cols, max_iter)
+
+    solution = np.zeros(num_cols)
+    for row in range(num_rows):
+        if basis[row] < num_cols:
+            solution[basis[row]] = phase2[row, -1]
+    x = solution[:num_original]
+    return SimplexResult(x=x, objective=float(np.asarray(c, dtype=np.float64).ravel() @ x), iterations=iters1 + iters2)

@@ -1,0 +1,29 @@
+"""Workload substrate: traces, popularity models, request streams."""
+
+from .assignment import assign_requests, assign_requests_weighted
+from .dynamics import DynamicsConfig, demand_sequence, evolve_demand
+from .io import load_trace_csv, load_trace_json, save_trace_csv, trace_from_counts
+from .streams import Request, deterministic_stream, poisson_stream
+from .trace import TraceConfig, VideoTrace, trending_video_trace
+from .zipf import fit_zipf_exponent, zipf_counts, zipf_popularity
+
+__all__ = [
+    "assign_requests",
+    "assign_requests_weighted",
+    "DynamicsConfig",
+    "demand_sequence",
+    "evolve_demand",
+    "load_trace_csv",
+    "load_trace_json",
+    "save_trace_csv",
+    "trace_from_counts",
+    "Request",
+    "deterministic_stream",
+    "poisson_stream",
+    "TraceConfig",
+    "VideoTrace",
+    "trending_video_trace",
+    "fit_zipf_exponent",
+    "zipf_counts",
+    "zipf_popularity",
+]

@@ -1,0 +1,68 @@
+"""Distributing content requests over MU groups.
+
+Section V-A: "We further distributed requests randomly among MUs."
+:func:`assign_requests` implements that multinomial split — each video's
+demand volume is dealt uniformly at random across the MU groups — plus a
+locality-weighted variant where groups have heterogeneous activity
+levels (bigger crowds request more), useful for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int, rng_from
+from ..exceptions import ValidationError
+
+__all__ = ["assign_requests", "assign_requests_weighted"]
+
+
+def assign_requests(
+    demand_per_file: np.ndarray,
+    num_groups: int,
+    *,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> np.ndarray:
+    """Split each file's demand uniformly at random over MU groups.
+
+    ``demand_per_file`` may be fractional (scaled traces); fractional
+    volumes are split with a Dirichlet(1) draw, which is the continuous
+    analogue of the uniform multinomial and keeps column sums exact.
+    Returns the ``(U, F)`` demand matrix ``Lambda``.
+    """
+    return assign_requests_weighted(demand_per_file, np.ones(num_groups), rng=rng)
+
+
+def assign_requests_weighted(
+    demand_per_file: np.ndarray,
+    group_weights: np.ndarray,
+    *,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> np.ndarray:
+    """Split demand over groups proportionally-at-random to ``group_weights``.
+
+    Each file's volume is distributed with a Dirichlet draw whose
+    concentration is the weight vector, so in expectation group ``u``
+    receives ``weight[u] / sum(weights)`` of every file's demand while
+    individual draws stay realistically lumpy.
+    """
+    volumes = as_float_array(demand_per_file, "demand_per_file", ndim=1, nonnegative=True)
+    weights = as_float_array(group_weights, "group_weights", ndim=1, nonnegative=True)
+    if weights.size == 0:
+        raise ValidationError("group_weights must be nonempty")
+    if weights.sum() <= 0:
+        raise ValidationError("group_weights must contain at least one positive entry")
+    generator = rng_from(rng)
+    num_groups, num_files = weights.size, volumes.size
+    demand = np.zeros((num_groups, num_files))
+    concentration = np.where(weights > 0, weights, 1e-12)
+    for f in range(num_files):
+        if volumes[f] <= 0:
+            continue
+        shares = generator.dirichlet(concentration)
+        demand[:, f] = volumes[f] * shares
+    # Zero-weight groups must receive exactly nothing.
+    demand[weights == 0, :] = 0.0
+    return demand

@@ -1,0 +1,114 @@
+"""Demand dynamics: evolving the workload over time slots.
+
+The trace behind Fig. 2 is a 30-minute snapshot of *trending* videos —
+a population whose ranking churns hour by hour.  This module generates
+a sequence of demand matrices for the online extension
+(:mod:`repro.core.online`):
+
+* multiplicative log-normal drift on each file's volume (gradual rank
+  churn),
+* occasional *viral events* boosting a random tail file into the head
+  (new trending content),
+* geometric decay pulling previously-viral files back down,
+* optional slow re-mixing of the request-to-group assignment (users
+  move around between slots),
+
+with the total demand volume held constant so cost series across slots
+remain comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Union
+
+import numpy as np
+
+from .._validation import as_float_array, check_in_interval, check_positive_int, rng_from
+from ..exceptions import ValidationError
+
+__all__ = ["DynamicsConfig", "evolve_demand", "demand_sequence"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DynamicsConfig:
+    """Parameters of the demand evolution process."""
+
+    drift: float = 0.15          # sigma of the per-slot log-normal shock
+    viral_probability: float = 0.1
+    viral_boost: float = 10.0    # multiplicative jump of a viral file
+    decay: float = 0.9           # pull towards the original popularity
+    group_remix: float = 0.05    # fraction of volume re-assigned across groups
+
+    def __post_init__(self) -> None:
+        if self.drift < 0:
+            raise ValidationError(f"drift must be nonnegative, got {self.drift}")
+        check_in_interval(self.viral_probability, "viral_probability", low=0.0, high=1.0)
+        if self.viral_boost < 1.0:
+            raise ValidationError(f"viral_boost must be >= 1, got {self.viral_boost}")
+        check_in_interval(self.decay, "decay", low=0.0, high=1.0)
+        check_in_interval(self.group_remix, "group_remix", low=0.0, high=1.0)
+
+
+def evolve_demand(
+    demand: np.ndarray,
+    anchor: np.ndarray,
+    config: DynamicsConfig,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> np.ndarray:
+    """One evolution step; returns a new ``(U, F)`` demand matrix.
+
+    ``anchor`` is the long-run popularity profile the process reverts
+    to (typically the initial demand); the total volume of ``demand``
+    is preserved exactly.
+    """
+    demand = as_float_array(demand, "demand", ndim=2, nonnegative=True)
+    anchor = as_float_array(anchor, "anchor", shape=demand.shape, nonnegative=True)
+    generator = rng_from(rng)
+    total = demand.sum()
+    if total <= 0:
+        return demand.copy()
+
+    # Mean-revert towards the anchor, then shock per file.
+    evolved = config.decay * demand + (1.0 - config.decay) * anchor
+    shocks = generator.lognormal(mean=0.0, sigma=config.drift, size=demand.shape[1])
+    evolved = evolved * shocks[np.newaxis, :]
+
+    # Viral event: a random file's demand jumps everywhere.
+    if generator.uniform() < config.viral_probability:
+        viral_file = int(generator.integers(demand.shape[1]))
+        evolved[:, viral_file] *= config.viral_boost
+
+    # Slow re-mixing of volume across groups (per file).
+    if config.group_remix > 0 and demand.shape[0] > 1:
+        num_groups = demand.shape[0]
+        for f in range(demand.shape[1]):
+            column = evolved[:, f]
+            moved = config.group_remix * column.sum()
+            if moved <= 0:
+                continue
+            shares = generator.dirichlet(np.ones(num_groups))
+            evolved[:, f] = (1.0 - config.group_remix) * column + moved * shares
+
+    # Renormalise to the original volume.
+    new_total = evolved.sum()
+    if new_total > 0:
+        evolved *= total / new_total
+    return evolved
+
+
+def demand_sequence(
+    initial: np.ndarray,
+    num_slots: int,
+    config: DynamicsConfig = DynamicsConfig(),
+    *,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> List[np.ndarray]:
+    """A list of ``num_slots`` demand matrices starting at ``initial``."""
+    check_positive_int(num_slots, "num_slots")
+    generator = rng_from(rng)
+    initial = as_float_array(initial, "initial", ndim=2, nonnegative=True)
+    sequence = [initial.copy()]
+    for _ in range(num_slots - 1):
+        sequence.append(evolve_demand(sequence[-1], initial, config, rng=generator))
+    return sequence

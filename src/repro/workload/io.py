@@ -1,0 +1,120 @@
+"""Loading real traces from files.
+
+The evaluation ships with a synthetic stand-in for the paper's private
+trace, but a user with an actual request log should be able to plug it
+in.  These helpers read view/request counts from the two formats such
+logs usually come in:
+
+* CSV — one row per content, with the count in a chosen column
+  (header optional);
+* JSON — either a plain list of numbers or a mapping
+  ``{content_id: count}``.
+
+Both return a :class:`~repro.workload.trace.VideoTrace`, so everything
+downstream (scaling, assignment, the whole experiment harness) works
+unchanged on real data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .trace import VideoTrace
+
+__all__ = ["trace_from_counts", "load_trace_csv", "load_trace_json", "save_trace_csv"]
+
+
+def trace_from_counts(counts, *, window_minutes: float = 30.0) -> VideoTrace:
+    """Build a trace from raw counts (sorted most-viewed first)."""
+    counts = np.asarray(counts, dtype=np.float64).ravel()
+    if counts.size == 0:
+        raise ValidationError("counts must be nonempty")
+    if np.any(~np.isfinite(counts)) or np.any(counts < 0):
+        raise ValidationError("counts must be finite and nonnegative")
+    ordered = np.sort(counts)[::-1]
+    return VideoTrace(views=ordered, window_minutes=window_minutes)
+
+
+def load_trace_csv(
+    path: Union[str, pathlib.Path],
+    *,
+    column: Union[int, str] = -1,
+    window_minutes: float = 30.0,
+) -> VideoTrace:
+    """Read counts from a CSV file.
+
+    ``column`` selects the field holding the count — by index (negative
+    allowed) or by header name.  Rows whose selected field is not a
+    number are skipped with the exception of the header row, which is
+    detected automatically when ``column`` is a name.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"trace file not found: {path}")
+    counts = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValidationError(f"trace file is empty: {path}")
+    start = 0
+    if isinstance(column, str):
+        header = [cell.strip() for cell in rows[0]]
+        if column not in header:
+            raise ValidationError(
+                f"column {column!r} not in header {header} of {path}"
+            )
+        index = header.index(column)
+        start = 1
+    else:
+        index = column
+    for row in rows[start:]:
+        try:
+            counts.append(float(row[index]))
+        except (ValueError, IndexError):
+            continue  # non-numeric (e.g. a stray header) or short row
+    if not counts:
+        raise ValidationError(f"no numeric counts found in {path}")
+    return trace_from_counts(counts, window_minutes=window_minutes)
+
+
+def load_trace_json(
+    path: Union[str, pathlib.Path],
+    *,
+    window_minutes: float = 30.0,
+) -> VideoTrace:
+    """Read counts from a JSON file (list of numbers or id->count map)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"trace file not found: {path}")
+    with path.open() as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        counts = list(data.values())
+    elif isinstance(data, list):
+        counts = data
+    else:
+        raise ValidationError(
+            f"JSON trace must be a list or an object, got {type(data).__name__}"
+        )
+    try:
+        numeric = [float(value) for value in counts]
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"non-numeric count in {path}: {exc}") from exc
+    return trace_from_counts(numeric, window_minutes=window_minutes)
+
+
+def save_trace_csv(trace: VideoTrace, path: Union[str, pathlib.Path]) -> None:
+    """Write a trace as a two-column CSV (rank, views)."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["rank", "views"])
+        for rank, views in enumerate(trace.views, start=1):
+            writer.writerow([rank, f"{views:.0f}"])

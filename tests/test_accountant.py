@@ -1,0 +1,98 @@
+"""Tests for privacy-budget accounting and composition."""
+
+import math
+
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.privacy.accountant import (
+    PrivacyAccountant,
+    Release,
+    advanced_composition_epsilon,
+    per_release_epsilon,
+)
+
+
+class TestComposition:
+    def test_basic_sum(self):
+        accountant = PrivacyAccountant()
+        accountant.record("sbs-0", 0.1)
+        accountant.record("sbs-0", 0.2)
+        assert accountant.total_epsilon_basic() == pytest.approx(0.3)
+
+    def test_per_party(self):
+        accountant = PrivacyAccountant()
+        accountant.record("sbs-0", 0.1)
+        accountant.record("sbs-1", 0.5)
+        assert accountant.total_epsilon_basic("sbs-0") == pytest.approx(0.1)
+        assert accountant.total_epsilon_basic("sbs-1") == pytest.approx(0.5)
+
+    def test_advanced_formula(self):
+        epsilon, k, delta = 0.1, 50, 1e-5
+        expected = epsilon * math.sqrt(2 * k * math.log(1 / delta)) + k * epsilon * (
+            math.exp(epsilon) - 1
+        )
+        assert advanced_composition_epsilon(epsilon, k, delta) == pytest.approx(expected)
+
+    def test_advanced_beats_basic_for_many_small_releases(self):
+        epsilon, k = 0.01, 10_000
+        assert advanced_composition_epsilon(epsilon, k, 1e-6) < epsilon * k
+
+    def test_advanced_zero_releases(self):
+        assert advanced_composition_epsilon(0.1, 0, 1e-5) == 0.0
+
+    def test_advanced_invalid_delta(self):
+        with pytest.raises(PrivacyError):
+            advanced_composition_epsilon(0.1, 5, 1.5)
+
+    def test_accountant_advanced_requires_homogeneous(self):
+        accountant = PrivacyAccountant()
+        accountant.record("sbs-0", 0.1)
+        accountant.record("sbs-0", 0.2)
+        with pytest.raises(PrivacyError, match="homogeneous"):
+            accountant.total_epsilon_advanced(1e-5)
+
+    def test_accountant_advanced_happy_path(self):
+        accountant = PrivacyAccountant()
+        for _ in range(5):
+            accountant.record("sbs-0", 0.1)
+        value = accountant.total_epsilon_advanced(1e-5)
+        assert value == pytest.approx(advanced_composition_epsilon(0.1, 5, 1e-5))
+
+    def test_accountant_advanced_empty(self):
+        assert PrivacyAccountant().total_epsilon_advanced(1e-5) == 0.0
+
+
+class TestBudgetEnforcement:
+    def test_budget_enforced(self):
+        accountant = PrivacyAccountant(budget=0.25)
+        accountant.record("sbs-0", 0.2)
+        with pytest.raises(PrivacyError, match="exceed"):
+            accountant.record("sbs-0", 0.1)
+
+    def test_remaining_budget(self):
+        accountant = PrivacyAccountant(budget=1.0)
+        accountant.record("sbs-0", 0.4)
+        assert accountant.remaining_budget() == pytest.approx(0.6)
+
+    def test_unlimited_budget(self):
+        assert PrivacyAccountant().remaining_budget() is None
+
+    def test_invalid_budget(self):
+        with pytest.raises(PrivacyError):
+            PrivacyAccountant(budget=0.0)
+
+
+class TestHelpers:
+    def test_per_release_split(self):
+        assert per_release_epsilon(1.0, 10) == pytest.approx(0.1)
+
+    def test_per_release_invalid(self):
+        with pytest.raises(PrivacyError):
+            per_release_epsilon(0.0, 10)
+        with pytest.raises(PrivacyError):
+            per_release_epsilon(1.0, 0)
+
+    def test_release_validation(self):
+        with pytest.raises(PrivacyError):
+            Release(party="sbs-0", epsilon=-0.1)

@@ -1,0 +1,165 @@
+"""Tests for the event scheduler and the asynchronous optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.asynchronous import AsyncConfig, solve_asynchronous
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.exceptions import ValidationError
+from repro.network.eventsim import EventScheduler
+from repro.privacy.mechanism import LPPMConfig
+
+
+class TestEventScheduler:
+    def test_time_ordering(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("b"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(3.0, lambda: order.append("c"))
+        scheduler.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_ties(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append(1))
+        scheduler.schedule(1.0, lambda: order.append(2))
+        scheduler.run_until(5.0)
+        assert order == [1, 2]
+
+    def test_now_advances(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule(1.5, lambda: times.append(scheduler.now))
+        scheduler.run_until(2.0)
+        assert times == [1.5]
+        assert scheduler.now == 2.0
+
+    def test_run_until_boundary_inclusive(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(True))
+        scheduler.run_until(1.0)
+        assert fired == [True]
+
+    def test_events_can_reschedule(self):
+        scheduler = EventScheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                scheduler.schedule(1.0, tick)
+
+        scheduler.schedule(0.0, tick)
+        scheduler.run_until(10.0)
+        assert count[0] == 5
+
+    def test_max_events_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule(0.0, forever)
+
+        scheduler.schedule(0.0, forever)
+        executed = scheduler.run_until(1.0, max_events=100)
+        assert executed == 100
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValidationError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_past_t_end_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run_until(6.0)
+        with pytest.raises(ValidationError):
+            scheduler.run_until(3.0)
+
+    def test_pending_count(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        assert scheduler.pending() == 2
+        scheduler.step()
+        assert scheduler.pending() == 1
+
+
+class TestAsyncConfig:
+    def test_defaults(self):
+        AsyncConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AsyncConfig(duration=0.0)
+        with pytest.raises(ValidationError):
+            AsyncConfig(mean_update_interval=0.0)
+        with pytest.raises(ValidationError):
+            AsyncConfig(damping=0.0)
+        with pytest.raises(ValidationError):
+            AsyncConfig(mean_message_delay=-1.0)
+
+
+class TestAsynchronousRuns:
+    def test_basic_run(self, tiny_problem):
+        result = solve_asynchronous(
+            tiny_problem, AsyncConfig(duration=30.0, mean_update_interval=2.0), rng=0
+        )
+        assert result.cost < tiny_problem.max_cost()
+        assert sum(result.updates_per_sbs.values()) > 0
+        assert result.events_processed > 0
+        assert result.mean_staleness >= 0.0
+
+    def test_reproducible(self, tiny_problem):
+        config = AsyncConfig(duration=20.0)
+        a = solve_asynchronous(tiny_problem, config, rng=3)
+        b = solve_asynchronous(tiny_problem, config, rng=3)
+        assert a.cost == pytest.approx(b.cost)
+        assert a.updates_per_sbs == b.updates_per_sbs
+
+    def test_trajectory_recorded(self, tiny_problem):
+        result = solve_asynchronous(tiny_problem, AsyncConfig(duration=30.0), rng=0)
+        times = [t for t, _ in result.cost_trajectory]
+        assert times == sorted(times)
+        assert len(times) == sum(result.updates_per_sbs.values())
+
+    def test_near_synchronous_quality(self, tiny_problem):
+        """Given enough time, the async run settles near the synchronous
+        Gauss-Seidel cost (within transient over-serving wiggle)."""
+        sync = solve_distributed(
+            tiny_problem, DistributedConfig(accuracy=1e-6, max_iterations=15)
+        )
+        result = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=80.0, mean_update_interval=2.0, mean_message_delay=0.2),
+            rng=1,
+        )
+        window = result.final_window_costs()
+        assert window.size > 0
+        assert float(window.mean()) <= sync.cost * 1.10
+
+    def test_zero_delay_mode(self, tiny_problem):
+        result = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=20.0, mean_message_delay=0.0),
+            rng=0,
+        )
+        assert result.mean_staleness < 10.0
+
+    def test_privacy_budget_tracked(self, tiny_problem):
+        result = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=20.0, mean_update_interval=3.0),
+            privacy=LPPMConfig(epsilon=0.2),
+            rng=0,
+        )
+        assert result.epsilon_spent == pytest.approx(
+            0.2 * sum(result.updates_per_sbs.values())
+        )
+
+    def test_final_window_costs_fraction(self, tiny_problem):
+        result = solve_asynchronous(tiny_problem, AsyncConfig(duration=30.0), rng=0)
+        full = result.final_window_costs(fraction=1.0)
+        tail = result.final_window_costs(fraction=0.25)
+        assert tail.size <= full.size

@@ -1,0 +1,81 @@
+"""Tests for the eavesdropper differencing attack (Section IV threat)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.reconstruction import (
+    Eavesdropper,
+    run_eavesdropper_experiment,
+)
+from repro.core.distributed import DistributedConfig
+from repro.exceptions import ValidationError
+from repro.privacy.mechanism import LPPMConfig
+
+
+class TestEavesdropper:
+    def test_needs_two_broadcasts(self):
+        eavesdropper = Eavesdropper(num_sbs=2)
+        with pytest.raises(ValidationError):
+            eavesdropper.reconstruct_reports()
+
+    def test_invalid_num_sbs(self):
+        with pytest.raises(ValidationError):
+            Eavesdropper(num_sbs=0)
+
+
+class TestNoiselessBreach:
+    def test_exact_reconstruction_without_privacy(self, tiny_problem):
+        """Without LPPM the differencing attack recovers every SBS's
+        routing policy exactly — the motivating breach."""
+        report, result = run_eavesdropper_experiment(
+            tiny_problem, DistributedConfig(max_iterations=6)
+        )
+        assert report.breached
+        assert max(report.per_sbs_error_vs_true) < 1e-9
+
+    def test_reported_policies_always_recovered(self, tiny_problem):
+        """The reported policy is public by construction: the attack
+        reconstructs it exactly with or without noise."""
+        for privacy in (None, LPPMConfig(epsilon=0.1)):
+            report, _ = run_eavesdropper_experiment(
+                tiny_problem,
+                DistributedConfig(max_iterations=4, accuracy=0.0),
+                privacy=privacy,
+                rng=0,
+            )
+            assert max(report.per_sbs_error_vs_reported) < 1e-9
+
+
+class TestLPPMProtection:
+    def test_noise_floor_protects_true_policy(self, tiny_problem):
+        """With LPPM the attacker's best estimate of the *true* policy is
+        off by (at least) the mechanism's noise floor."""
+        report, result = run_eavesdropper_experiment(
+            tiny_problem,
+            DistributedConfig(max_iterations=4, accuracy=0.0),
+            privacy=LPPMConfig(epsilon=0.01, delta=0.5),
+            rng=1,
+        )
+        assert not report.breached
+        assert report.mean_error_vs_true > 1e-3
+
+    def test_smaller_epsilon_larger_error(self, tiny_problem):
+        errors = []
+        for epsilon in (0.01, 1000.0):
+            per_seed = []
+            for seed in range(4):
+                report, _ = run_eavesdropper_experiment(
+                    tiny_problem,
+                    DistributedConfig(max_iterations=3, accuracy=0.0),
+                    privacy=LPPMConfig(epsilon=epsilon),
+                    rng=seed,
+                )
+                per_seed.append(report.mean_error_vs_true)
+            errors.append(np.mean(per_seed))
+        assert errors[0] > errors[1]
+
+    def test_jacobi_schedule_rejected(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            run_eavesdropper_experiment(
+                tiny_problem, DistributedConfig(mode="jacobi")
+            )

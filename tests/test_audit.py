@@ -1,0 +1,137 @@
+"""Tests for the empirical DP audit — including the support-leak finding.
+
+The audit makes Theorem 4 falsifiable and, in doing so, surfaces a real
+property of the paper's mechanism: the noise interval ``[0, delta * y]``
+depends on the private value ``y``, so the *support* of the release
+scales with the secret and worst-case neighbouring inputs are perfectly
+distinguishable near the support boundary.  For neighbours whose
+supports overlap (bounded perturbations) the likelihood ratio is
+governed by ``exp(|y - y'| / beta)`` as Theorem 4 intends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError, ValidationError
+from repro.privacy.audit import AuditResult, audit_mechanism, estimate_epsilon
+from repro.privacy.gaussian import GaussianPPMConfig, GaussianPrivacyMechanism
+from repro.privacy.mechanism import LaplacePrivacyMechanism, LPPMConfig
+
+
+class TestEstimateEpsilon:
+    def test_identical_distributions_near_zero(self, rng):
+        samples = rng.normal(size=5000)
+        epsilon_hat, bins = estimate_epsilon(samples, samples)
+        assert epsilon_hat == pytest.approx(0.0, abs=1e-9)
+        assert bins > 0
+
+    def test_shifted_distributions_positive(self, rng):
+        a = rng.normal(0.0, 1.0, size=8000)
+        b = rng.normal(0.5, 1.0, size=8000)
+        epsilon_hat, _ = estimate_epsilon(a, b)
+        assert epsilon_hat > 0.1
+
+    def test_disjoint_supports_infinite(self, rng):
+        a = rng.uniform(0.0, 1.0, size=3000)
+        b = rng.uniform(2.0, 3.0, size=3000)
+        epsilon_hat, _ = estimate_epsilon(a, b)
+        assert np.isinf(epsilon_hat)
+
+    def test_laplace_shift_matches_theory(self, rng):
+        """For pure Laplace noise, the max log-ratio is shift / beta."""
+        beta, shift = 1.0, 0.7
+        a = rng.laplace(0.0, beta, size=60_000)
+        b = rng.laplace(shift, beta, size=60_000)
+        epsilon_hat, _ = estimate_epsilon(a, b, bins=40)
+        assert epsilon_hat <= shift / beta + 0.15
+        assert epsilon_hat >= 0.3 * shift / beta
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_epsilon(np.array([]), np.array([1.0]))
+
+    def test_degenerate_equal_points(self):
+        epsilon_hat, bins = estimate_epsilon(np.ones(10), np.ones(10))
+        assert epsilon_hat == 0.0
+        assert bins == 0
+
+
+class TestAuditMechanisms:
+    def test_lppm_interior_loss_consistent(self):
+        """On the common support the Laplace release respects a finite
+        budget of the right order (what beta = Delta/eps controls)."""
+        claimed = 2.0
+        result = audit_mechanism(
+            lambda rng: LaplacePrivacyMechanism(LPPMConfig(epsilon=claimed), rng=rng),
+            claimed_epsilon=claimed,
+            base_value=0.9,
+            neighbour_delta=0.05,  # small, mostly-overlapping supports
+            samples=6000,
+            interior_only=True,
+            rng=0,
+        )
+        assert np.isfinite(result.epsilon_hat)
+        # The per-coordinate loss for a 0.05 change at beta = 1/2 is
+        # ~0.1 plus the normaliser drift; far below the claimed budget.
+        assert result.consistent
+
+    def test_lppm_support_leak_finding(self):
+        """The documented finding: the data-dependent noise support
+        [0, delta * y] moves with the secret, so the strict audit
+        reports an unbounded loss for ANY perturbation — Theorem 4's
+        pure epsilon-DP does not survive worst-case analysis."""
+        for neighbour_delta in (0.05, 0.5):
+            result = audit_mechanism(
+                lambda rng: LaplacePrivacyMechanism(LPPMConfig(epsilon=1.0), rng=rng),
+                claimed_epsilon=1.0,
+                base_value=0.9,
+                neighbour_delta=neighbour_delta,
+                samples=4000,
+                rng=1,
+            )
+            assert np.isinf(result.epsilon_hat)
+            assert not result.consistent
+
+    def test_gaussian_interior_loss_consistent(self):
+        claimed = 2.0
+        result = audit_mechanism(
+            lambda rng: GaussianPrivacyMechanism(
+                GaussianPPMConfig(epsilon=claimed), rng=rng
+            ),
+            claimed_epsilon=claimed,
+            base_value=0.9,
+            neighbour_delta=0.05,
+            samples=6000,
+            interior_only=True,
+            rng=2,
+        )
+        assert result.consistent
+
+    def test_undernoised_canary_caught(self):
+        """A mechanism claiming eps = 0.05 but noising for eps = 50 must
+        fail even the interior audit (its interior distributions
+        separate far too well for the claimed budget)."""
+
+        class Undernoised:
+            def __init__(self, rng):
+                self._inner = LaplacePrivacyMechanism(LPPMConfig(epsilon=50.0), rng=rng)
+
+            def perturb(self, routing):
+                return self._inner.perturb(routing)
+
+        result = audit_mechanism(
+            lambda rng: Undernoised(rng),
+            claimed_epsilon=0.05,
+            base_value=0.9,
+            neighbour_delta=0.05,
+            samples=6000,
+            interior_only=True,
+            rng=3,
+        )
+        assert not result.consistent
+
+    def test_validation(self):
+        with pytest.raises(PrivacyError):
+            audit_mechanism(lambda rng: None, claimed_epsilon=0.0)
+        with pytest.raises(ValidationError):
+            audit_mechanism(lambda rng: None, claimed_epsilon=1.0, base_value=2.0)

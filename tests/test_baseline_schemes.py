@@ -1,0 +1,139 @@
+"""Tests for the baseline schemes: LRFU simulation, greedy, routing rules."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import popularity_caching, solve_greedy
+from repro.baselines.lrfu_scheme import LRFUSchemeConfig, solve_lrfu
+from repro.baselines.routing_policies import greedy_routing, proportional_routing
+from repro.core.cost import total_cost
+from repro.core.distributed import solve_distributed
+from repro.core.solution import Solution
+from repro.exceptions import ValidationError
+
+
+class TestGreedyRouting:
+    def test_respects_bandwidth(self, tiny_problem):
+        caching = np.ones((2, 4))
+        routing = greedy_routing(tiny_problem, caching)
+        usage = np.einsum("nuf,uf->n", routing, tiny_problem.demand)
+        assert np.all(usage <= tiny_problem.bandwidth + 1e-9)
+
+    def test_respects_unit_demand(self, tiny_problem):
+        caching = np.ones((2, 4))
+        routing = greedy_routing(tiny_problem, caching)
+        served = np.einsum("nuf,nu->uf", routing, tiny_problem.connectivity)
+        assert served.max() <= 1.0 + 1e-9
+
+    def test_only_cached_files_served(self, tiny_problem):
+        caching = np.zeros((2, 4))
+        caching[:, 0] = 1.0
+        routing = greedy_routing(tiny_problem, caching)
+        assert np.all(routing[:, :, 1:] == 0.0)
+
+    def test_empty_cache_serves_nothing(self, tiny_problem):
+        routing = greedy_routing(tiny_problem, np.zeros((2, 4)))
+        assert np.all(routing == 0.0)
+
+
+class TestProportionalRouting:
+    def test_feasible(self, tiny_problem):
+        caching = np.ones((2, 4))
+        routing = proportional_routing(tiny_problem, caching)
+        usage = np.einsum("nuf,uf->n", routing, tiny_problem.demand)
+        assert np.all(usage <= tiny_problem.bandwidth + 1e-9)
+        served = np.einsum("nuf,nu->uf", routing, tiny_problem.connectivity)
+        assert served.max() <= 1.0 + 1e-9
+
+    def test_even_split_on_shared_group(self, tiny_problem):
+        caching = np.zeros((2, 4))
+        caching[:, 3] = 1.0  # small demand, no bandwidth pressure
+        routing = proportional_routing(tiny_problem, caching)
+        # group 1 is reachable from both SBSs -> each serves half
+        assert routing[0, 1, 3] == pytest.approx(0.5)
+        assert routing[1, 1, 3] == pytest.approx(0.5)
+
+
+class TestPopularityCaching:
+    def test_capacity_respected(self, tiny_problem):
+        caching = popularity_caching(tiny_problem)
+        assert np.all(caching.sum(axis=1) <= tiny_problem.cache_capacity)
+
+    def test_most_valuable_files_cached(self, tiny_problem):
+        caching = popularity_caching(tiny_problem)
+        # Files 0 and 1 dominate the demand at both SBSs.
+        assert caching[0, 0] == 1.0 and caching[0, 1] == 1.0
+
+    def test_solve_greedy_feasible(self, tiny_problem):
+        solution = solve_greedy(tiny_problem)
+        assert solution.is_feasible(tiny_problem)
+
+    def test_optimal_routing_variant_weakly_better(self, tiny_problem):
+        greedy = solve_greedy(tiny_problem, routing="greedy")
+        optimal = solve_greedy(tiny_problem, routing="optimal")
+        assert optimal.cost(tiny_problem) <= greedy.cost(tiny_problem) + 1e-9
+
+    def test_unknown_routing(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            solve_greedy(tiny_problem, routing="psychic")
+
+
+class TestLRFUScheme:
+    def test_result_structure(self, tiny_problem):
+        result = solve_lrfu(tiny_problem, rng=0)
+        assert result.requests_processed > 0
+        assert len(result.cache_stats) == tiny_problem.num_sbs
+        assert result.edge_served_volume >= 0.0
+
+    def test_bandwidth_and_unit_demand_feasible(self, tiny_problem):
+        result = solve_lrfu(tiny_problem, rng=0)
+        report = result.solution.check_feasibility(tiny_problem)
+        families = set(report.by_constraint())
+        # Cache rotation can leave y <= x stale (documented); the physical
+        # constraints must hold.
+        assert "bandwidth(3)" not in families
+        assert "unit_demand(4)" not in families
+        assert "locality" not in families
+
+    def test_cost_between_optimum_and_w(self, tiny_problem):
+        result = solve_lrfu(tiny_problem, rng=0)
+        optimum = solve_distributed(tiny_problem)
+        cost = result.cost(tiny_problem)
+        assert optimum.cost <= cost + 1e-6
+        assert cost <= tiny_problem.max_cost() + 1e-9
+
+    def test_deterministic_stream_reproducible(self, tiny_problem):
+        config = LRFUSchemeConfig(stream="deterministic", steering="load_balance")
+        a = solve_lrfu(tiny_problem, config, rng=0)
+        b = solve_lrfu(tiny_problem, config, rng=1)
+        assert a.cost(tiny_problem) == pytest.approx(b.cost(tiny_problem))
+
+    def test_poisson_stream_seeded(self, tiny_problem):
+        config = LRFUSchemeConfig(stream="poisson")
+        a = solve_lrfu(tiny_problem, config, rng=3)
+        b = solve_lrfu(tiny_problem, config, rng=3)
+        assert a.cost(tiny_problem) == pytest.approx(b.cost(tiny_problem))
+
+    def test_zero_demand(self, tiny_problem):
+        import dataclasses
+
+        empty = dataclasses.replace(tiny_problem, demand=np.zeros((3, 4)))
+        result = solve_lrfu(empty, rng=0)
+        assert result.requests_processed == 0
+        assert result.cost(empty) == 0.0
+
+    def test_warmup_improves_or_equal(self, tiny_problem):
+        cold = solve_lrfu(tiny_problem, LRFUSchemeConfig(warmup_passes=0), rng=0)
+        warm = solve_lrfu(tiny_problem, LRFUSchemeConfig(warmup_passes=2), rng=0)
+        # Warmed caches should not serve (meaningfully) less.
+        assert warm.cost(tiny_problem) <= cold.cost(tiny_problem) * 1.05
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            LRFUSchemeConfig(horizon=0.0)
+        with pytest.raises(ValidationError):
+            LRFUSchemeConfig(stream="telepathy")
+        with pytest.raises(ValidationError):
+            LRFUSchemeConfig(steering="clairvoyant")
+        with pytest.raises(ValidationError):
+            LRFUSchemeConfig(warmup_passes=-1)

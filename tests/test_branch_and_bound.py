@@ -1,0 +1,87 @@
+"""Tests for the mixed-binary branch-and-bound solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError, SolverError, ValidationError
+from repro.solvers.branch_and_bound import solve_mixed_binary_lp
+
+
+def brute_force(c, a_ub, b_ub, binary_indices, upper):
+    """Enumerate binary assignments; solve the continuous rest by LP."""
+    from repro.solvers.lp import solve_lp
+
+    c = np.asarray(c, dtype=float)
+    best = np.inf
+    for assignment in itertools.product([0.0, 1.0], repeat=len(binary_indices)):
+        a_eq = np.zeros((len(binary_indices), c.size))
+        b_eq = np.array(assignment)
+        for row, index in enumerate(binary_indices):
+            a_eq[row, index] = 1.0
+        try:
+            result = solve_lp(c, a_ub, b_ub, a_eq, b_eq, upper, backend="simplex")
+        except InfeasibleError:
+            continue
+        best = min(best, result.objective)
+    return best
+
+
+class TestKnownMILPs:
+    def test_pure_binary_knapsack(self):
+        # max 5a + 4b + 3c s.t. 2a + 3b + c <= 4  (classic 0/1 knapsack)
+        c = [-5.0, -4.0, -3.0]
+        a = [[2.0, 3.0, 1.0]]
+        b = [4.0]
+        result = solve_mixed_binary_lp(c, a, b, binary_indices=[0, 1, 2])
+        assert result.objective == pytest.approx(-8.0)  # take a and c
+        np.testing.assert_allclose(result.x, [1.0, 0.0, 1.0])
+
+    def test_mixed_variables(self):
+        # binary x0 gates continuous x1 <= 2 x0; maximize x1 - 0.5 x0
+        c = [0.5, -1.0]
+        a = [[-2.0, 1.0]]
+        b = [0.0]
+        result = solve_mixed_binary_lp(c, a, b, binary_indices=[0], upper=[1.0, 5.0])
+        assert result.objective == pytest.approx(-1.5)
+        np.testing.assert_allclose(result.x, [1.0, 2.0])
+
+    def test_lp_already_integral(self):
+        result = solve_mixed_binary_lp([-1.0], None, None, binary_indices=[0])
+        assert result.objective == pytest.approx(-1.0)
+        assert result.nodes_explored == 1
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            solve_mixed_binary_lp(
+                [1.0], [[1.0]], [-1.0], binary_indices=[0]
+            )
+
+    def test_bad_binary_index(self):
+        with pytest.raises(ValidationError):
+            solve_mixed_binary_lp([1.0], None, None, binary_indices=[3])
+
+    def test_node_budget(self):
+        rng = np.random.default_rng(3)
+        n = 10
+        c = -rng.uniform(1, 2, n)
+        a = rng.uniform(0.1, 1.0, (1, n))
+        b = [a.sum() * 0.37]
+        with pytest.raises(SolverError):
+            solve_mixed_binary_lp(c, a, b, binary_indices=range(n), max_nodes=2)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_small_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        c = rng.uniform(-5, 5, n)
+        a = rng.uniform(0.0, 2.0, (2, n))
+        b = rng.uniform(1.0, 4.0, 2)
+        upper = np.ones(n)
+        binaries = [0, 1, 2]
+        mine = solve_mixed_binary_lp(c, a, b, binary_indices=binaries, upper=upper)
+        reference = brute_force(c, a, b, binaries, upper)
+        assert mine.objective == pytest.approx(reference, abs=1e-6)

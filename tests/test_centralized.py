@@ -1,0 +1,82 @@
+"""Tests for the centralized reference solvers (LP relaxation, B&B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.centralized import solve_centralized, solve_exact, solve_lp_relaxation
+from repro.core.solution import Solution
+
+from conftest import random_problem
+
+
+class TestLPRelaxation:
+    def test_lower_bounds_w(self, tiny_problem):
+        cost, _, _ = solve_lp_relaxation(tiny_problem)
+        assert cost <= tiny_problem.max_cost() + 1e-9
+
+    def test_relaxed_caching_in_box(self, tiny_problem):
+        _, caching, routing = solve_lp_relaxation(tiny_problem)
+        assert caching.min() >= -1e-9 and caching.max() <= 1.0 + 1e-9
+        assert routing.min() >= -1e-9 and routing.max() <= 1.0 + 1e-9
+
+    def test_backends_agree(self, tiny_problem):
+        cost_simplex, _, _ = solve_lp_relaxation(tiny_problem, backend="simplex")
+        cost_scipy, _, _ = solve_lp_relaxation(tiny_problem, backend="scipy")
+        assert cost_simplex == pytest.approx(cost_scipy, rel=1e-8)
+
+
+class TestCentralized:
+    def test_solution_feasible(self, tiny_problem):
+        result = solve_centralized(tiny_problem)
+        assert result.solution.is_feasible(tiny_problem)
+
+    def test_cost_between_bound_and_w(self, tiny_problem):
+        result = solve_centralized(tiny_problem)
+        assert result.lower_bound - 1e-9 <= result.cost <= tiny_problem.max_cost()
+
+    def test_gap_nonnegative(self, rng):
+        for _ in range(4):
+            problem = random_problem(rng)
+            result = solve_centralized(problem)
+            assert result.integrality_gap >= 0.0
+            assert result.solution.is_feasible(problem)
+
+    def test_cost_consistent_with_solution(self, tiny_problem):
+        result = solve_centralized(tiny_problem)
+        assert result.cost == pytest.approx(result.solution.cost(tiny_problem), rel=1e-9)
+
+
+class TestExact:
+    def test_matches_centralized_when_relaxation_tight(self, tiny_problem):
+        exact = solve_exact(tiny_problem)
+        rounded = solve_centralized(tiny_problem)
+        assert exact.cost <= rounded.cost + 1e-6
+
+    def test_exact_solution_feasible(self, tiny_problem):
+        exact = solve_exact(tiny_problem)
+        assert exact.solution.is_feasible(tiny_problem)
+
+    def test_exact_beats_all_manual_caches(self, single_sbs_problem):
+        """Exhaustively verify exactness on the single-SBS instance."""
+        import itertools
+
+        from repro.core.routing import optimal_routing_for_cache
+
+        exact = solve_exact(single_sbs_problem)
+        best = np.inf
+        for subset in itertools.chain.from_iterable(
+            itertools.combinations(range(3), k) for k in range(2)
+        ):
+            caching = np.zeros((1, 3))
+            caching[0, list(subset)] = 1.0
+            routing = optimal_routing_for_cache(single_sbs_problem, caching)
+            best = min(best, Solution(caching=caching, routing=routing).cost(single_sbs_problem))
+        assert exact.cost == pytest.approx(best, rel=1e-6)
+
+    def test_exact_random_instances(self, rng):
+        for _ in range(3):
+            problem = random_problem(rng, num_sbs=2, num_groups=3, num_files=4)
+            exact = solve_exact(problem)
+            relaxed, _, _ = solve_lp_relaxation(problem)
+            assert exact.cost >= relaxed - 1e-6
+            assert exact.solution.is_feasible(problem)

@@ -1,0 +1,72 @@
+"""Tests for convergence tracking."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import CostHistory, PhaseRecord
+
+
+def history_with(costs, initial=100.0):
+    history = CostHistory(initial_cost=initial)
+    for index, cost in enumerate(costs):
+        history.record_phase(
+            PhaseRecord(iteration=0, phase=index, sbs=index, cost=cost, noise_l1=0.5)
+        )
+    return history
+
+
+class TestCostHistory:
+    def test_final_cost_initial_when_empty(self):
+        history = CostHistory(initial_cost=42.0)
+        assert history.final_cost == 42.0
+
+    def test_final_cost_last_iteration(self):
+        history = CostHistory(initial_cost=42.0)
+        history.close_iteration(30.0)
+        history.close_iteration(25.0)
+        assert history.final_cost == 25.0
+
+    def test_relative_improvement_none_initially(self):
+        history = CostHistory(initial_cost=10.0)
+        history.close_iteration(8.0)
+        assert history.relative_improvement() is None
+
+    def test_relative_improvement_value(self):
+        history = CostHistory(initial_cost=10.0)
+        history.close_iteration(8.0)
+        history.close_iteration(4.0)
+        assert history.relative_improvement() == pytest.approx(1.0)
+
+    def test_relative_improvement_zero_cost(self):
+        history = CostHistory(initial_cost=10.0)
+        history.close_iteration(1.0)
+        history.close_iteration(0.0)
+        assert history.relative_improvement() == 0.0
+
+    def test_non_increasing_true(self):
+        history = history_with([90.0, 80.0, 80.0, 70.0])
+        assert history.is_non_increasing()
+
+    def test_non_increasing_false(self):
+        history = history_with([90.0, 95.0])
+        assert not history.is_non_increasing()
+
+    def test_non_increasing_respects_initial(self):
+        history = history_with([150.0], initial=100.0)
+        assert not history.is_non_increasing()
+
+    def test_total_noise(self):
+        history = history_with([90.0, 80.0])
+        assert history.total_noise() == pytest.approx(1.0)
+
+    def test_phase_costs_array(self):
+        history = history_with([90.0, 80.0])
+        np.testing.assert_allclose(history.phase_costs(), [90.0, 80.0])
+
+    def test_summary(self):
+        history = history_with([90.0, 80.0])
+        history.close_iteration(80.0)
+        summary = history.summary()
+        assert summary["iterations"] == 1
+        assert summary["phases"] == 2
+        assert summary["final_cost"] == 80.0

@@ -1,0 +1,136 @@
+"""Tests for the convex cost-model extension."""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.core.convex import CongestionCostModel, solve_convex_routing
+from repro.core.cost import LinearCostModel
+from repro.core.routing import optimal_routing_for_sbs, residual_caps
+from repro.exceptions import ValidationError
+
+
+class TestCongestionCostModel:
+    def test_gamma_zero_matches_linear(self, tiny_problem, rng):
+        quadratic = CongestionCostModel(gamma=0.0)
+        linear = LinearCostModel()
+        y = rng.uniform(0.0, 0.3, size=tiny_problem.shape)
+        assert quadratic.total(tiny_problem, y) == pytest.approx(
+            linear.total(tiny_problem, y)
+        )
+
+    def test_congestion_term_value(self, tiny_problem):
+        model = CongestionCostModel(gamma=2.0)
+        y = np.zeros(tiny_problem.shape)
+        y[0, 0, 0] = 0.5  # traffic 4.0 at SBS 0, bandwidth 10
+        assert model.congestion(tiny_problem, y) == pytest.approx(2.0 * 16.0 / 10.0)
+
+    def test_convexity_along_segment(self, tiny_problem, rng):
+        """f(t a + (1-t) b) <= t f(a) + (1-t) f(b) for the SBS part."""
+        model = CongestionCostModel(gamma=3.0, clip_residual=False)
+        a = rng.uniform(0.0, 0.3, size=tiny_problem.shape)
+        b = rng.uniform(0.0, 0.3, size=tiny_problem.shape)
+        for t in (0.2, 0.5, 0.8):
+            mixed = model.total(tiny_problem, t * a + (1 - t) * b)
+            assert mixed <= t * model.total(tiny_problem, a) + (1 - t) * model.total(
+                tiny_problem, b
+            ) + 1e-9
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(Exception):
+            CongestionCostModel(gamma=-1.0)
+
+
+class TestConvexRouting:
+    def test_gamma_zero_recovers_knapsack(self, tiny_problem):
+        cached = np.ones(4)
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        knapsack = optimal_routing_for_sbs(tiny_problem, 0, cached, caps)
+        convex = solve_convex_routing(
+            tiny_problem, 0, cached, caps, CongestionCostModel(gamma=0.0)
+        )
+        margin = tiny_problem.savings_margin()[0][:, np.newaxis]
+        value_knapsack = float(np.sum(margin * tiny_problem.demand * knapsack))
+        value_convex = float(np.sum(margin * tiny_problem.demand * convex))
+        assert value_convex == pytest.approx(value_knapsack, rel=1e-4)
+
+    def test_feasibility(self, tiny_problem):
+        cached = np.ones(4)
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        routing = solve_convex_routing(
+            tiny_problem, 0, cached, caps, CongestionCostModel(gamma=50.0)
+        )
+        assert routing.min() >= 0.0
+        assert np.all(routing <= caps + 1e-9)
+        traffic = float(np.sum(routing * tiny_problem.demand))
+        assert traffic <= tiny_problem.bandwidth[0] + 1e-6
+
+    def test_congestion_reduces_load(self, tiny_problem):
+        """Strong congestion pricing makes the SBS serve less traffic."""
+        cached = np.ones(4)
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        light = solve_convex_routing(
+            tiny_problem, 0, cached, caps, CongestionCostModel(gamma=0.0)
+        )
+        heavy = solve_convex_routing(
+            tiny_problem, 0, cached, caps, CongestionCostModel(gamma=1000.0)
+        )
+        load_light = float(np.sum(light * tiny_problem.demand))
+        load_heavy = float(np.sum(heavy * tiny_problem.demand))
+        assert load_heavy < load_light
+
+    def test_uncached_files_never_served(self, tiny_problem):
+        cached = np.array([1.0, 0.0, 0.0, 0.0])
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        routing = solve_convex_routing(
+            tiny_problem, 0, cached, caps, CongestionCostModel(gamma=1.0)
+        )
+        assert np.all(routing[:, 1:] == 0.0)
+
+    def test_matches_semianalytic_optimum(self, tiny_problem):
+        """Exact reference: for any total traffic level T the best
+        allocation fills the highest-margin pairs first (exchange
+        argument), so the problem reduces to a 1-D convex minimization
+        over T, solved by dense grid search."""
+        model = CongestionCostModel(gamma=25.0)
+        cached = np.ones(4)
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        mine = solve_convex_routing(tiny_problem, 0, cached, caps, model)
+
+        margin = tiny_problem.savings_margin()[0]
+        demand = tiny_problem.demand
+        budget = float(tiny_problem.bandwidth[0])
+        scale = max(budget, 1.0)
+
+        # Pair capacities in traffic units, sorted by margin descending.
+        pair_margin = np.repeat(margin[:, np.newaxis], 4, axis=1).ravel()
+        pair_traffic = (caps * demand).ravel()
+        order = np.argsort(-pair_margin, kind="stable")
+        sorted_margin = pair_margin[order]
+        sorted_traffic = pair_traffic[order]
+        boundaries = np.concatenate(([0.0], np.cumsum(sorted_traffic)))
+
+        def best_linear_value(total: float) -> float:
+            """Max savings achievable with total traffic ``total``."""
+            value = 0.0
+            remaining = total
+            for m, cap in zip(sorted_margin, sorted_traffic):
+                take = min(cap, remaining)
+                value += m * take
+                remaining -= take
+                if remaining <= 0:
+                    break
+            return value
+
+        grid = np.linspace(0.0, min(budget, boundaries[-1]), 4001)
+        values = np.array(
+            [-best_linear_value(t) + model.gamma * t**2 / scale for t in grid]
+        )
+        reference = float(values.min())
+
+        traffic = float(np.sum(mine * demand))
+        mine_value = (
+            -float(np.sum(margin[:, np.newaxis] * demand * mine))
+            + model.gamma * traffic**2 / scale
+        )
+        assert mine_value == pytest.approx(reference, abs=1e-2 * max(1.0, abs(reference)))

@@ -1,0 +1,118 @@
+"""Tests for the cost functions f1, f2 and f (Eqs. 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    LinearCostModel,
+    bs_serving_cost,
+    residual_fraction,
+    sbs_serving_cost,
+    served_fraction,
+    total_cost,
+)
+from repro.exceptions import ValidationError
+
+
+class TestZeroRouting:
+    def test_f1_zero(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        assert sbs_serving_cost(tiny_problem, y) == 0.0
+
+    def test_f2_equals_max_cost(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        assert bs_serving_cost(tiny_problem, y) == pytest.approx(tiny_problem.max_cost())
+
+    def test_total_is_w(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        assert total_cost(tiny_problem, y) == pytest.approx(tiny_problem.max_cost())
+
+
+class TestSingleCoordinate:
+    def test_serving_one_unit(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        y[0, 0, 0] = 1.0  # SBS 0 serves all of group 0's demand for file 0
+        # f1 gains d * lambda = 1 * 8; f2 loses d_hat * lambda = 100 * 8
+        assert sbs_serving_cost(tiny_problem, y) == pytest.approx(8.0)
+        expected_f2 = tiny_problem.max_cost() - 800.0
+        assert bs_serving_cost(tiny_problem, y) == pytest.approx(expected_f2)
+        saving = (100.0 - 1.0) * 8.0
+        assert total_cost(tiny_problem, y) == pytest.approx(tiny_problem.max_cost() - saving)
+
+    def test_disconnected_routing_is_ignored(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        y[0, 2, 0] = 1.0  # SBS 0 does not reach group 2
+        assert sbs_serving_cost(tiny_problem, y) == 0.0
+        assert total_cost(tiny_problem, y) == pytest.approx(tiny_problem.max_cost())
+
+
+class TestMonotonicity:
+    def test_cost_decreases_in_y(self, tiny_problem, rng):
+        base = np.zeros(tiny_problem.shape)
+        cost = total_cost(tiny_problem, base)
+        for _ in range(20):
+            n = rng.integers(tiny_problem.num_sbs)
+            u = rng.integers(tiny_problem.num_groups)
+            f = rng.integers(tiny_problem.num_files)
+            if tiny_problem.connectivity[n, u] == 0:
+                continue
+            served = np.einsum("nuf,nu->uf", base, tiny_problem.connectivity)
+            room = 1.0 - served[u, f]
+            if room <= 0:
+                continue
+            base[n, u, f] += min(0.2, room)
+            new_cost = total_cost(tiny_problem, base)
+            assert new_cost <= cost + 1e-9
+            cost = new_cost
+
+
+class TestFractions:
+    def test_served_fraction(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        y[0, 1, 0] = 0.4
+        y[1, 1, 0] = 0.5
+        served = served_fraction(tiny_problem, y)
+        assert served[1, 0] == pytest.approx(0.9)
+
+    def test_residual_clipping(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        y[0, 1, 0] = 0.8
+        y[1, 1, 0] = 0.8  # over-served: 1.6 total
+        clipped = residual_fraction(tiny_problem, y, clip=True)
+        raw = residual_fraction(tiny_problem, y, clip=False)
+        assert clipped[1, 0] == 0.0
+        assert raw[1, 0] == pytest.approx(-0.6)
+
+    def test_overserving_does_not_earn_negative_bs_cost(self, tiny_problem):
+        y = np.zeros(tiny_problem.shape)
+        y[0, 1, :] = 1.0
+        y[1, 1, :] = 1.0
+        assert bs_serving_cost(tiny_problem, y) >= 0.0
+
+    def test_shape_mismatch_rejected(self, tiny_problem):
+        with pytest.raises(ValidationError, match="shape"):
+            total_cost(tiny_problem, np.zeros((1, 1, 1)))
+
+
+class TestLinearCostModel:
+    def test_total_matches_functions(self, tiny_problem, rng):
+        model = LinearCostModel()
+        y = rng.uniform(0.0, 0.3, size=tiny_problem.shape)
+        assert model.total(tiny_problem, y) == pytest.approx(
+            model.sbs_cost(tiny_problem, y) + model.bs_cost(tiny_problem, y)
+        )
+
+    def test_savings_complement(self, tiny_problem, rng):
+        model = LinearCostModel()
+        y = rng.uniform(0.0, 0.2, size=tiny_problem.shape)
+        assert model.savings(tiny_problem, y) == pytest.approx(
+            tiny_problem.max_cost() - model.total(tiny_problem, y)
+        )
+
+    def test_unclipped_model(self, tiny_problem):
+        model = LinearCostModel(clip_residual=False)
+        y = np.zeros(tiny_problem.shape)
+        y[0, 1, 0] = 1.0
+        y[1, 1, 0] = 1.0
+        clipped = LinearCostModel().total(tiny_problem, y)
+        assert model.total(tiny_problem, y) < clipped

@@ -1,0 +1,222 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines.lrfu_scheme import LRFUSchemeConfig, solve_lrfu
+from repro.core.centralized import solve_centralized, solve_lp_relaxation
+from repro.core.distributed import (
+    BaseStationAgent,
+    DistributedConfig,
+    solve_distributed,
+)
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Solution
+from repro.exceptions import ProtocolError, ValidationError
+from repro.experiments.runner import run_sweep
+from repro.network.messaging import Channel, Message, MessageKind
+
+
+def make_problem(**overrides) -> ProblemInstance:
+    args = dict(
+        demand=np.array([[4.0, 2.0], [3.0, 1.0]]),
+        connectivity=np.array([[1.0, 1.0]]),
+        cache_capacity=np.array([1.0]),
+        bandwidth=np.array([5.0]),
+        sbs_cost=np.ones((1, 2)),
+        bs_cost=np.array([50.0, 60.0]),
+    )
+    args.update(overrides)
+    return ProblemInstance(**args)
+
+
+class TestDegenerateProblems:
+    def test_zero_cache_capacity(self):
+        problem = make_problem(cache_capacity=np.array([0.0]))
+        result = solve_distributed(problem, DistributedConfig(max_iterations=3))
+        assert result.cost == pytest.approx(problem.max_cost())
+        assert np.all(result.solution.caching == 0.0)
+
+    def test_zero_bandwidth(self):
+        problem = make_problem(bandwidth=np.array([0.0]))
+        result = solve_distributed(problem, DistributedConfig(max_iterations=3))
+        assert result.cost == pytest.approx(problem.max_cost())
+        assert np.all(result.solution.routing == 0.0)
+
+    def test_no_connectivity(self):
+        problem = make_problem(connectivity=np.array([[0.0, 0.0]]))
+        result = solve_distributed(problem, DistributedConfig(max_iterations=3))
+        assert result.cost == pytest.approx(problem.max_cost())
+
+    def test_zero_demand(self):
+        problem = make_problem(demand=np.zeros((2, 2)))
+        result = solve_distributed(problem, DistributedConfig(max_iterations=3))
+        assert result.cost == 0.0
+
+    def test_centralized_on_degenerate(self):
+        for overrides in (
+            dict(cache_capacity=np.array([0.0])),
+            dict(bandwidth=np.array([0.0])),
+            dict(connectivity=np.array([[0.0, 0.0]])),
+        ):
+            problem = make_problem(**overrides)
+            result = solve_centralized(problem)
+            assert result.cost == pytest.approx(problem.max_cost())
+            assert result.solution.is_feasible(problem)
+
+    def test_lp_relaxation_on_zero_demand(self):
+        problem = make_problem(demand=np.zeros((2, 2)))
+        cost, _, _ = solve_lp_relaxation(problem)
+        assert cost == pytest.approx(0.0)
+
+    def test_huge_cache_capacity_caps_at_files(self):
+        problem = make_problem(cache_capacity=np.array([100.0]))
+        result = solve_distributed(problem, DistributedConfig(max_iterations=3))
+        assert result.solution.cache_occupancy()[0] <= problem.num_files
+
+    def test_lrfu_zero_bandwidth(self):
+        problem = make_problem(bandwidth=np.array([0.0]))
+        result = solve_lrfu(problem, LRFUSchemeConfig(stream="deterministic"), rng=0)
+        assert result.edge_served_volume == 0.0
+        assert result.cost(problem) == pytest.approx(problem.max_cost())
+
+    def test_single_file_problem(self):
+        problem = make_problem(
+            demand=np.array([[4.0], [3.0]]),
+            sbs_cost=np.ones((1, 2)),
+            bs_cost=np.array([50.0, 60.0]),
+        )
+        result = solve_distributed(problem, DistributedConfig(max_iterations=3))
+        assert result.solution.is_feasible(problem)
+        assert result.cost < problem.max_cost()
+
+
+class TestProtocolErrors:
+    def _bs_with_channel(self, tiny_problem):
+        channel = Channel()
+        bs = BaseStationAgent(tiny_problem, channel)
+        channel.register("sbs-0")
+        return channel, bs
+
+    def test_wrong_sender_rejected(self, tiny_problem):
+        channel, bs = self._bs_with_channel(tiny_problem)
+        channel.register("sbs-9")
+        channel.send(
+            Message(
+                kind=MessageKind.POLICY_UPLOAD,
+                sender="sbs-9",
+                recipient="bs",
+                payload=np.zeros((3, 4)),
+                iteration=0,
+                phase=0,
+            )
+        )
+        with pytest.raises(ProtocolError, match="expected an upload from sbs-0"):
+            bs.collect_upload(0)
+
+    def test_wrong_kind_rejected(self, tiny_problem):
+        channel, bs = self._bs_with_channel(tiny_problem)
+        channel.send(
+            Message(
+                kind=MessageKind.CONTROL,
+                sender="sbs-0",
+                recipient="bs",
+                payload=np.zeros((3, 4)),
+                iteration=0,
+                phase=0,
+            )
+        )
+        with pytest.raises(ProtocolError, match="expected a policy upload"):
+            bs.collect_upload(0)
+
+    def test_wrong_shape_rejected(self, tiny_problem):
+        channel, bs = self._bs_with_channel(tiny_problem)
+        channel.send(
+            Message(
+                kind=MessageKind.POLICY_UPLOAD,
+                sender="sbs-0",
+                recipient="bs",
+                payload=np.zeros((2, 2)),
+                iteration=0,
+                phase=0,
+            )
+        )
+        with pytest.raises(ProtocolError, match="wrong shape"):
+            bs.collect_upload(0)
+
+
+class TestRunnerBranches:
+    def test_sweep_without_lrfu(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.workload.trace import TraceConfig
+
+        scenario = ScenarioConfig(
+            num_groups=5,
+            num_links=8,
+            bandwidth=50.0,
+            cache_capacity=3,
+            trace=TraceConfig(num_videos=8, head_views=1000.0, tail_views=100.0),
+            demand_to_bandwidth=2.0,
+        )
+        result = run_sweep(
+            name="mini",
+            x_label="eps",
+            x_values=[1.0],
+            scenario_of_x=lambda _x: scenario,
+            epsilon_of_x=lambda x: float(x),
+            seeds=(7,),
+            include_lrfu=False,
+            distributed_config=DistributedConfig(accuracy=1e-3, max_iterations=3),
+        )
+        assert result.schemes == ("optimum", "lppm")
+        assert "lrfu" not in result.points[0].costs
+
+
+class TestLRFUSteeringBranches:
+    def test_load_balance_steering(self, tiny_problem):
+        result = solve_lrfu(
+            tiny_problem,
+            LRFUSchemeConfig(steering="load_balance", stream="deterministic"),
+            rng=0,
+        )
+        assert result.requests_processed > 0
+
+    def test_load_balance_at_least_as_much_edge_volume(self, tiny_problem):
+        """Coordinated steering should serve at least as much volume as
+        random steering on average."""
+        random_runs = [
+            solve_lrfu(
+                tiny_problem, LRFUSchemeConfig(steering="random", stream="poisson"), rng=seed
+            ).edge_served_volume
+            for seed in range(5)
+        ]
+        balanced_runs = [
+            solve_lrfu(
+                tiny_problem,
+                LRFUSchemeConfig(steering="load_balance", stream="poisson"),
+                rng=seed,
+            ).edge_served_volume
+            for seed in range(5)
+        ]
+        assert np.mean(balanced_runs) >= np.mean(random_runs) * 0.9
+
+
+class TestSolutionRepairCorners:
+    def test_repair_zero_capacity(self):
+        problem = make_problem(cache_capacity=np.array([0.0]))
+        bad = Solution(caching=np.ones((1, 2)), routing=np.ones(problem.shape))
+        repaired = bad.repaired(problem)
+        assert repaired.is_feasible(problem)
+        assert repaired.cache_occupancy()[0] == 0.0
+
+    def test_repair_zero_bandwidth(self):
+        problem = make_problem(bandwidth=np.array([0.0]))
+        bad = Solution(
+            caching=np.array([[1.0, 0.0]]),
+            routing=np.full(problem.shape, 0.5),
+        )
+        repaired = bad.repaired(problem)
+        assert repaired.is_feasible(problem)
+        assert repaired.bandwidth_usage(problem)[0] == pytest.approx(0.0)

@@ -1,0 +1,71 @@
+"""Tests for the network entity dataclasses."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network.entities import (
+    BaseStation,
+    MobileUserGroup,
+    Position,
+    SmallBaseStation,
+)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0.0, 0.0).distance_to(Position(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Position(1.0, 2.0), Position(-1.0, 0.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_self_distance_zero(self):
+        p = Position(2.0, 3.0)
+        assert p.distance_to(p) == 0.0
+
+
+class TestBaseStation:
+    def test_valid(self):
+        BaseStation(position=Position(0, 0))
+
+    def test_cost_ordering_enforced(self):
+        with pytest.raises(ValidationError):
+            BaseStation(position=Position(0, 0), transmit_cost_low=10.0, transmit_cost_high=5.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            BaseStation(position=Position(0, 0), transmit_cost_low=-1.0)
+
+
+class TestSmallBaseStation:
+    def test_valid(self):
+        sbs = SmallBaseStation(
+            index=0, position=Position(1, 1), cache_capacity=5, bandwidth=100.0
+        )
+        assert sbs.operator == "default"
+
+    def test_negative_index(self):
+        with pytest.raises(ValidationError):
+            SmallBaseStation(index=-1, position=Position(0, 0), cache_capacity=1, bandwidth=1.0)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValidationError):
+            SmallBaseStation(index=0, position=Position(0, 0), cache_capacity=-1, bandwidth=1.0)
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(ValidationError):
+            SmallBaseStation(index=0, position=Position(0, 0), cache_capacity=1, bandwidth=-1.0)
+
+
+class TestMobileUserGroup:
+    def test_valid(self):
+        group = MobileUserGroup(index=0, position=Position(0, 0))
+        assert group.population == 1
+
+    def test_zero_population_rejected(self):
+        with pytest.raises(ValidationError):
+            MobileUserGroup(index=0, position=Position(0, 0), population=0)
+
+    def test_negative_index(self):
+        with pytest.raises(ValidationError):
+            MobileUserGroup(index=-2, position=Position(0, 0))

@@ -1,0 +1,77 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    InfeasibleError,
+    PrivacyError,
+    ProtocolError,
+    ReproError,
+    SolverError,
+    UnboundedError,
+    ValidationError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ValidationError,
+            InfeasibleError,
+            UnboundedError,
+            SolverError,
+            PrivacyError,
+            ProtocolError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise InfeasibleError("nope")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.solvers",
+            "repro.privacy",
+            "repro.network",
+            "repro.workload",
+            "repro.baselines",
+            "repro.attacks",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__all__, f"{module} exports nothing"
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_quickstart_snippet_runs(self):
+        """The README's quickstart must stay executable."""
+        from repro import build_problem, run_optimum
+
+        problem = build_problem()
+        assert problem.num_sbs == 3
+        # run_optimum exercised at scale elsewhere; here only the import
+        # surface and the default problem construction are the target.
+        assert callable(run_optimum)

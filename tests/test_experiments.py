@@ -1,0 +1,167 @@
+"""Tests for the experiment harness (scenarios, schemes, sweeps, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig
+from repro.exceptions import ValidationError
+from repro.experiments.config import DEFAULT_SCENARIO, ScenarioConfig, build_problem
+from repro.experiments.reporting import (
+    format_headline_gaps,
+    format_series,
+    format_sweep_table,
+)
+from repro.experiments.runner import SweepPoint, SweepResult, average_gap, run_sweep
+from repro.experiments.schemes import run_centralized, run_lppm, run_lrfu, run_optimum
+from repro.workload.trace import TraceConfig
+
+SMALL = ScenarioConfig(
+    num_groups=8,
+    num_links=12,
+    bandwidth=100.0,
+    cache_capacity=4,
+    trace=TraceConfig(num_videos=12, head_views=5000.0, tail_views=200.0),
+    demand_to_bandwidth=3.0,
+)
+FAST = DistributedConfig(accuracy=1e-3, max_iterations=4)
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_SCENARIO.num_sbs == 3
+        assert DEFAULT_SCENARIO.num_groups == 30
+        assert DEFAULT_SCENARIO.num_links == 40
+        assert DEFAULT_SCENARIO.bandwidth == 1000.0
+        assert DEFAULT_SCENARIO.bs_cost_range == (100.0, 150.0)
+        assert DEFAULT_SCENARIO.sbs_cost == 1.0
+
+    def test_replace(self):
+        changed = DEFAULT_SCENARIO.replace(num_groups=20)
+        assert changed.num_groups == 20
+        assert DEFAULT_SCENARIO.num_groups == 30
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ScenarioConfig(num_links=1000)
+        with pytest.raises(ValidationError):
+            ScenarioConfig(demand_to_bandwidth=0.0)
+        with pytest.raises(ValidationError):
+            ScenarioConfig(bs_cost_range=(0.1, 0.2))
+
+
+class TestBuildProblem:
+    def test_shapes(self):
+        problem = build_problem(SMALL)
+        assert problem.shape == (3, 8, 12)
+        assert problem.num_links() == 12
+
+    def test_demand_scaling(self):
+        problem = build_problem(SMALL)
+        expected = SMALL.demand_to_bandwidth * SMALL.bandwidth * SMALL.num_sbs
+        assert problem.total_demand() == pytest.approx(expected)
+
+    def test_reference_bandwidth_pins_demand(self):
+        wide = SMALL.replace(bandwidth=500.0, reference_bandwidth=100.0)
+        problem = build_problem(wide)
+        assert problem.total_demand() == pytest.approx(3.0 * 100.0 * 3)
+        assert problem.bandwidth[0] == 500.0
+
+    def test_reproducible(self):
+        a = build_problem(SMALL)
+        b = build_problem(SMALL)
+        np.testing.assert_array_equal(a.demand, b.demand)
+        np.testing.assert_array_equal(a.connectivity, b.connectivity)
+
+    def test_different_seeds_differ(self):
+        a = build_problem(SMALL)
+        b = build_problem(SMALL.replace(seed=99))
+        assert not np.array_equal(a.demand, b.demand)
+
+
+class TestSchemes:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return build_problem(SMALL)
+
+    def test_optimum(self, problem):
+        result = run_optimum(problem, config=FAST, rng=0)
+        assert result.scheme == "optimum"
+        assert result.cost < problem.max_cost()
+        assert result.solution.is_feasible(problem)
+
+    def test_lppm(self, problem):
+        result = run_lppm(problem, 0.1, config=FAST, rng=0)
+        assert result.scheme == "lppm"
+        assert result.metadata["epsilon"] == 0.1
+        assert result.metadata["noise_l1"] > 0.0
+
+    def test_lppm_ordering(self, problem):
+        optimum = run_optimum(problem, config=FAST, rng=0)
+        lppm = run_lppm(problem, 0.1, config=FAST, rng=0)
+        assert lppm.cost >= optimum.cost - 1e-6
+
+    def test_lrfu(self, problem):
+        result = run_lrfu(problem, rng=0)
+        assert result.scheme == "lrfu"
+        assert 0.0 <= result.metadata["hit_ratio"] <= 1.0
+
+    def test_centralized(self, problem):
+        result = run_centralized(problem)
+        assert result.metadata["lower_bound"] <= result.cost + 1e-6
+
+
+class TestSweeps:
+    def test_run_sweep_structure(self):
+        result = run_sweep(
+            name="mini",
+            x_label="epsilon",
+            x_values=[0.1, 10.0],
+            scenario_of_x=lambda _x: SMALL,
+            epsilon_of_x=lambda x: float(x),
+            seeds=(7,),
+            distributed_config=FAST,
+        )
+        assert result.schemes == ("optimum", "lppm", "lrfu")
+        assert len(result.points) == 2
+        assert result.x_values().tolist() == [0.1, 10.0]
+        assert np.all(result.series("lppm") >= result.series("optimum") - 1e-6)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValidationError):
+            run_sweep(
+                name="x",
+                x_label="x",
+                x_values=[],
+                scenario_of_x=lambda _x: SMALL,
+                epsilon_of_x=lambda x: 0.1,
+            )
+
+    def test_average_gap(self):
+        point = SweepPoint(x=1.0, costs={"a": 110.0, "b": 100.0}, stds={})
+        result = SweepResult(name="t", x_label="x", points=(point,), schemes=("a", "b"))
+        assert average_gap(result, "a", "b") == pytest.approx(0.1)
+
+
+class TestReporting:
+    def make_result(self):
+        points = (
+            SweepPoint(x=0.1, costs={"optimum": 100.0, "lppm": 110.0, "lrfu": 130.0}, stds={}),
+            SweepPoint(x=1.0, costs={"optimum": 100.0, "lppm": 104.0, "lrfu": 130.0}, stds={}),
+        )
+        return SweepResult(
+            name="demo", x_label="epsilon", points=points, schemes=("optimum", "lppm", "lrfu")
+        )
+
+    def test_table_contains_everything(self):
+        table = format_sweep_table(self.make_result())
+        assert "epsilon" in table
+        assert "110.0" in table
+        assert table.count("\n") >= 3
+
+    def test_headline_gaps(self):
+        text = format_headline_gaps(self.make_result())
+        assert "+7.0%" in text  # mean of 10% and 4%
+        assert "LRFU" in text
+
+    def test_series(self):
+        assert format_series("x", [1.234, 5.678]) == "x: [1.2, 5.7]"

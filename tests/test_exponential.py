@@ -1,0 +1,100 @@
+"""Tests for the exponential mechanism and private cache selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError, ValidationError
+from repro.privacy.exponential import exponential_mechanism, private_cache_selection
+
+
+class TestExponentialMechanism:
+    def test_returns_valid_index(self):
+        index = exponential_mechanism([1.0, 2.0, 3.0], epsilon=1.0, rng=0)
+        assert index in (0, 1, 2)
+
+    def test_high_epsilon_picks_best(self):
+        scores = [1.0, 10.0, 2.0]
+        picks = [
+            exponential_mechanism(scores, epsilon=200.0, rng=seed) for seed in range(20)
+        ]
+        assert all(pick == 1 for pick in picks)
+
+    def test_low_epsilon_near_uniform(self):
+        scores = [0.0, 100.0]
+        rng = np.random.default_rng(0)
+        picks = [exponential_mechanism(scores, epsilon=1e-6, rng=rng) for _ in range(400)]
+        frequency = np.mean(picks)
+        assert 0.35 < frequency < 0.65
+
+    def test_shift_invariance(self):
+        """Adding a constant to all scores must not change the draw."""
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        a = exponential_mechanism([1.0, 5.0, 2.0], 1.0, rng=rng_a)
+        b = exponential_mechanism([101.0, 105.0, 102.0], 1.0, rng=rng_b)
+        assert a == b
+
+    def test_probability_ratio_bound(self):
+        """Core DP property: P(i)/P(j) <= exp(eps (s_i - s_j) / (2 Delta))."""
+        scores = np.array([0.0, 1.0])
+        epsilon, sensitivity = 2.0, 1.0
+        rng = np.random.default_rng(1)
+        picks = np.array(
+            [exponential_mechanism(scores, epsilon, sensitivity, rng=rng) for _ in range(4000)]
+        )
+        p1 = picks.mean()
+        ratio = p1 / (1.0 - p1)
+        assert ratio <= np.exp(epsilon * 1.0 / (2.0 * sensitivity)) * 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            exponential_mechanism([], 1.0)
+        with pytest.raises(ValidationError):
+            exponential_mechanism([np.inf], 1.0)
+        with pytest.raises(PrivacyError):
+            exponential_mechanism([1.0], 0.0)
+        with pytest.raises(PrivacyError):
+            exponential_mechanism([1.0], 1.0, sensitivity=0.0)
+
+
+class TestPrivateCacheSelection:
+    def test_respects_capacity(self, tiny_problem):
+        caching = private_cache_selection(tiny_problem, 0, epsilon=1.0, rng=0)
+        assert caching.sum() == tiny_problem.cache_capacity[0]
+        assert set(np.unique(caching)).issubset({0.0, 1.0})
+
+    def test_high_epsilon_matches_greedy(self, tiny_problem):
+        from repro.baselines.greedy import popularity_caching
+
+        greedy = popularity_caching(tiny_problem)
+        private = private_cache_selection(tiny_problem, 0, epsilon=1e6, rng=0)
+        np.testing.assert_array_equal(private, greedy[0])
+
+    def test_low_epsilon_randomises(self, tiny_problem):
+        caches = {
+            tuple(private_cache_selection(tiny_problem, 0, epsilon=1e-6, rng=seed))
+            for seed in range(30)
+        }
+        assert len(caches) > 1
+
+    def test_zero_capacity(self, tiny_problem):
+        problem = tiny_problem.with_cache_capacity(0.0)
+        caching = private_cache_selection(problem, 0, epsilon=1.0, rng=0)
+        assert caching.sum() == 0.0
+
+    def test_invalid_epsilon(self, tiny_problem):
+        with pytest.raises(PrivacyError):
+            private_cache_selection(tiny_problem, 0, epsilon=0.0)
+
+    def test_utility_degrades_gracefully(self, tiny_problem):
+        """Average selected value is monotone-ish in epsilon."""
+        value = tiny_problem.savings_rate()[0].sum(axis=0)
+
+        def mean_value(epsilon: float) -> float:
+            totals = []
+            for seed in range(15):
+                caching = private_cache_selection(tiny_problem, 0, epsilon=epsilon, rng=seed)
+                totals.append(float(value @ caching))
+            return float(np.mean(totals))
+
+        assert mean_value(50.0) >= mean_value(1e-6)

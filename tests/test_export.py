@@ -1,0 +1,104 @@
+"""Tests for sweep-result export/import."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.export import sweep_from_csv, sweep_to_csv, sweep_to_json
+from repro.experiments.runner import SweepPoint, SweepResult
+
+
+def make_result():
+    points = (
+        SweepPoint(
+            x=0.1,
+            costs={"optimum": 100.0, "lppm": 110.0},
+            stds={"optimum": 1.0, "lppm": 2.0},
+        ),
+        SweepPoint(
+            x=1.0,
+            costs={"optimum": 100.0, "lppm": 104.0},
+            stds={"optimum": 1.5, "lppm": 2.5},
+        ),
+    )
+    return SweepResult(
+        name="demo", x_label="epsilon", points=points, schemes=("optimum", "lppm")
+    )
+
+
+class TestCSVRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(result, path)
+        loaded = sweep_from_csv(path, name="demo")
+        assert loaded.x_label == "epsilon"
+        assert loaded.schemes == ("optimum", "lppm")
+        np.testing.assert_allclose(loaded.x_values(), result.x_values())
+        np.testing.assert_allclose(loaded.series("lppm"), result.series("lppm"))
+        assert loaded.points[0].stds["lppm"] == pytest.approx(2.0)
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(make_result(), path)
+        header = path.read_text().splitlines()[0]
+        assert header == "epsilon,optimum,lppm,optimum_std,lppm_std"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            sweep_from_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("epsilon,optimum\n")
+        with pytest.raises(ValidationError, match="no data"):
+            sweep_from_csv(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("epsilon,optimum\n0.1,abc\n")
+        with pytest.raises(ValidationError, match="non-numeric"):
+            sweep_from_csv(path)
+
+
+class TestJSON:
+    def test_structure(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep_to_json(make_result(), path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+        assert payload["schemes"] == ["optimum", "lppm"]
+        assert payload["points"][0]["costs"]["lppm"] == 110.0
+        assert payload["points"][1]["stds"]["optimum"] == 1.5
+
+    def test_real_sweep_exports(self, tmp_path):
+        """A real (tiny) sweep goes through both exporters."""
+        from repro.core.distributed import DistributedConfig
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_sweep
+        from repro.workload.trace import TraceConfig
+
+        scenario = ScenarioConfig(
+            num_groups=5,
+            num_links=8,
+            bandwidth=50.0,
+            cache_capacity=3,
+            trace=TraceConfig(num_videos=8, head_views=1000.0, tail_views=100.0),
+            demand_to_bandwidth=2.0,
+        )
+        result = run_sweep(
+            name="mini",
+            x_label="eps",
+            x_values=[1.0],
+            scenario_of_x=lambda _x: scenario,
+            epsilon_of_x=lambda x: float(x),
+            seeds=(7,),
+            include_lrfu=False,
+            distributed_config=DistributedConfig(accuracy=1e-3, max_iterations=3),
+        )
+        sweep_to_csv(result, tmp_path / "real.csv")
+        sweep_to_json(result, tmp_path / "real.json")
+        loaded = sweep_from_csv(tmp_path / "real.csv")
+        np.testing.assert_allclose(loaded.series("optimum"), result.series("optimum"))

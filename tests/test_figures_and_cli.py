@@ -1,0 +1,81 @@
+"""Smoke tests for the figure reproduction functions and the CLI.
+
+These run miniature versions of the sweeps (small scenario, single
+seed); the full-size runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import (
+    figure2_trace,
+    figure3_privacy_budget,
+    figure4_num_mus,
+    figure5_num_links,
+    figure6_bandwidth,
+)
+from repro.workload.trace import TraceConfig
+
+TINY = ScenarioConfig(
+    num_groups=8,
+    num_links=12,
+    bandwidth=100.0,
+    cache_capacity=4,
+    trace=TraceConfig(num_videos=12, head_views=5000.0, tail_views=200.0),
+    demand_to_bandwidth=3.0,
+)
+
+
+class TestFigure2:
+    def test_shape_and_head(self):
+        views = figure2_trace()
+        assert views.shape == (20,)
+        assert views[0] == pytest.approx(140_000, rel=0.01)
+        assert np.all(np.diff(views) <= 0)
+
+
+class TestFigure3:
+    def test_fast_sweep(self):
+        result = figure3_privacy_budget(epsilons=(0.1, 100.0), scenario=TINY, fast=True)
+        assert result.name == "fig3"
+        # optimum and lrfu flat across epsilon (no noise added)
+        np.testing.assert_allclose(
+            result.series("optimum"), result.series("optimum")[0]
+        )
+        np.testing.assert_allclose(result.series("lrfu"), result.series("lrfu")[0])
+        # lppm at least the optimum everywhere
+        assert np.all(result.series("lppm") >= result.series("optimum") - 1e-6)
+
+
+class TestFigure4:
+    def test_cost_grows_with_mus(self):
+        result = figure4_num_mus(group_counts=(4, 8), scenario=TINY, fast=True)
+        assert result.series("optimum")[1] >= result.series("optimum")[0] * 0.9
+
+
+class TestFigure5:
+    def test_cost_falls_with_links(self):
+        result = figure5_num_links(link_counts=(6, 18), scenario=TINY, fast=True)
+        assert result.series("optimum")[1] <= result.series("optimum")[0] + 1e-6
+
+
+class TestFigure6:
+    def test_cost_falls_with_bandwidth(self):
+        result = figure6_bandwidth(bandwidths=(50.0, 200.0), scenario=TINY, fast=True)
+        assert result.series("optimum")[1] <= result.series("optimum")[0] + 1e-6
+        # demand is pinned to the reference bandwidth, so W is constant
+        # and the sweep is a genuine capacity sweep.
+
+
+class TestCLI:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "140000" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["fig7"])

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the complete pipeline — trace -> assignment -> topology ->
+problem -> solvers -> privacy -> attack — on instances small enough to
+certify against exact solvers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.reconstruction import run_eavesdropper_experiment
+from repro.core.centralized import solve_centralized, solve_exact
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.core.solution import Solution
+from repro.experiments.config import ScenarioConfig, build_problem
+from repro.experiments.schemes import run_lppm, run_lrfu, run_optimum
+from repro.privacy.mechanism import LPPMConfig
+from repro.workload.trace import TraceConfig
+
+from conftest import random_problem
+
+SMALL = ScenarioConfig(
+    num_groups=8,
+    num_links=12,
+    bandwidth=100.0,
+    cache_capacity=4,
+    trace=TraceConfig(num_videos=12, head_views=5000.0, tail_views=200.0),
+    demand_to_bandwidth=3.0,
+)
+
+
+class TestSolverHierarchy:
+    """LP bound <= exact <= rounded centralized <= distributed caps
+    (weakly, with tolerance) on the same instance."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ordering(self, seed):
+        problem = random_problem(
+            np.random.default_rng(seed), num_sbs=2, num_groups=4, num_files=5
+        )
+        exact = solve_exact(problem)
+        rounded = solve_centralized(problem)
+        distributed = solve_distributed(
+            problem, DistributedConfig(accuracy=1e-6, max_iterations=20)
+        )
+        assert exact.lower_bound <= exact.cost + 1e-6
+        assert exact.cost <= rounded.cost + 1e-6
+        assert exact.cost <= distributed.cost + 1e-6
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_distributed_prices_reaches_exact(self, seed):
+        problem = random_problem(
+            np.random.default_rng(seed), num_sbs=2, num_groups=4, num_files=5
+        )
+        exact = solve_exact(problem)
+        distributed = solve_distributed(
+            problem,
+            DistributedConfig(
+                accuracy=1e-7, max_iterations=25, coordination="prices", restarts=2
+            ),
+            rng=seed,
+        )
+        assert distributed.cost <= exact.cost * 1.02 + 1e-6
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return build_problem(SMALL)
+
+    def test_scheme_ordering_on_scenario(self, problem):
+        config = DistributedConfig(accuracy=1e-4, max_iterations=8)
+        optimum = run_optimum(problem, config=config, rng=0)
+        private = run_lppm(problem, 0.1, config=config, rng=1)
+        baseline = run_lrfu(problem, rng=2)
+        centralized = solve_centralized(problem)
+        # The paper's headline ordering.
+        assert centralized.cost <= optimum.cost * 1.05
+        assert optimum.cost <= private.cost + 1e-6
+        assert private.cost <= problem.max_cost()
+        assert baseline.cost >= optimum.cost - 1e-6
+
+    def test_epsilon_sweep_monotone_trend(self, problem):
+        config = DistributedConfig(accuracy=1e-3, max_iterations=5)
+        means = []
+        for epsilon in (0.01, 1000.0):
+            costs = [
+                run_lppm(problem, epsilon, config=config, rng=seed).cost
+                for seed in range(3)
+            ]
+            means.append(np.mean(costs))
+        assert means[0] > means[1]
+
+    def test_attack_story(self, problem):
+        """The paper's privacy narrative end-to-end: total breach without
+        LPPM, noise-floor protection with it."""
+        config = DistributedConfig(accuracy=1e-3, max_iterations=4)
+        breach, _ = run_eavesdropper_experiment(problem, config)
+        assert breach.breached
+        protected, result = run_eavesdropper_experiment(
+            problem, config, privacy=LPPMConfig(epsilon=0.1), rng=0
+        )
+        assert not protected.breached
+        assert result.total_epsilon == pytest.approx(
+            0.1 * result.iterations
+        )
+
+    def test_privacy_cost_tradeoff_quantified(self, problem):
+        """More privacy (more iterations under a fixed per-release
+        epsilon) costs more total budget; the accountant exposes it."""
+        config = DistributedConfig(accuracy=0.0, max_iterations=3)
+        result = run_lppm(problem, 0.2, config=config, rng=0)
+        assert result.metadata["epsilon_spent_basic"] == pytest.approx(0.2 * 3, abs=0.21)
+
+
+class TestNoiselessInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_distributed_solution_fully_feasible(self, seed):
+        problem = random_problem(np.random.default_rng(seed + 50))
+        result = solve_distributed(problem, DistributedConfig(max_iterations=10))
+        report = result.solution.check_feasibility(problem)
+        assert report.feasible, report.worst()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_monotone_phase_costs(self, seed):
+        problem = random_problem(np.random.default_rng(seed + 80))
+        result = solve_distributed(problem, DistributedConfig(max_iterations=10))
+        assert result.history.is_non_increasing()

@@ -1,0 +1,172 @@
+"""Tests for the Laplace and bounded-Laplace distributions (Eq. 28)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PrivacyError
+from repro.privacy.laplace import BoundedLaplace, Laplace, bounded_laplace_normalizer
+
+
+class TestNormalizer:
+    def test_full_line_is_one(self):
+        alpha = bounded_laplace_normalizer(1.0, -1e9, 1e9)
+        assert alpha == pytest.approx(1.0)
+
+    def test_half_line(self):
+        alpha = bounded_laplace_normalizer(1.0, 0.0, 1e9)
+        assert alpha == pytest.approx(0.5)
+
+    def test_closed_form_on_positive_interval(self):
+        beta, b = 2.0, 1.5
+        expected = 0.5 * (1.0 - np.exp(-b / beta))
+        assert bounded_laplace_normalizer(beta, 0.0, b) == pytest.approx(expected)
+
+    def test_zero_width(self):
+        assert bounded_laplace_normalizer(1.0, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(PrivacyError):
+            bounded_laplace_normalizer(0.0, 0.0, 1.0)
+
+    def test_inverted_interval(self):
+        with pytest.raises(PrivacyError):
+            bounded_laplace_normalizer(1.0, 1.0, 0.0)
+
+
+class TestLaplace:
+    def test_pdf_peak_at_zero(self):
+        dist = Laplace(beta=2.0)
+        assert dist.pdf(0.0) == pytest.approx(0.25)
+
+    def test_cdf_at_zero(self):
+        assert Laplace(1.0).cdf(0.0) == pytest.approx(0.5)
+
+    def test_cdf_monotone(self):
+        dist = Laplace(1.0)
+        grid = np.linspace(-5, 5, 101)
+        assert np.all(np.diff(dist.cdf(grid)) >= 0)
+
+    def test_sample_moments(self):
+        dist = Laplace(beta=1.5)
+        samples = dist.sample(size=20000, rng=0)
+        assert samples.mean() == pytest.approx(0.0, abs=0.05)
+        assert samples.var() == pytest.approx(dist.variance(), rel=0.1)
+
+    def test_invalid_beta(self):
+        with pytest.raises(PrivacyError):
+            Laplace(beta=-1.0)
+
+
+class TestBoundedLaplace:
+    def test_pdf_zero_outside(self):
+        dist = BoundedLaplace(1.0, 0.0, 0.5)
+        assert dist.pdf(-0.1) == 0.0
+        assert dist.pdf(0.6) == 0.0
+        assert dist.pdf(0.25) > 0.0
+
+    def test_pdf_integrates_to_one(self):
+        dist = BoundedLaplace(0.7, 0.0, 0.9)
+        grid = np.linspace(0.0, 0.9, 5001)
+        assert np.trapezoid(dist.pdf(grid), grid) == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_matches_eq28_form(self):
+        """pdf(r) = (1/alpha) * (1/(2 beta)) * exp(-|r|/beta) inside I."""
+        beta, b = 0.5, 0.8
+        dist = BoundedLaplace(beta, 0.0, b)
+        r = 0.3
+        alpha = bounded_laplace_normalizer(beta, 0.0, b)
+        expected = np.exp(-abs(r) / beta) / (2.0 * beta * alpha)
+        assert dist.pdf(r) == pytest.approx(float(expected))
+
+    def test_cdf_endpoints(self):
+        dist = BoundedLaplace(1.0, 0.0, 0.5)
+        assert dist.cdf(0.0 - 1e-12) == pytest.approx(0.0)
+        assert dist.cdf(0.5) == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        dist = BoundedLaplace(0.3, 0.0, 1.0)
+        grid = np.linspace(-0.2, 1.2, 200)
+        assert np.all(np.diff(dist.cdf(grid)) >= -1e-12)
+
+    def test_ppf_inverts_cdf(self):
+        dist = BoundedLaplace(0.4, 0.0, 0.7)
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            r = float(dist.ppf(q))
+            assert float(dist.cdf(r)) == pytest.approx(q, abs=1e-6)
+
+    def test_samples_inside_interval(self):
+        dist = BoundedLaplace(1.0, 0.0, 0.5)
+        samples = dist.sample(size=1000, rng=0)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 0.5
+
+    def test_sample_mean_matches_closed_form(self):
+        dist = BoundedLaplace(0.2, 0.0, 1.0)
+        samples = dist.sample(size=40000, rng=1)
+        assert samples.mean() == pytest.approx(float(dist.mean()), rel=0.05)
+
+    def test_small_beta_concentrates_near_zero(self):
+        tight = BoundedLaplace(0.01, 0.0, 1.0)
+        assert float(tight.mean()) < 0.02
+
+    def test_large_beta_approaches_uniform(self):
+        """As beta -> inf the bounded Laplace tends to Uniform[0, b]."""
+        flat = BoundedLaplace(1e6, 0.0, 1.0)
+        assert float(flat.mean()) == pytest.approx(0.5, abs=1e-3)
+
+    def test_degenerate_interval(self):
+        dist = BoundedLaplace(1.0, 0.3, 0.3)
+        samples = dist.sample(size=10, rng=0)
+        np.testing.assert_allclose(samples, 0.3)
+        assert float(dist.mean()) == pytest.approx(0.3)
+
+    def test_vectorized_bounds(self):
+        upper = np.array([0.0, 0.2, 0.5])
+        dist = BoundedLaplace(0.5, np.zeros(3), upper)
+        samples = dist.sample(rng=0)
+        assert samples.shape == (3,)
+        assert samples[0] == 0.0
+        assert np.all(samples <= upper + 1e-12)
+
+    def test_variance_nonnegative(self):
+        dist = BoundedLaplace(0.5, 0.0, 0.8)
+        assert float(dist.variance()) >= 0.0
+
+    def test_ppf_rejects_bad_quantiles(self):
+        dist = BoundedLaplace(1.0, 0.0, 1.0)
+        with pytest.raises(PrivacyError):
+            dist.ppf(1.5)
+
+    def test_invalid_interval(self):
+        with pytest.raises(PrivacyError):
+            BoundedLaplace(1.0, 1.0, 0.0)
+
+    @given(
+        st.floats(0.05, 5.0),
+        st.floats(0.01, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ppf_cdf_roundtrip_property(self, beta, upper, q):
+        dist = BoundedLaplace(beta, 0.0, upper)
+        r = float(dist.ppf(q))
+        assert 0.0 - 1e-9 <= r <= upper + 1e-9
+        assert float(dist.cdf(r)) == pytest.approx(q, abs=1e-5)
+
+    def test_privacy_likelihood_ratio_bound(self):
+        """The epsilon-DP inequality (26) for the bounded Laplace output:
+        densities at any point for two inputs differing by Delta are
+        within exp(Delta/beta) of each other (up to the normalizer
+        ratio, bounded the same way)."""
+        beta = 2.0
+        delta_input = 1.0
+        d1 = BoundedLaplace(beta, 0.0, 1.0)
+        # A shifted mechanism output corresponds to the density evaluated
+        # at r vs r - delta_input.
+        grid = np.linspace(0.0, 1.0, 51)
+        base = np.exp(-np.abs(grid) / beta)
+        shifted = np.exp(-np.abs(grid - delta_input) / beta)
+        ratio = np.max(base / shifted)
+        assert ratio <= np.exp(delta_input / beta) + 1e-9

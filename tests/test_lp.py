@@ -1,0 +1,69 @@
+"""Tests for the unified LP front-end (backend parity and errors)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import InfeasibleError, UnboundedError, ValidationError
+from repro.solvers.lp import solve_lp
+
+
+class TestBackends:
+    def test_simplex_and_scipy_agree(self):
+        c = [-1.0, -2.0]
+        a = [[1.0, 1.0]]
+        b = [4.0]
+        upper = [3.0, 2.0]
+        r1 = solve_lp(c, a, b, upper=upper, backend="simplex")
+        r2 = solve_lp(c, a, b, upper=upper, backend="scipy")
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-8)
+
+    def test_auto_small_uses_simplex(self):
+        result = solve_lp([-1.0], upper=[1.0], backend="auto")
+        assert result.backend == "simplex"
+
+    def test_auto_large_uses_scipy(self):
+        n = 500
+        result = solve_lp(np.full(n, -1.0), upper=np.ones(n), backend="auto")
+        assert result.backend == "scipy"
+
+    def test_sparse_input_scipy(self):
+        a = sparse.csr_matrix(np.array([[1.0, 1.0]]))
+        result = solve_lp([-1.0, -1.0], a, [1.0], upper=[1.0, 1.0], backend="scipy")
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_sparse_input_simplex_densified(self):
+        a = sparse.csr_matrix(np.array([[1.0, 1.0]]))
+        result = solve_lp([-1.0, -1.0], a, [1.0], upper=[1.0, 1.0], backend="simplex")
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_sparse_auto_uses_scipy(self):
+        a = sparse.csr_matrix(np.array([[1.0, 1.0]]))
+        result = solve_lp([-1.0, -1.0], a, [1.0], upper=[1.0, 1.0], backend="auto")
+        assert result.backend == "scipy"
+
+
+class TestErrors:
+    def test_unknown_backend(self):
+        with pytest.raises(ValidationError, match="backend"):
+            solve_lp([1.0], backend="gurobi")
+
+    def test_infeasible_scipy(self):
+        with pytest.raises(InfeasibleError):
+            solve_lp([1.0], a_eq=[[1.0]], b_eq=[5.0], upper=[1.0], backend="scipy")
+
+    def test_infeasible_simplex(self):
+        with pytest.raises(InfeasibleError):
+            solve_lp([1.0], a_eq=[[1.0]], b_eq=[5.0], upper=[1.0], backend="simplex")
+
+    def test_unbounded_scipy(self):
+        with pytest.raises(UnboundedError):
+            solve_lp([-1.0], backend="scipy")
+
+    def test_unbounded_simplex(self):
+        with pytest.raises(UnboundedError):
+            solve_lp([-1.0], backend="simplex")
+
+    def test_bad_upper_size(self):
+        with pytest.raises(ValidationError):
+            solve_lp([1.0, 1.0], upper=[1.0], backend="scipy")

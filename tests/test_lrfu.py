@@ -1,0 +1,141 @@
+"""Tests for the LRFU cache and its LRU/LFU limit behaviour."""
+
+import pytest
+
+from repro.baselines.lrfu import LRFUCache
+from repro.baselines.lru import LFUCache, LRUCache
+from repro.exceptions import ValidationError
+
+
+class TestLRFUBasics:
+    def test_miss_then_hit(self):
+        cache = LRFUCache(capacity=2)
+        assert not cache.access(1, time=0.0)
+        assert cache.access(1, time=1.0)
+
+    def test_capacity_respected(self):
+        cache = LRFUCache(capacity=2)
+        for f in range(5):
+            cache.access(f, time=float(f))
+        assert len(cache.contents) == 2
+
+    def test_zero_capacity(self):
+        cache = LRFUCache(capacity=0)
+        assert not cache.access(1, time=0.0)
+        assert cache.contents == set()
+
+    def test_eviction_counts(self):
+        cache = LRFUCache(capacity=1)
+        cache.access(1, 0.0)
+        cache.access(2, 1.0)
+        assert cache.stats.evictions == 1
+
+    def test_stats(self):
+        cache = LRFUCache(capacity=2)
+        cache.access(1, 0.0)
+        cache.access(1, 1.0)
+        cache.access(2, 2.0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_ratio == pytest.approx(1.0 / 3.0)
+
+    def test_time_must_not_go_backwards(self):
+        cache = LRFUCache(capacity=2)
+        cache.access(1, 5.0)
+        with pytest.raises(ValidationError):
+            cache.access(2, 1.0)
+
+    def test_crf_accumulates_on_hits(self):
+        cache = LRFUCache(capacity=2, decay=0.0)
+        cache.access(1, 0.0)
+        cache.access(1, 1.0)
+        cache.access(1, 2.0)
+        assert cache.crf_of(1) == pytest.approx(3.0)
+
+    def test_crf_decays(self):
+        cache = LRFUCache(capacity=2, decay=1.0)
+        cache.access(1, 0.0)
+        # After 1 time unit the CRF halves: 2^{-1*1} * 1.0
+        assert cache.crf_of(1, now=1.0) == pytest.approx(0.5)
+
+    def test_crf_absent_zero(self):
+        cache = LRFUCache(capacity=2)
+        assert cache.crf_of(42) == 0.0
+
+    def test_warm(self):
+        cache = LRFUCache(capacity=2)
+        cache.warm([3, 4, 5])
+        assert cache.contents == {3, 4}
+        assert cache.stats.accesses == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            LRFUCache(capacity=-1)
+        with pytest.raises(ValidationError):
+            LRFUCache(capacity=1, decay=2.0)
+
+
+class TestLFULimit:
+    def test_decay_zero_matches_lfu_on_frequency_skewed_stream(self):
+        """With decay 0, LRFU ranks purely by frequency, like LFU."""
+        lrfu = LRFUCache(capacity=2, decay=0.0)
+        lfu = LFUCache(capacity=2)
+        # File 1: 5 hits; file 2: 3 hits; file 3: 1 hit -> {1, 2} survive.
+        stream = [1, 1, 2, 1, 2, 1, 3, 2, 1]
+        for t, f in enumerate(stream):
+            lrfu.access(f, float(t))
+            lfu.access(f, float(t))
+        assert lrfu.contents == lfu.contents == {1, 2}
+
+
+class TestLRULimit:
+    def test_high_decay_behaves_like_lru(self):
+        """With strong decay, history is forgotten: recency dominates."""
+        lrfu = LRFUCache(capacity=2, decay=1.0)
+        lru = LRUCache(capacity=2)
+        # File 1 is hammered early, then 2 and 3 arrive much later:
+        # pure LRU keeps {2, 3}; pure LFU would keep 1.
+        stream = [(1, 0.0), (1, 0.5), (1, 1.0), (2, 50.0), (3, 100.0)]
+        for f, t in stream:
+            lrfu.access(f, t)
+            lru.access(f, t)
+        assert lrfu.contents == lru.contents == {2, 3}
+
+
+class TestLRUCache:
+    def test_evicts_least_recent(self):
+        cache = LRUCache(capacity=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # refresh 1
+        cache.access(3)  # evicts 2
+        assert cache.contents == {1, 3}
+
+    def test_zero_capacity(self):
+        cache = LRUCache(capacity=0)
+        assert not cache.access(1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            LRUCache(capacity=-1)
+
+
+class TestLFUCache:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(capacity=2)
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)  # evicts 2 (frequency 1, older than 3? no: 2 arrived before)
+        assert 1 in cache.contents
+
+    def test_fifo_tiebreak(self):
+        cache = LFUCache(capacity=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)  # 1 and 2 tie at frequency 1; 1 is older -> evicted
+        assert cache.contents == {2, 3}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            LFUCache(capacity=-2)

@@ -1,0 +1,150 @@
+"""Tests for the message-passing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError, ValidationError
+from repro.network.messaging import Channel, Message, MessageKind
+
+
+def make_message(sender="sbs-0", recipient="bs", kind=MessageKind.POLICY_UPLOAD):
+    return Message(
+        kind=kind,
+        sender=sender,
+        recipient=recipient,
+        payload=np.ones((2, 2)),
+        iteration=0,
+        phase=0,
+    )
+
+
+class TestChannelBasics:
+    def test_send_receive(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        channel.send(make_message())
+        message = channel.receive("bs")
+        np.testing.assert_array_equal(message.payload, np.ones((2, 2)))
+
+    def test_fifo_order(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        first = make_message()
+        second = Message(
+            kind=MessageKind.POLICY_UPLOAD,
+            sender="sbs-0",
+            recipient="bs",
+            payload=np.zeros((1,)),
+            iteration=1,
+            phase=0,
+        )
+        channel.send(first)
+        channel.send(second)
+        assert channel.receive("bs").iteration == 0
+        assert channel.receive("bs").iteration == 1
+
+    def test_unknown_recipient(self):
+        channel = Channel()
+        channel.register("bs")
+        with pytest.raises(ProtocolError, match="unknown recipient"):
+            channel.send(make_message(recipient="ghost"))
+
+    def test_receive_unregistered(self):
+        channel = Channel()
+        with pytest.raises(ProtocolError):
+            channel.receive("nobody")
+
+    def test_receive_empty(self):
+        channel = Channel()
+        channel.register("bs")
+        with pytest.raises(ProtocolError, match="no pending"):
+            channel.receive("bs")
+
+    def test_invalid_node_name(self):
+        channel = Channel()
+        with pytest.raises(ValidationError):
+            channel.register("*")
+
+    def test_pending_and_drain(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        channel.send(make_message())
+        channel.send(make_message())
+        assert channel.pending("bs") == 2
+        assert len(channel.drain("bs")) == 2
+        assert channel.pending("bs") == 0
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_everyone_but_sender(self):
+        channel = Channel()
+        for name in ("bs", "sbs-0", "sbs-1"):
+            channel.register(name)
+        channel.send(make_message(sender="bs", recipient="*", kind=MessageKind.AGGREGATE_BROADCAST))
+        assert channel.pending("sbs-0") == 1
+        assert channel.pending("sbs-1") == 1
+        assert channel.pending("bs") == 0
+
+    def test_broadcast_without_nodes(self):
+        channel = Channel()
+        channel.register("bs")
+        with pytest.raises(ProtocolError, match="no nodes"):
+            channel.send(
+                make_message(sender="bs", recipient="*", kind=MessageKind.AGGREGATE_BROADCAST)
+            )
+
+
+class TestPayloadIsolation:
+    def test_payload_copied_on_send(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        payload = np.ones((2,))
+        message = Message(
+            kind=MessageKind.POLICY_UPLOAD,
+            sender="sbs-0",
+            recipient="bs",
+            payload=payload,
+            iteration=0,
+            phase=0,
+        )
+        channel.send(message)
+        payload[0] = 99.0  # sender mutates after send
+        delivered = channel.receive("bs")
+        assert delivered.payload[0] == 1.0
+
+    def test_delivered_payload_read_only(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        channel.send(make_message())
+        delivered = channel.receive("bs")
+        with pytest.raises(ValueError):
+            delivered.payload[0, 0] = 5.0
+
+
+class TestTapsAndStats:
+    def test_tap_sees_everything(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        seen = []
+        channel.tap(seen.append)
+        channel.send(make_message())
+        channel.send(make_message(sender="bs", recipient="*", kind=MessageKind.AGGREGATE_BROADCAST))
+        assert len(seen) == 2
+
+    def test_stats_counters(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        channel.send(make_message())
+        assert channel.stats.messages_sent == 1
+        assert channel.stats.bytes_sent == 4 * 8
+        assert channel.stats.by_kind == {"policy_upload": 1}
+
+    def test_message_nbytes(self):
+        assert make_message().nbytes() == 32

@@ -1,0 +1,99 @@
+"""Tests for operational metrics and the validation chain."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.core.solution import Solution
+from repro.exceptions import ValidationError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.metrics import compute_metrics, jain_fairness
+from repro.experiments.validation import validate_reproduction
+from repro.workload.trace import TraceConfig
+
+
+class TestJainFairness:
+    def test_equal_shares(self):
+        assert jain_fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_one_takes_all(self):
+        assert jain_fairness([5.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_zero_vector_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_bounds(self, rng):
+        for _ in range(20):
+            values = rng.uniform(0.0, 10.0, size=rng.integers(1, 8))
+            index = jain_fairness(values)
+            assert 1.0 / values.size - 1e-9 <= index <= 1.0 + 1e-9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            jain_fairness([-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            jain_fairness([])
+
+
+class TestComputeMetrics:
+    def test_zero_solution(self, tiny_problem):
+        metrics = compute_metrics(tiny_problem, Solution.zeros(tiny_problem))
+        assert metrics.cost == pytest.approx(tiny_problem.max_cost())
+        assert metrics.savings == pytest.approx(0.0)
+        assert metrics.offload_ratio == 0.0
+        assert metrics.cache_slots_used == 0
+        assert metrics.duplication_ratio == 0.0
+        assert metrics.savings_fairness == 1.0
+
+    def test_solved_problem(self, tiny_problem):
+        result = solve_distributed(tiny_problem, DistributedConfig(max_iterations=5))
+        metrics = compute_metrics(tiny_problem, result.solution)
+        assert metrics.cost == pytest.approx(result.cost)
+        assert metrics.savings > 0.0
+        assert 0.0 < metrics.offload_ratio <= 1.0
+        assert len(metrics.bandwidth_utilization) == tiny_problem.num_sbs
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in metrics.bandwidth_utilization)
+        assert metrics.distinct_contents_cached <= metrics.cache_slots_used
+        assert sum(metrics.per_sbs_savings) == pytest.approx(metrics.savings, rel=0.05)
+
+    def test_duplication_ratio(self, tiny_problem):
+        caching = np.zeros((2, 4))
+        caching[:, 0] = 1.0  # both SBSs cache file 0
+        solution = Solution(caching=caching, routing=np.zeros(tiny_problem.shape))
+        metrics = compute_metrics(tiny_problem, solution)
+        assert metrics.cache_slots_used == 2
+        assert metrics.distinct_contents_cached == 1
+        assert metrics.duplication_ratio == pytest.approx(0.5)
+
+    def test_as_dict_keys(self, tiny_problem):
+        metrics = compute_metrics(tiny_problem, Solution.zeros(tiny_problem))
+        payload = metrics.as_dict()
+        assert set(payload) >= {"cost", "savings", "offload_ratio", "savings_fairness"}
+
+
+class TestValidationChain:
+    def test_default_scenario_passes(self):
+        report = validate_reproduction()
+        assert report.passed, report.render()
+        assert len(report.checks) == 6
+        assert report.elapsed_seconds > 0.0
+
+    def test_render_contains_all_checks(self):
+        report = validate_reproduction()
+        text = report.render()
+        assert text.count("[PASS]") + text.count("[FAIL]") == len(report.checks)
+        assert "all checks passed" in text
+
+    def test_custom_scenario(self):
+        scenario = ScenarioConfig(
+            num_groups=6,
+            num_links=9,
+            bandwidth=80.0,
+            cache_capacity=3,
+            trace=TraceConfig(num_videos=10, head_views=2000.0, tail_views=100.0),
+            demand_to_bandwidth=3.0,
+        )
+        report = validate_reproduction(scenario)
+        assert report.passed, report.render()

@@ -1,0 +1,109 @@
+"""Tests for the multi-BS (multi-cell) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.core.multibs import split_by_region, solve_multibs
+from repro.core.problem import ProblemInstance
+from repro.exceptions import ValidationError
+
+
+def two_cell_problem() -> ProblemInstance:
+    """Four groups, two cells {0,1} and {2,3}; one SBS per cell."""
+    demand = np.array(
+        [
+            [6.0, 3.0],
+            [4.0, 2.0],
+            [5.0, 2.5],
+            [3.0, 4.0],
+        ]
+    )
+    connectivity = np.array(
+        [
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0],
+        ]
+    )
+    return ProblemInstance(
+        demand=demand,
+        connectivity=connectivity,
+        cache_capacity=np.array([1.0, 1.0]),
+        bandwidth=np.array([6.0, 6.0]),
+        sbs_cost=np.ones((2, 4)),
+        bs_cost=np.array([100.0, 110.0, 105.0, 95.0]),
+    )
+
+
+class TestSplit:
+    def test_two_cells(self):
+        problem = two_cell_problem()
+        regions = split_by_region(problem, [0, 0, 1, 1])
+        assert len(regions) == 2
+        assert regions[0].problem.num_groups == 2
+        assert regions[0].sbs_indices == (0,)
+        assert regions[1].sbs_indices == (1,)
+
+    def test_submatrices_correct(self):
+        problem = two_cell_problem()
+        regions = split_by_region(problem, [0, 0, 1, 1])
+        np.testing.assert_allclose(regions[1].problem.demand, problem.demand[2:])
+        np.testing.assert_allclose(regions[1].problem.bs_cost, problem.bs_cost[2:])
+
+    def test_cross_cell_sbs_rejected(self):
+        problem = two_cell_problem()
+        with pytest.raises(ValidationError, match="cross-cell"):
+            split_by_region(problem, [0, 1, 1, 1])
+
+    def test_wrong_label_count(self):
+        problem = two_cell_problem()
+        with pytest.raises(ValidationError):
+            split_by_region(problem, [0, 0])
+
+    def test_cell_without_sbs(self):
+        """A cell whose groups no SBS reaches is served purely by its BS."""
+        demand = np.array([[2.0], [3.0]])
+        connectivity = np.array([[1.0, 0.0]])
+        problem = ProblemInstance(
+            demand=demand,
+            connectivity=connectivity,
+            cache_capacity=np.array([1.0]),
+            bandwidth=np.array([5.0]),
+            sbs_cost=np.ones((1, 2)),
+            bs_cost=np.array([50.0, 60.0]),
+        )
+        regions = split_by_region(problem, [0, 1])
+        assert len(regions) == 2
+        empty = regions[1]
+        assert empty.sbs_indices == ()
+        assert empty.problem.max_cost() == pytest.approx(60.0 * 3.0)
+
+
+class TestSolve:
+    def test_total_matches_joint(self):
+        """Because cells are independent, per-cell solving equals solving
+        the joint problem."""
+        problem = two_cell_problem()
+        regions = split_by_region(problem, [0, 0, 1, 1])
+        config = DistributedConfig(accuracy=1e-6, max_iterations=10)
+        multi = solve_multibs(regions, config, rng=0)
+        joint = solve_distributed(problem, config, rng=0)
+        assert multi.total_cost() == pytest.approx(joint.cost, rel=1e-6)
+
+    def test_per_cell_feasible(self):
+        problem = two_cell_problem()
+        regions = split_by_region(problem, [0, 0, 1, 1])
+        multi = solve_multibs(regions, DistributedConfig(max_iterations=5), rng=0)
+        for region in regions:
+            result = multi.results[region.name]
+            assert result.solution.is_feasible(region.problem)
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_multibs([])
+
+    def test_iterations_aggregated(self):
+        problem = two_cell_problem()
+        regions = split_by_region(problem, [0, 0, 1, 1])
+        multi = solve_multibs(regions, DistributedConfig(max_iterations=5), rng=0)
+        assert multi.total_iterations() >= 2

@@ -1,0 +1,136 @@
+"""Tests for demand dynamics and the online (time-slotted) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig
+from repro.core.online import OnlineConfig, simulate_online
+from repro.exceptions import ValidationError
+from repro.workload.dynamics import DynamicsConfig, demand_sequence, evolve_demand
+
+FAST = OnlineConfig(
+    distributed=DistributedConfig(accuracy=1e-3, max_iterations=3)
+)
+
+
+class TestDynamics:
+    def test_volume_preserved(self, tiny_problem):
+        evolved = evolve_demand(
+            tiny_problem.demand, tiny_problem.demand, DynamicsConfig(), rng=0
+        )
+        assert evolved.sum() == pytest.approx(tiny_problem.demand.sum())
+
+    def test_nonnegative(self, tiny_problem):
+        evolved = evolve_demand(
+            tiny_problem.demand, tiny_problem.demand, DynamicsConfig(drift=0.5), rng=1
+        )
+        assert evolved.min() >= 0.0
+
+    def test_no_dynamics_is_fixed_point(self, tiny_problem):
+        config = DynamicsConfig(drift=0.0, viral_probability=0.0, decay=1.0, group_remix=0.0)
+        evolved = evolve_demand(tiny_problem.demand, tiny_problem.demand, config, rng=0)
+        np.testing.assert_allclose(evolved, tiny_problem.demand)
+
+    def test_sequence_length(self, tiny_problem):
+        slots = demand_sequence(tiny_problem.demand, 6, rng=0)
+        assert len(slots) == 6
+        np.testing.assert_array_equal(slots[0], tiny_problem.demand)
+
+    def test_sequence_reproducible(self, tiny_problem):
+        a = demand_sequence(tiny_problem.demand, 4, rng=5)
+        b = demand_sequence(tiny_problem.demand, 4, rng=5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_drift_changes_demand(self, tiny_problem):
+        slots = demand_sequence(
+            tiny_problem.demand, 3, DynamicsConfig(drift=0.3), rng=0
+        )
+        assert not np.allclose(slots[0], slots[-1])
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            DynamicsConfig(drift=-0.1)
+        with pytest.raises(ValidationError):
+            DynamicsConfig(viral_boost=0.5)
+
+    def test_zero_demand_stable(self):
+        zero = np.zeros((2, 3))
+        evolved = evolve_demand(zero, zero, DynamicsConfig(), rng=0)
+        np.testing.assert_array_equal(evolved, zero)
+
+
+class TestOnlineSimulation:
+    def test_record_structure(self, tiny_problem):
+        slots = demand_sequence(tiny_problem.demand, 3, rng=0)
+        result = simulate_online(tiny_problem, slots, FAST, rng=0)
+        assert len(result.records) == 3
+        assert result.records[0].reoptimized
+        assert result.records[0].cache_changes > 0  # initial fill
+
+    def test_static_never_switches_after_fill(self, tiny_problem):
+        slots = demand_sequence(tiny_problem.demand, 4, rng=0)
+        result = simulate_online(tiny_problem, slots, FAST, adaptive=False, rng=0)
+        assert all(record.cache_changes == 0 for record in result.records[1:])
+
+    def test_switch_costs_charged(self, tiny_problem):
+        slots = demand_sequence(
+            tiny_problem.demand, 3, DynamicsConfig(drift=0.6, viral_probability=1.0), rng=0
+        )
+        config = OnlineConfig(
+            switch_cost=5.0, distributed=FAST.distributed
+        )
+        result = simulate_online(tiny_problem, slots, config, rng=0)
+        assert result.records[0].switch_cost >= 5.0
+
+    def test_static_demand_needs_no_switches(self, tiny_problem):
+        slots = [tiny_problem.demand] * 3
+        result = simulate_online(tiny_problem, slots, FAST, rng=0)
+        # Same demand, deterministic solver: no cache changes after slot 0.
+        assert result.total_switches() == result.records[0].cache_changes
+
+    def test_adaptive_beats_static_under_drift(self, tiny_problem):
+        """With strong churn the adaptive policy serves cheaper."""
+        slots = demand_sequence(
+            tiny_problem.demand,
+            6,
+            DynamicsConfig(drift=0.8, viral_probability=0.8, viral_boost=20.0, decay=0.5),
+            rng=3,
+        )
+        adaptive = simulate_online(tiny_problem, slots, FAST, rng=0)
+        static = simulate_online(tiny_problem, slots, FAST, adaptive=False, rng=0)
+        assert adaptive.serving_costs()[1:].sum() <= static.serving_costs()[1:].sum() + 1e-6
+
+    def test_reoptimize_every(self, tiny_problem):
+        slots = demand_sequence(tiny_problem.demand, 4, rng=0)
+        config = OnlineConfig(
+            reoptimize_every=2, distributed=FAST.distributed
+        )
+        result = simulate_online(tiny_problem, slots, config, rng=0)
+        flags = [record.reoptimized for record in result.records]
+        assert flags == [True, False, True, False]
+
+    def test_privacy_budget_accumulates(self, tiny_problem):
+        from repro.privacy.mechanism import LPPMConfig
+
+        slots = demand_sequence(tiny_problem.demand, 3, rng=0)
+        config = OnlineConfig(
+            distributed=DistributedConfig(accuracy=0.0, max_iterations=2),
+            privacy=LPPMConfig(epsilon=0.1),
+        )
+        result = simulate_online(tiny_problem, slots, config, rng=0)
+        assert result.epsilon_spent == pytest.approx(0.1 * 2 * 3)
+
+    def test_empty_slots_rejected(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            simulate_online(tiny_problem, [], FAST)
+
+    def test_bad_slot_shape(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            simulate_online(tiny_problem, [np.zeros((1, 1))], FAST)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            OnlineConfig(reoptimize_every=0)
+        with pytest.raises(ValidationError):
+            OnlineConfig(switch_cost=-1.0)

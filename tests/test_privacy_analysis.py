@@ -1,0 +1,124 @@
+"""Tests for the Theorem 5 utility analysis (convolution + bound)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError, ValidationError
+from repro.privacy.analysis import (
+    empirical_cost_increase,
+    lipschitz_cost_bound,
+    sample_total_noise,
+    theorem5_bound,
+    total_noise_distribution,
+)
+from repro.privacy.laplace import BoundedLaplace
+from repro.privacy.mechanism import LPPMConfig
+
+
+class TestNoiseConvolution:
+    def test_single_coordinate_matches_marginal(self):
+        beta, upper = 0.3, 0.6
+        distribution = total_noise_distribution(np.array([upper]), beta)
+        marginal = BoundedLaplace(beta, 0.0, upper)
+        # Compare means.
+        assert distribution.mean() == pytest.approx(float(marginal.mean()), abs=5e-3)
+
+    def test_mean_additivity(self):
+        """E[sum r_i] = sum E[r_i] — convolution must preserve it."""
+        beta = 0.5
+        uppers = np.array([0.2, 0.5, 0.9, 0.4])
+        distribution = total_noise_distribution(uppers, beta)
+        expected = sum(float(BoundedLaplace(beta, 0.0, u).mean()) for u in uppers)
+        assert distribution.mean() == pytest.approx(expected, abs=2e-2)
+
+    def test_matches_monte_carlo(self):
+        config = LPPMConfig(epsilon=0.5, delta=0.5)
+        routing = np.random.default_rng(0).uniform(0.2, 1.0, size=(3, 4))
+        uppers = config.delta * routing
+        distribution = total_noise_distribution(uppers.ravel(), config.beta)
+        samples = sample_total_noise(routing, config, samples=4000, rng=1)
+        # Compare the cdf at a few quantiles of the sampled totals.
+        for q in (0.25, 0.5, 0.75):
+            point = float(np.quantile(samples, q))
+            assert distribution.cdf_at(point) == pytest.approx(q, abs=0.06)
+
+    def test_zero_uppers_degenerate(self):
+        distribution = total_noise_distribution(np.zeros(5), 1.0)
+        assert distribution.cdf_at(0.0) >= 0.99
+
+    def test_pdf_nonnegative_and_normalised(self):
+        distribution = total_noise_distribution(np.full(10, 0.3), 0.2)
+        assert distribution.pdf.min() >= 0.0
+        mass = np.trapezoid(distribution.pdf, distribution.grid)
+        assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_beta(self):
+        with pytest.raises(PrivacyError):
+            total_noise_distribution(np.array([0.5]), 0.0)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValidationError):
+            total_noise_distribution(np.array([0.5]), 1.0, grid_points=2)
+
+
+class TestLipschitzBound:
+    def test_value(self, tiny_problem):
+        # max over connected (n, u, f): (d_hat - d) * lambda
+        # group 0, file 0: margin 99, lambda 8 -> 792 (the largest)
+        assert lipschitz_cost_bound(tiny_problem) == pytest.approx(
+            (100.0 - 1.0) * 8.0
+        )
+
+    def test_actual_increase_within_bound(self, tiny_problem, rng):
+        constant = lipschitz_cost_bound(tiny_problem)
+        from repro.core.cost import total_cost
+
+        y = np.zeros(tiny_problem.shape)
+        y[0, 1, 0] = 1.0
+        base = total_cost(tiny_problem, y)
+        perturbation = 0.3
+        y2 = y.copy()
+        y2[0, 1, 0] -= perturbation
+        assert total_cost(tiny_problem, y2) - base <= constant * perturbation + 1e-9
+
+
+class TestTheorem5:
+    def test_bound_structure(self, tiny_problem):
+        config = LPPMConfig(epsilon=1.0, delta=0.5)
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 0, 0] = 0.8
+        routing[1, 1, 0] = 0.6
+        bound = theorem5_bound(tiny_problem, routing, config, zeta=1.0)
+        assert 0.0 <= bound.probability_within <= 1.0
+        assert bound.worst_case == pytest.approx(tiny_problem.max_cost())
+        assert bound.bound >= bound.phi * bound.probability_within
+
+    def test_bound_dominates_empirical(self, tiny_problem):
+        """The Theorem 5 RHS upper-bounds the measured expected increase
+        for a zeta covering most of the noise mass."""
+        config = LPPMConfig(epsilon=0.1, delta=0.5)
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 0, 0] = 0.9
+        routing[1, 2, 1] = 0.7
+        zeta = float(config.delta * routing.sum())  # the maximal total noise
+        bound = theorem5_bound(tiny_problem, routing, config, zeta=zeta)
+        mean_increase, _ = empirical_cost_increase(
+            tiny_problem, routing, config, samples=50, rng=0
+        )
+        assert mean_increase <= bound.bound + 1e-6
+
+    def test_zeta_validation(self, tiny_problem):
+        config = LPPMConfig(epsilon=1.0)
+        with pytest.raises(ValidationError):
+            theorem5_bound(tiny_problem, np.zeros(tiny_problem.shape), config, zeta=-1.0)
+
+    def test_empirical_nonnegative(self, tiny_problem):
+        """Subtractive noise can only increase the serving cost."""
+        config = LPPMConfig(epsilon=0.5, delta=0.5)
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 1, 0] = 0.8
+        mean_increase, std = empirical_cost_increase(
+            tiny_problem, routing, config, samples=30, rng=1
+        )
+        assert mean_increase >= 0.0
+        assert std >= 0.0

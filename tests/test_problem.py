@@ -1,0 +1,170 @@
+"""Tests for the problem model (Section II / Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ProblemInstance
+from repro.exceptions import ValidationError
+
+from conftest import random_problem
+
+
+def make_args(**overrides):
+    args = dict(
+        demand=np.array([[2.0, 1.0], [1.0, 3.0]]),
+        connectivity=np.array([[1.0, 0.0], [1.0, 1.0]]),
+        cache_capacity=np.array([1.0, 2.0]),
+        bandwidth=np.array([5.0, 5.0]),
+        sbs_cost=np.ones((2, 2)),
+        bs_cost=np.array([10.0, 12.0]),
+    )
+    args.update(overrides)
+    return args
+
+
+class TestConstruction:
+    def test_valid(self):
+        problem = ProblemInstance(**make_args())
+        assert problem.shape == (2, 2, 2)
+
+    def test_dimensions(self):
+        problem = ProblemInstance(**make_args())
+        assert problem.num_sbs == 2
+        assert problem.num_groups == 2
+        assert problem.num_files == 2
+
+    def test_arrays_read_only(self):
+        problem = ProblemInstance(**make_args())
+        with pytest.raises(ValueError):
+            problem.demand[0, 0] = 99.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            ProblemInstance(**make_args(demand=np.array([[-1.0, 1.0], [1.0, 1.0]])))
+
+    def test_nonbinary_connectivity_rejected(self):
+        with pytest.raises(ValidationError):
+            ProblemInstance(**make_args(connectivity=np.array([[0.5, 0.0], [1.0, 1.0]])))
+
+    def test_connectivity_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="connectivity"):
+            ProblemInstance(**make_args(connectivity=np.array([[1.0, 0.0, 1.0]])))
+
+    def test_bs_cost_must_dominate(self):
+        with pytest.raises(ValidationError, match="dominate"):
+            ProblemInstance(**make_args(bs_cost=np.array([0.5, 12.0])))
+
+    def test_bs_cost_dominance_only_on_connected(self):
+        # SBS 0 does not reach group 1, so a cheap bs_cost there is fine
+        # as long as sbs_cost on the connected pairs stays below it.
+        args = make_args(
+            connectivity=np.array([[1.0, 0.0], [1.0, 0.0]]),
+            sbs_cost=np.array([[1.0, 99.0], [1.0, 99.0]]),
+            bs_cost=np.array([10.0, 1.0]),
+        )
+        ProblemInstance(**args)
+
+    def test_empty_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            ProblemInstance(**make_args(demand=np.zeros((0, 2)), bs_cost=np.zeros(0),
+                                        sbs_cost=np.zeros((2, 0)),
+                                        connectivity=np.zeros((2, 0))))
+
+
+class TestDerived:
+    def test_savings_margin_zero_when_disconnected(self):
+        problem = ProblemInstance(**make_args())
+        margin = problem.savings_margin()
+        assert margin[0, 1] == 0.0
+        assert margin[0, 0] == pytest.approx(9.0)
+
+    def test_savings_rate_shape_and_value(self):
+        problem = ProblemInstance(**make_args())
+        rate = problem.savings_rate()
+        assert rate.shape == (2, 2, 2)
+        # SBS 1, group 1, file 1: (12 - 1) * 1 * 3.0
+        assert rate[1, 1, 1] == pytest.approx(33.0)
+
+    def test_max_cost(self):
+        problem = ProblemInstance(**make_args())
+        # W = 10 * (2+1) + 12 * (1+3)
+        assert problem.max_cost() == pytest.approx(78.0)
+
+    def test_total_demand(self):
+        problem = ProblemInstance(**make_args())
+        assert problem.total_demand() == pytest.approx(7.0)
+
+    def test_file_popularity(self):
+        problem = ProblemInstance(**make_args())
+        np.testing.assert_allclose(problem.file_popularity(), [3.0, 4.0])
+
+    def test_group_demand(self):
+        problem = ProblemInstance(**make_args())
+        np.testing.assert_allclose(problem.group_demand(), [3.0, 4.0])
+
+    def test_neighbours(self):
+        problem = ProblemInstance(**make_args())
+        np.testing.assert_array_equal(problem.neighbours_of_sbs(0), [0])
+        np.testing.assert_array_equal(problem.sbs_of_group(1), [1])
+
+    def test_neighbours_bad_index(self):
+        problem = ProblemInstance(**make_args())
+        with pytest.raises(ValidationError):
+            problem.neighbours_of_sbs(5)
+        with pytest.raises(ValidationError):
+            problem.sbs_of_group(-1)
+
+    def test_num_links(self):
+        problem = ProblemInstance(**make_args())
+        assert problem.num_links() == 3
+
+    def test_describe_keys(self):
+        problem = ProblemInstance(**make_args())
+        description = problem.describe()
+        assert description["num_links"] == 3
+        assert description["max_cost"] == pytest.approx(78.0)
+
+
+class TestTransforms:
+    def test_with_bandwidth_scalar(self):
+        problem = ProblemInstance(**make_args())
+        other = problem.with_bandwidth(7.5)
+        np.testing.assert_allclose(other.bandwidth, [7.5, 7.5])
+        # original untouched
+        np.testing.assert_allclose(problem.bandwidth, [5.0, 5.0])
+
+    def test_with_cache_capacity(self):
+        problem = ProblemInstance(**make_args())
+        other = problem.with_cache_capacity([1.0, 1.0])
+        np.testing.assert_allclose(other.cache_capacity, [1.0, 1.0])
+
+    def test_with_connectivity(self):
+        problem = ProblemInstance(**make_args())
+        other = problem.with_connectivity(np.ones((2, 2)))
+        assert other.num_links() == 4
+
+    def test_restrict_groups(self):
+        problem = ProblemInstance(**make_args())
+        sub = problem.restrict_groups([1])
+        assert sub.num_groups == 1
+        np.testing.assert_allclose(sub.demand, [[1.0, 3.0]])
+        np.testing.assert_allclose(sub.bs_cost, [12.0])
+
+    def test_restrict_groups_bad_index(self):
+        problem = ProblemInstance(**make_args())
+        with pytest.raises(ValidationError):
+            problem.restrict_groups([5])
+
+    def test_restrict_groups_empty(self):
+        problem = ProblemInstance(**make_args())
+        with pytest.raises(ValidationError):
+            problem.restrict_groups([])
+
+
+class TestRandomInstances:
+    def test_random_instances_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            problem = random_problem(rng)
+            assert problem.max_cost() >= 0
+            assert problem.savings_rate().min() >= 0

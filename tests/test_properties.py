@@ -1,0 +1,115 @@
+"""Hypothesis property tests on cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import total_cost
+from repro.core.problem import ProblemInstance
+from repro.core.routing import optimal_routing_for_cache, optimal_routing_for_sbs, residual_caps
+from repro.core.solution import Solution
+from repro.core.subproblem import solve_subproblem
+from repro.privacy.laplace import BoundedLaplace
+from repro.privacy.mechanism import LaplacePrivacyMechanism, LPPMConfig
+
+
+@st.composite
+def problems(draw):
+    num_sbs = draw(st.integers(1, 3))
+    num_groups = draw(st.integers(1, 4))
+    num_files = draw(st.integers(1, 5))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    demand = rng.uniform(0.0, 4.0, size=(num_groups, num_files))
+    connectivity = (rng.uniform(size=(num_sbs, num_groups)) < 0.7).astype(float)
+    return ProblemInstance(
+        demand=demand,
+        connectivity=connectivity,
+        cache_capacity=np.full(num_sbs, float(draw(st.integers(0, num_files)))),
+        bandwidth=np.full(num_sbs, float(draw(st.floats(0.0, 10.0)))),
+        sbs_cost=rng.uniform(0.1, 1.0, size=(num_sbs, num_groups)),
+        bs_cost=rng.uniform(10.0, 20.0, size=num_groups),
+    )
+
+
+class TestCostInvariants:
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_routing_costs_w(self, problem):
+        assert total_cost(problem, np.zeros(problem.shape)) == pytest.approx(
+            problem.max_cost()
+        )
+
+    @given(problems(), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_any_feasible_routing_at_most_w(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.uniform(0.0, 1.0, size=problem.shape)
+        # Scale down to respect unit demand.
+        served = np.einsum("nuf,nu->uf", y, problem.connectivity)
+        over = served > 1.0
+        scale = np.where(over, 1.0 / np.maximum(served, 1e-12), 1.0)
+        y = y * scale[np.newaxis, :, :]
+        assert total_cost(problem, y) <= problem.max_cost() + 1e-6
+
+
+class TestSubproblemInvariants:
+    @given(problems())
+    @settings(max_examples=25, deadline=None)
+    def test_solution_respects_all_local_constraints(self, problem):
+        aggregate = np.zeros((problem.num_groups, problem.num_files))
+        result = solve_subproblem(problem, 0, aggregate)
+        assert result.caching.sum() <= problem.cache_capacity[0] + 1e-9
+        assert np.all(result.routing <= result.caching[np.newaxis, :] + 1e-9)
+        assert np.all(result.routing >= -1e-12)
+        usage = float(np.sum(result.routing * problem.demand))
+        assert usage <= problem.bandwidth[0] + 1e-6
+
+    @given(problems(), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_caps_always_respected(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        aggregate = rng.uniform(0.0, 1.0, size=(problem.num_groups, problem.num_files))
+        result = solve_subproblem(problem, 0, aggregate)
+        caps = residual_caps(problem, 0, aggregate)
+        assert np.all(result.routing <= caps + 1e-9)
+
+
+class TestRoutingInvariants:
+    @given(problems(), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_routing_for_cache_feasible(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        caching = np.zeros((problem.num_sbs, problem.num_files))
+        for n in range(problem.num_sbs):
+            capacity = int(problem.cache_capacity[n])
+            if capacity:
+                chosen = rng.choice(problem.num_files, size=capacity, replace=False)
+                caching[n, chosen] = 1.0
+        routing = optimal_routing_for_cache(problem, caching)
+        assert Solution(caching=caching, routing=routing).is_feasible(problem)
+
+
+class TestPrivacyInvariants:
+    @given(
+        st.floats(0.01, 100.0),
+        st.floats(0.0, 0.9),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perturbation_band(self, epsilon, delta, seed):
+        """y_hat always lies in [(1 - delta) y, y]."""
+        rng = np.random.default_rng(seed)
+        routing = rng.uniform(0.0, 1.0, size=(3, 4))
+        mechanism = LaplacePrivacyMechanism(
+            LPPMConfig(epsilon=epsilon, delta=delta), rng=seed
+        )
+        perturbed = mechanism.perturb(routing)
+        assert np.all(perturbed <= routing + 1e-12)
+        assert np.all(perturbed >= (1.0 - delta) * routing - 1e-12)
+
+    @given(st.floats(0.05, 10.0), st.floats(0.05, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_laplace_mean_inside_interval(self, beta, upper):
+        mean = float(BoundedLaplace(beta, 0.0, upper).mean())
+        assert 0.0 <= mean <= upper

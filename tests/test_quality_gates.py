@@ -1,0 +1,123 @@
+"""Repository-wide quality gates: docstrings, API hygiene, regressions."""
+
+import importlib
+import inspect
+import pkgutil
+
+import numpy as np
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.solvers",
+    "repro.privacy",
+    "repro.network",
+    "repro.workload",
+    "repro.baselines",
+    "repro.attacks",
+    "repro.experiments",
+]
+
+
+def iter_all_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__
+            for module in iter_all_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_callable_documented(self):
+        undocumented = []
+        for module in iter_all_modules():
+            exported = getattr(module, "__all__", [])
+            for name in exported:
+                obj = getattr(module, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    if obj.__module__ != module.__name__:
+                        continue  # re-export; documented at its home
+                    if not (obj.__doc__ or "").strip():
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"public API without docstrings: {undocumented}"
+
+    def test_public_classes_document_their_methods(self):
+        """Every public method on exported classes carries a docstring."""
+        undocumented = []
+        for module in iter_all_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if not inspect.isclass(obj) or obj.__module__ != module.__name__:
+                    continue
+                for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+                    if method_name.startswith("_"):
+                        continue
+                    if method.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    if not (method.__doc__ or "").strip():
+                        undocumented.append(f"{module.__name__}.{name}.{method_name}")
+        assert not undocumented, f"methods without docstrings: {undocumented}"
+
+
+class TestRegressionAnchors:
+    """Seeded end-to-end numbers pinned loosely to catch silent drift.
+
+    Tolerances are wide enough for legitimate algorithmic tuning but
+    tight enough to flag a broken cost function, a mangled trace, or a
+    solver returning garbage.
+    """
+
+    def test_default_scenario_shape(self):
+        problem = repro.build_problem()
+        assert problem.shape == (3, 30, 50)
+        assert problem.total_demand() == pytest.approx(10_500.0)
+        assert problem.max_cost() == pytest.approx(1_291_436.0, rel=0.001)
+
+    def test_trace_anchor(self):
+        from repro.workload import trending_video_trace
+
+        trace = trending_video_trace()
+        assert trace.views[0] == 140_000.0
+        assert trace.total_views() == pytest.approx(565_646.0, rel=0.001)
+
+    def test_optimum_cost_band(self):
+        from repro.core.distributed import DistributedConfig
+
+        result = repro.run_optimum(
+            repro.build_problem(),
+            config=DistributedConfig(accuracy=1e-4, max_iterations=8),
+            rng=0,
+        )
+        # Centralized reference is ~890.7k; the distributed optimum must
+        # land within a few percent of it.
+        assert 880_000 <= result.cost <= 920_000
+
+    def test_lppm_overhead_band(self):
+        from repro.core.distributed import DistributedConfig
+
+        problem = repro.build_problem()
+        config = DistributedConfig(accuracy=1e-3, max_iterations=6)
+        optimum = repro.run_optimum(problem, config=config, rng=0)
+        private = repro.run_lppm(problem, 0.01, config=config, rng=1)
+        overhead = private.cost / optimum.cost - 1.0
+        # Paper's Fig. 3 anchor: +10.1% at eps = 0.01; we accept 5-20%.
+        assert 0.05 <= overhead <= 0.20
+
+    def test_lrfu_band(self):
+        problem = repro.build_problem()
+        baseline = repro.run_lrfu(problem, rng=2)
+        ratio = baseline.cost / problem.max_cost()
+        # LRFU saves something but far less than the optimum's ~31%.
+        assert 0.6 <= ratio <= 0.95

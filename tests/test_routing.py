@@ -1,0 +1,107 @@
+"""Tests for routing optimization given fixed caches."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import total_cost
+from repro.core.routing import (
+    optimal_routing_for_cache,
+    optimal_routing_for_sbs,
+    residual_caps,
+)
+from repro.core.solution import Solution
+from repro.exceptions import ValidationError
+
+from conftest import random_problem
+
+
+class TestResidualCaps:
+    def test_zero_aggregate_gives_connectivity(self, tiny_problem):
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        np.testing.assert_allclose(caps[0], 1.0)
+        np.testing.assert_allclose(caps[2], 0.0)  # group 2 unreachable from SBS 0
+
+    def test_partial_aggregate(self, tiny_problem):
+        aggregate = np.zeros((3, 4))
+        aggregate[1, 0] = 0.6
+        caps = residual_caps(tiny_problem, 0, aggregate)
+        assert caps[1, 0] == pytest.approx(0.4)
+
+    def test_overserved_aggregate_clipped(self, tiny_problem):
+        aggregate = np.full((3, 4), 1.7)
+        caps = residual_caps(tiny_problem, 0, aggregate)
+        assert caps.min() >= 0.0
+
+    def test_bad_sbs(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            residual_caps(tiny_problem, 9, np.zeros((3, 4)))
+
+
+class TestPerSBSRouting:
+    def test_respects_cache(self, tiny_problem):
+        cached = np.array([1.0, 0.0, 0.0, 0.0])
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        routing = optimal_routing_for_sbs(tiny_problem, 0, cached, caps)
+        assert np.all(routing[:, 1:] == 0.0)
+
+    def test_respects_bandwidth(self, tiny_problem):
+        cached = np.ones(4)
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        routing = optimal_routing_for_sbs(tiny_problem, 0, cached, caps)
+        usage = float(np.sum(routing * tiny_problem.demand))
+        assert usage <= tiny_problem.bandwidth[0] + 1e-9
+
+    def test_prefers_high_margin_group(self, tiny_problem):
+        """Group 1 has margin 119 vs group 0's 99; with scarce bandwidth
+        the SBS serves group 1 first."""
+        cached = np.array([1.0, 0.0, 0.0, 0.0])
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        # Bandwidth 10 covers group1 f0 (6 units) fully, then group0 partially
+        routing = optimal_routing_for_sbs(tiny_problem, 0, cached, caps)
+        assert routing[1, 0] == pytest.approx(1.0)
+        assert routing[0, 0] == pytest.approx(4.0 / 8.0)
+
+    def test_extra_cost_discourages(self, tiny_problem):
+        cached = np.ones(4)
+        caps = residual_caps(tiny_problem, 0, np.zeros((3, 4)))
+        huge = np.full((3, 4), 1e9)
+        routing = optimal_routing_for_sbs(tiny_problem, 0, cached, caps, extra_cost=huge)
+        assert np.all(routing == 0.0)
+
+
+class TestGlobalRouting:
+    def test_backends_agree(self, rng):
+        for _ in range(5):
+            problem = random_problem(rng)
+            caching = (rng.uniform(size=(problem.num_sbs, problem.num_files)) < 0.5).astype(float)
+            lp = optimal_routing_for_cache(problem, caching, backend="lp")
+            flow = optimal_routing_for_cache(problem, caching, backend="flow")
+            assert total_cost(problem, lp) == pytest.approx(total_cost(problem, flow), rel=1e-6)
+
+    def test_solution_feasible(self, rng):
+        for _ in range(5):
+            problem = random_problem(rng)
+            caching = np.zeros((problem.num_sbs, problem.num_files))
+            for n in range(problem.num_sbs):
+                capacity = int(problem.cache_capacity[n])
+                chosen = rng.choice(problem.num_files, size=capacity, replace=False)
+                caching[n, chosen] = 1.0
+            routing = optimal_routing_for_cache(problem, caching)
+            report = Solution(caching=caching, routing=routing).check_feasibility(problem)
+            assert report.feasible, report.worst()
+
+    def test_empty_cache_routes_nothing(self, tiny_problem):
+        routing = optimal_routing_for_cache(tiny_problem, np.zeros((2, 4)))
+        assert np.all(routing == 0.0)
+
+    def test_full_cache_beats_partial(self, tiny_problem):
+        partial = np.zeros((2, 4))
+        partial[:, 0] = 1.0
+        full = np.ones((2, 4))
+        cost_partial = total_cost(tiny_problem, optimal_routing_for_cache(tiny_problem, partial))
+        cost_full = total_cost(tiny_problem, optimal_routing_for_cache(tiny_problem, full))
+        assert cost_full <= cost_partial + 1e-9
+
+    def test_unknown_backend(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            optimal_routing_for_cache(tiny_problem, np.zeros((2, 4)), backend="quantum")

@@ -1,0 +1,65 @@
+"""Tests for sensitivity computation (Theorem 4 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.privacy.sensitivity import (
+    beta_for_epsilon,
+    request_sensitivity,
+    routing_sensitivity,
+    smooth_sensitivity_bound,
+)
+
+
+class TestRoutingSensitivity:
+    def test_default_one(self):
+        assert routing_sensitivity() == 1.0
+
+    def test_scaled(self):
+        assert routing_sensitivity(0.5) == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(PrivacyError):
+            routing_sensitivity(0.0)
+
+
+class TestRequestSensitivity:
+    def test_capped_at_one(self):
+        demand = np.array([[10.0, 5.0]])
+        bandwidth = np.array([100.0])
+        assert request_sensitivity(demand, bandwidth) == 1.0
+
+    def test_fraction_bound(self):
+        demand = np.array([[10.0]])
+        bandwidth = np.array([2.0])
+        assert request_sensitivity(demand, bandwidth) == pytest.approx(0.2)
+
+    def test_zero_demand(self):
+        assert request_sensitivity(np.zeros((2, 2)), np.ones(1)) == 0.0
+
+
+class TestSmoothBound:
+    def test_value(self):
+        assert smooth_sensitivity_bound(0.5) == 0.5
+
+    def test_scaled_by_y_max(self):
+        assert smooth_sensitivity_bound(0.4, y_max=0.5) == pytest.approx(0.2)
+
+    def test_delta_range(self):
+        with pytest.raises(Exception):
+            smooth_sensitivity_bound(1.0)
+
+
+class TestBetaForEpsilon:
+    def test_eq30(self):
+        assert beta_for_epsilon(1.0, 0.1) == pytest.approx(10.0)
+
+    def test_monotone_in_epsilon(self):
+        assert beta_for_epsilon(1.0, 0.01) > beta_for_epsilon(1.0, 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrivacyError):
+            beta_for_epsilon(0.0, 0.1)
+        with pytest.raises(PrivacyError):
+            beta_for_epsilon(1.0, 0.0)

@@ -1,0 +1,102 @@
+"""Tests for the two-phase simplex solver, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleError, UnboundedError
+from repro.solvers.simplex import simplex_solve
+
+
+class TestKnownLPs:
+    def test_trivial_box(self):
+        # min -x s.t. x <= 1
+        result = simplex_solve([-1.0], upper=[1.0])
+        assert result.objective == pytest.approx(-1.0)
+        np.testing.assert_allclose(result.x, [1.0])
+
+    def test_two_variable(self):
+        # min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2
+        result = simplex_solve(
+            [-1.0, -2.0],
+            a_ub=[[1.0, 1.0]],
+            b_ub=[4.0],
+            upper=[3.0, 2.0],
+        )
+        assert result.objective == pytest.approx(-6.0)
+        np.testing.assert_allclose(result.x, [2.0, 2.0])
+
+    def test_equality_constraint(self):
+        # min x + y s.t. x + y = 2, 0 <= x, y
+        result = simplex_solve([1.0, 1.0], a_eq=[[1.0, 1.0]], b_eq=[2.0])
+        assert result.objective == pytest.approx(2.0)
+
+    def test_degenerate_objective(self):
+        result = simplex_solve([0.0, 0.0], a_ub=[[1.0, 1.0]], b_ub=[1.0])
+        assert result.objective == pytest.approx(0.0)
+
+    def test_negative_rhs_normalised(self):
+        # -x <= -1  means x >= 1
+        result = simplex_solve([1.0], a_ub=[[-1.0]], b_ub=[-1.0])
+        assert result.objective == pytest.approx(1.0)
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            simplex_solve([1.0], a_ub=[[1.0]], b_ub=[1.0], a_eq=[[1.0]], b_eq=[5.0], upper=[2.0])
+
+    def test_unbounded(self):
+        with pytest.raises(UnboundedError):
+            simplex_solve([-1.0])
+
+    def test_bounded_by_upper_not_unbounded(self):
+        result = simplex_solve([-1.0], upper=[10.0])
+        assert result.objective == pytest.approx(-10.0)
+
+    def test_redundant_equalities(self):
+        result = simplex_solve(
+            [1.0, 1.0],
+            a_eq=[[1.0, 1.0], [2.0, 2.0]],
+            b_eq=[2.0, 4.0],
+        )
+        assert result.objective == pytest.approx(2.0)
+
+
+@st.composite
+def lp_instances(draw):
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(1, 4))
+    c = draw(st.lists(st.floats(-5, 5, allow_nan=False), min_size=n, max_size=n))
+    a = draw(
+        st.lists(
+            st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    b = draw(st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=m, max_size=m))
+    upper = draw(st.lists(st.floats(0.1, 5.0, allow_nan=False), min_size=n, max_size=n))
+    return np.array(c), np.array(a), np.array(b), np.array(upper)
+
+
+class TestAgainstScipy:
+    @given(lp_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_objective_matches_highs(self, instance):
+        c, a, b, upper = instance
+        mine = simplex_solve(c, a_ub=a, b_ub=b, upper=upper)
+        reference = linprog(
+            c, A_ub=a, b_ub=b, bounds=[(0.0, float(u)) for u in upper], method="highs"
+        )
+        assert reference.success
+        assert mine.objective == pytest.approx(reference.fun, abs=1e-6)
+
+    @given(lp_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_solution_feasible(self, instance):
+        c, a, b, upper = instance
+        mine = simplex_solve(c, a_ub=a, b_ub=b, upper=upper)
+        assert np.all(mine.x >= -1e-8)
+        assert np.all(mine.x <= upper + 1e-8)
+        assert np.all(a @ mine.x <= b + 1e-6)

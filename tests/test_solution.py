@@ -1,0 +1,156 @@
+"""Tests for the Solution container and feasibility checking."""
+
+import numpy as np
+import pytest
+
+from repro.core.solution import Solution
+from repro.exceptions import ValidationError
+
+
+def feasible_solution(problem):
+    caching = np.zeros((problem.num_sbs, problem.num_files))
+    caching[:, 0] = 1.0
+    routing = np.zeros(problem.shape)
+    routing[0, 0, 0] = 0.5
+    return Solution(caching=caching, routing=routing)
+
+
+class TestConstruction:
+    def test_zeros_feasible(self, tiny_problem):
+        solution = Solution.zeros(tiny_problem)
+        assert solution.is_feasible(tiny_problem)
+
+    def test_shape_consistency_enforced(self):
+        with pytest.raises(ValidationError, match="inconsistent"):
+            Solution(caching=np.zeros((2, 3)), routing=np.zeros((2, 4, 5)))
+
+    def test_arrays_read_only(self, tiny_problem):
+        solution = Solution.zeros(tiny_problem)
+        with pytest.raises(ValueError):
+            solution.routing[0, 0, 0] = 1.0
+
+    def test_cost_of_zeros_is_w(self, tiny_problem):
+        assert Solution.zeros(tiny_problem).cost(tiny_problem) == pytest.approx(
+            tiny_problem.max_cost()
+        )
+
+
+class TestFeasibility:
+    def test_feasible_example(self, tiny_problem):
+        solution = feasible_solution(tiny_problem)
+        report = solution.check_feasibility(tiny_problem)
+        assert report.feasible
+        assert report.worst() is None
+
+    def test_integrality_violation(self, tiny_problem):
+        caching = np.zeros((2, 4))
+        caching[0, 0] = 0.5
+        solution = Solution(caching=caching, routing=np.zeros(tiny_problem.shape))
+        report = solution.check_feasibility(tiny_problem)
+        assert not report.feasible
+        assert "integrality(8)" in report.by_constraint()
+
+    def test_capacity_violation(self, tiny_problem):
+        caching = np.ones((2, 4))  # capacity is 2 per SBS
+        solution = Solution(caching=caching, routing=np.zeros(tiny_problem.shape))
+        report = solution.check_feasibility(tiny_problem)
+        assert "cache_capacity(1)" in report.by_constraint()
+
+    def test_coupling_violation(self, tiny_problem):
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 0, 0] = 0.5  # file 0 not cached
+        solution = Solution(caching=np.zeros((2, 4)), routing=routing)
+        report = solution.check_feasibility(tiny_problem)
+        assert "cache_coupling(2)" in report.by_constraint()
+
+    def test_bandwidth_violation(self, tiny_problem):
+        caching = np.ones((2, 4)) * 0
+        caching[0, :2] = 1.0
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 0, 0] = 1.0  # 8 units
+        routing[0, 1, 0] = 1.0  # 6 units -> 14 > 10
+        solution = Solution(caching=caching, routing=routing)
+        report = solution.check_feasibility(tiny_problem)
+        assert "bandwidth(3)" in report.by_constraint()
+
+    def test_unit_demand_violation(self, tiny_problem):
+        caching = np.zeros((2, 4))
+        caching[:, 0] = 1.0
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 1, 0] = 0.7
+        routing[1, 1, 0] = 0.7  # group 1 served 1.4 times
+        solution = Solution(caching=caching, routing=routing)
+        report = solution.check_feasibility(tiny_problem)
+        assert "unit_demand(4)" in report.by_constraint()
+
+    def test_locality_violation(self, tiny_problem):
+        caching = np.zeros((2, 4))
+        caching[0, 0] = 1.0
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 2, 0] = 0.5  # SBS 0 does not reach group 2
+        solution = Solution(caching=caching, routing=routing)
+        report = solution.check_feasibility(tiny_problem)
+        assert "locality" in report.by_constraint()
+
+    def test_box_violation(self, tiny_problem):
+        caching = np.zeros((2, 4))
+        caching[0, 0] = 1.0
+        routing = np.zeros(tiny_problem.shape)
+        routing[0, 0, 0] = 1.2
+        solution = Solution(caching=caching, routing=routing)
+        report = solution.check_feasibility(tiny_problem)
+        assert "box_high(9)" in report.by_constraint()
+
+    def test_raise_if_infeasible(self, tiny_problem):
+        caching = np.ones((2, 4))
+        solution = Solution(caching=caching, routing=np.zeros(tiny_problem.shape))
+        with pytest.raises(ValidationError, match="infeasible"):
+            solution.check_feasibility(tiny_problem).raise_if_infeasible()
+
+    def test_wrong_problem_shape(self, tiny_problem):
+        solution = Solution(caching=np.zeros((3, 4)), routing=np.zeros((3, 3, 4)))
+        with pytest.raises(ValidationError):
+            solution.check_feasibility(tiny_problem)
+
+
+class TestMetrics:
+    def test_cache_occupancy(self, tiny_problem):
+        solution = feasible_solution(tiny_problem)
+        np.testing.assert_allclose(solution.cache_occupancy(), [1.0, 1.0])
+
+    def test_bandwidth_usage(self, tiny_problem):
+        solution = feasible_solution(tiny_problem)
+        usage = solution.bandwidth_usage(tiny_problem)
+        assert usage[0] == pytest.approx(0.5 * 8.0)
+        assert usage[1] == 0.0
+
+    def test_offloaded_traffic(self, tiny_problem):
+        solution = feasible_solution(tiny_problem)
+        assert solution.offloaded_traffic(tiny_problem) == pytest.approx(4.0)
+
+
+class TestRepair:
+    def test_repair_fixes_everything(self, tiny_problem, rng):
+        caching = rng.uniform(size=(2, 4))
+        routing = rng.uniform(-0.2, 1.4, size=tiny_problem.shape)
+        repaired = Solution(caching=caching, routing=routing).repaired(tiny_problem)
+        assert repaired.is_feasible(tiny_problem)
+
+    def test_repair_idempotent_on_feasible(self, tiny_problem):
+        solution = feasible_solution(tiny_problem)
+        repaired = solution.repaired(tiny_problem)
+        np.testing.assert_allclose(repaired.caching, solution.caching)
+        np.testing.assert_allclose(repaired.routing, solution.routing)
+
+    def test_repair_respects_capacity(self, tiny_problem):
+        caching = np.ones((2, 4))
+        solution = Solution(caching=caching, routing=np.zeros(tiny_problem.shape))
+        repaired = solution.repaired(tiny_problem)
+        assert repaired.cache_occupancy().max() <= 2.0
+
+    def test_repair_many_random(self, tiny_problem, rng):
+        for _ in range(20):
+            caching = rng.uniform(size=(2, 4))
+            routing = rng.uniform(0, 2.0, size=tiny_problem.shape)
+            repaired = Solution(caching=caching, routing=routing).repaired(tiny_problem)
+            assert repaired.is_feasible(tiny_problem)

@@ -1,0 +1,106 @@
+"""Tests for the projected subgradient driver and step schedule."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.solvers.subgradient import StepSchedule, subgradient_ascent
+
+
+class TestStepSchedule:
+    def test_formula(self):
+        schedule = StepSchedule(eta0=2.0, alpha=0.5)
+        assert schedule(0) == pytest.approx(2.0)
+        assert schedule(2) == pytest.approx(1.0)
+
+    def test_diminishing(self):
+        schedule = StepSchedule(eta0=1.0, alpha=0.1)
+        values = [schedule(k) for k in range(100)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_eta0(self):
+        with pytest.raises(ValidationError):
+            StepSchedule(eta0=0.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValidationError):
+            StepSchedule(alpha=-1.0)
+
+
+class TestAscent:
+    def test_concave_quadratic(self):
+        """max -(mu - 3)^2 over mu >= 0: optimum at mu = 3."""
+
+        def oracle(mu):
+            value = -((mu[0] - 3.0) ** 2)
+            grad = np.array([-2.0 * (mu[0] - 3.0)])
+            return value, grad, mu.copy()
+
+        result = subgradient_ascent(
+            oracle,
+            np.zeros(1),
+            schedule=StepSchedule(eta0=0.5, alpha=0.05),
+            max_iter=300,
+            patience=50,
+        )
+        assert result.best_dual == pytest.approx(0.0, abs=1e-2)
+        assert result.multipliers[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_projection_keeps_nonnegative(self):
+        def oracle(mu):
+            return -mu.sum(), -np.ones_like(mu), None
+
+        result = subgradient_ascent(oracle, np.ones(3), max_iter=50)
+        assert result.multipliers.min() >= 0.0
+
+    def test_history_recorded(self):
+        def oracle(mu):
+            return 0.0, np.zeros_like(mu), None
+
+        result = subgradient_ascent(oracle, np.zeros(2), max_iter=30, patience=5)
+        assert result.converged
+        assert len(result.dual_history) == result.iterations
+
+    def test_max_iter_cap(self):
+        calls = []
+
+        def oracle(mu):
+            calls.append(1)
+            return float(len(calls)), np.ones_like(mu), None
+
+        result = subgradient_ascent(oracle, np.zeros(1), max_iter=7, patience=100)
+        assert result.iterations == 7
+        assert not result.converged
+
+    def test_payload_score_tracks_best_primal(self):
+        """best_payload follows the lowest primal score, not the dual."""
+        sequence = iter([5.0, 1.0, 3.0])
+
+        def oracle(mu):
+            score = next(sequence)
+            return -score, np.zeros_like(mu), {"score": score}
+
+        result = subgradient_ascent(
+            oracle,
+            np.zeros(1),
+            max_iter=3,
+            patience=100,
+            payload_score=lambda payload: payload["score"],
+        )
+        assert result.best_payload["score"] == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        def oracle(mu):
+            return 0.0, np.zeros(5), None
+
+        with pytest.raises(ValidationError, match="shape"):
+            subgradient_ascent(oracle, np.zeros(2), max_iter=5)
+
+    def test_invalid_controls(self):
+        def oracle(mu):
+            return 0.0, np.zeros_like(mu), None
+
+        with pytest.raises(ValidationError):
+            subgradient_ascent(oracle, np.zeros(1), max_iter=0)
+        with pytest.raises(ValidationError):
+            subgradient_ascent(oracle, np.zeros(1), tol=-1.0)

@@ -1,0 +1,144 @@
+"""Tests for the per-SBS Lagrangian subproblem (Eqs. 10-23, Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.subproblem import (
+    SubproblemConfig,
+    cache_subproblem,
+    routing_subproblem,
+    solve_subproblem,
+    solve_subproblem_exhaustive,
+)
+from repro.exceptions import ValidationError
+
+from conftest import random_problem
+
+
+class TestCacheSubproblem:
+    def test_integral_output(self, tiny_problem):
+        """Theorem 1: the relaxed caching subproblem has integral optima."""
+        multipliers = np.array(
+            [
+                [3.0, 1.0, 0.5, 0.0],
+                [2.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0],
+            ]
+        )
+        caching = cache_subproblem(tiny_problem, 0, multipliers)
+        assert set(np.unique(caching)).issubset({0.0, 1.0})
+
+    def test_picks_largest_aggregated_multipliers(self, tiny_problem):
+        multipliers = np.zeros((3, 4))
+        multipliers[:, 2] = 5.0
+        multipliers[:, 1] = 1.0
+        caching = cache_subproblem(tiny_problem, 0, multipliers)
+        assert caching[2] == 1.0 and caching[1] == 1.0
+        assert caching.sum() == 2.0  # capacity
+
+    def test_zero_multipliers_with_tiebreak(self, tiny_problem):
+        value = np.array([1.0, 5.0, 3.0, 0.0])
+        caching = cache_subproblem(
+            tiny_problem, 0, np.zeros((3, 4)), tie_break_value=value
+        )
+        assert caching[1] == 1.0 and caching[2] == 1.0
+
+    def test_zero_multipliers_without_tiebreak(self, tiny_problem):
+        caching = cache_subproblem(tiny_problem, 0, np.zeros((3, 4)))
+        assert caching.sum() == 0.0  # no positive multipliers, nothing forced
+
+    def test_zero_capacity(self, tiny_problem):
+        problem = tiny_problem.with_cache_capacity(0.0)
+        caching = cache_subproblem(problem, 0, np.ones((3, 4)))
+        assert caching.sum() == 0.0
+
+    def test_matches_lp_relaxation(self, tiny_problem, rng):
+        """The greedy selection equals the LP optimum of Eq. 18."""
+        from repro.solvers.lp import solve_lp
+
+        for _ in range(5):
+            multipliers = rng.uniform(0.0, 2.0, size=(3, 4))
+            caching = cache_subproblem(tiny_problem, 0, multipliers)
+            aggregated = multipliers.sum(axis=0)
+            lp = solve_lp(
+                -aggregated,
+                a_ub=np.ones((1, 4)),
+                b_ub=[2.0],
+                upper=np.ones(4),
+                backend="simplex",
+            )
+            assert float(aggregated @ caching) == pytest.approx(-lp.objective, abs=1e-9)
+
+
+class TestRoutingSubproblem:
+    def test_zero_multipliers_serves_greedily(self, tiny_problem):
+        caps = np.ones((3, 4)) * tiny_problem.connectivity[0][:, np.newaxis]
+        routing = routing_subproblem(tiny_problem, 0, np.zeros((3, 4)), caps)
+        usage = float(np.sum(routing * tiny_problem.demand))
+        assert usage <= tiny_problem.bandwidth[0] + 1e-9
+        assert usage > 0.0
+
+    def test_huge_multipliers_stop_routing(self, tiny_problem):
+        caps = np.ones((3, 4)) * tiny_problem.connectivity[0][:, np.newaxis]
+        routing = routing_subproblem(tiny_problem, 0, np.full((3, 4), 1e7), caps)
+        assert np.all(routing == 0.0)
+
+    def test_caps_respected(self, tiny_problem):
+        caps = np.full((3, 4), 0.25) * tiny_problem.connectivity[0][:, np.newaxis]
+        routing = routing_subproblem(tiny_problem, 0, np.zeros((3, 4)), caps)
+        assert routing.max() <= 0.25 + 1e-12
+
+
+class TestSolveSubproblem:
+    def test_feasible_output(self, tiny_problem):
+        result = solve_subproblem(tiny_problem, 0, np.zeros((3, 4)))
+        assert result.caching.sum() <= tiny_problem.cache_capacity[0] + 1e-9
+        assert np.all(result.routing <= result.caching[np.newaxis, :] + 1e-9)
+        usage = float(np.sum(result.routing * tiny_problem.demand))
+        assert usage <= tiny_problem.bandwidth[0] + 1e-9
+
+    def test_matches_exhaustive_tiny(self, tiny_problem):
+        for sbs in range(tiny_problem.num_sbs):
+            dual = solve_subproblem(tiny_problem, sbs, np.zeros((3, 4)))
+            exact = solve_subproblem_exhaustive(tiny_problem, sbs, np.zeros((3, 4)))
+            assert dual.cost == pytest.approx(exact.cost, rel=1e-6)
+
+    def test_matches_exhaustive_random(self, rng):
+        for _ in range(4):
+            problem = random_problem(rng, num_sbs=2, num_groups=4, num_files=5)
+            aggregate = rng.uniform(0.0, 0.5, size=(4, 5))
+            dual = solve_subproblem(problem, 0, aggregate)
+            exact = solve_subproblem_exhaustive(problem, 0, aggregate)
+            assert dual.cost == pytest.approx(exact.cost, rel=1e-5)
+
+    def test_respects_aggregate_caps(self, tiny_problem):
+        aggregate = np.ones((3, 4))  # everything already served
+        result = solve_subproblem(tiny_problem, 0, aggregate)
+        assert np.all(result.routing == 0.0)
+
+    def test_dual_history_recorded(self, tiny_problem):
+        result = solve_subproblem(
+            tiny_problem, 0, np.zeros((3, 4)), SubproblemConfig(max_iter=30)
+        )
+        assert len(result.dual_history) >= 1
+        assert result.iterations == len(result.dual_history)
+
+    def test_dual_lower_bounds_primal(self, tiny_problem):
+        """Weak duality: best dual <= best primal cost (both for min P_n)."""
+        result = solve_subproblem(tiny_problem, 0, np.zeros((3, 4)))
+        assert result.best_dual <= result.cost + 1e-6
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            SubproblemConfig(max_iter=0)
+        with pytest.raises(ValidationError):
+            SubproblemConfig(tol=-1.0)
+
+
+class TestExhaustive:
+    def test_subset_guard(self, rng):
+        problem = random_problem(rng, num_files=30)
+        with pytest.raises(ValidationError, match="enumerate"):
+            solve_subproblem_exhaustive(
+                problem, 0, np.zeros((problem.num_groups, 30)), max_subsets=10
+            )

@@ -1,0 +1,157 @@
+"""Tests for the price/slack extensions of the per-SBS subproblem and
+the distributed price-coordination machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import (
+    BaseStationAgent,
+    DistributedConfig,
+    DistributedOptimizer,
+    solve_distributed,
+)
+from repro.core.subproblem import solve_subproblem
+from repro.exceptions import ValidationError
+from repro.network.messaging import Channel
+from repro.privacy.mechanism import LPPMConfig
+
+
+class TestSubproblemPrices:
+    def test_zero_prices_match_default(self, tiny_problem):
+        aggregate = np.zeros((3, 4))
+        plain = solve_subproblem(tiny_problem, 0, aggregate)
+        priced = solve_subproblem(
+            tiny_problem, 0, aggregate, prices=np.zeros((3, 4))
+        )
+        assert priced.cost == pytest.approx(plain.cost)
+        np.testing.assert_allclose(priced.routing, plain.routing)
+
+    def test_huge_prices_suppress_routing(self, tiny_problem):
+        aggregate = np.zeros((3, 4))
+        result = solve_subproblem(
+            tiny_problem, 0, aggregate, prices=np.full((3, 4), 1e9)
+        )
+        assert np.all(result.routing == 0.0)
+
+    def test_selective_price_shifts_allocation(self, tiny_problem):
+        """Pricing group 1 pushes SBS 0's bandwidth towards group 0."""
+        aggregate = np.zeros((3, 4))
+        prices = np.zeros((3, 4))
+        prices[1, :] = 1e9
+        result = solve_subproblem(tiny_problem, 0, aggregate, prices=prices)
+        assert result.routing[1].sum() == 0.0
+        assert result.routing[0].sum() > 0.0
+
+    def test_cap_slack_loosens(self, tiny_problem):
+        aggregate = np.ones((3, 4))  # everything served by others
+        no_slack = solve_subproblem(tiny_problem, 0, aggregate)
+        slack = solve_subproblem(tiny_problem, 0, aggregate, cap_slack=0.3)
+        assert np.all(no_slack.routing == 0.0)
+        assert slack.routing.max() <= 0.3 + 1e-9
+        assert slack.routing.sum() > 0.0
+
+    def test_cap_slack_never_exceeds_one(self, tiny_problem):
+        aggregate = np.zeros((3, 4))
+        result = solve_subproblem(tiny_problem, 0, aggregate, cap_slack=0.9)
+        assert result.routing.max() <= 1.0 + 1e-9
+
+    def test_negative_slack_rejected(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            solve_subproblem(tiny_problem, 0, np.zeros((3, 4)), cap_slack=-0.1)
+
+    def test_bad_price_shape_rejected(self, tiny_problem):
+        with pytest.raises(ValidationError):
+            solve_subproblem(tiny_problem, 0, np.zeros((3, 4)), prices=np.zeros((2, 2)))
+
+
+class TestPriceUpdates:
+    def test_prices_rise_on_overservice(self, tiny_problem):
+        channel = Channel()
+        bs = BaseStationAgent(tiny_problem, channel, with_prices=True)
+        bs.reports[0, 1, 0] = 0.8
+        bs.reports[1, 1, 0] = 0.8  # pair (1, 0) over-served by 0.6
+        bs.update_prices(step=0.1)
+        assert bs.prices[1, 0] > 0.0
+
+    def test_prices_decay_on_underservice(self, tiny_problem):
+        channel = Channel()
+        bs = BaseStationAgent(tiny_problem, channel, with_prices=True)
+        bs.prices[:] = 5.0
+        bs.update_prices(step=0.1)
+        assert np.all(bs.prices < 5.0)
+        assert np.all(bs.prices >= 0.0)
+
+    def test_prices_capped(self, tiny_problem):
+        channel = Channel()
+        bs = BaseStationAgent(tiny_problem, channel, with_prices=True)
+        bs.reports[:, :, :] = 1.0
+        for _ in range(100):
+            bs.update_prices(step=10.0)
+        margin = tiny_problem.savings_margin().max(axis=0)
+        cap = 1.5 * margin[:, np.newaxis] * tiny_problem.demand
+        assert np.all(bs.prices <= cap + 1e-9)
+
+    def test_broadcast_payload_stacked(self, tiny_problem):
+        optimizer = DistributedOptimizer(
+            tiny_problem, DistributedConfig(coordination="prices", max_iterations=2)
+        )
+        payloads = []
+        optimizer.channel.tap(lambda m: payloads.append(np.asarray(m.payload)))
+        optimizer.run()
+        broadcast_shapes = {p.shape for p in payloads if p.ndim == 3}
+        assert broadcast_shapes == {(2, 3, 4)}
+
+
+class TestPriceMode:
+    def test_final_solution_feasible(self, tiny_problem):
+        result = solve_distributed(
+            tiny_problem,
+            DistributedConfig(coordination="prices", max_iterations=12, accuracy=1e-6),
+        )
+        assert result.solution.is_feasible(tiny_problem)
+
+    def test_price_mode_at_least_as_good_as_caps(self, tiny_problem):
+        caps = solve_distributed(
+            tiny_problem, DistributedConfig(max_iterations=15, accuracy=1e-6)
+        )
+        prices = solve_distributed(
+            tiny_problem,
+            DistributedConfig(
+                coordination="prices", max_iterations=15, accuracy=1e-6, restarts=2
+            ),
+            rng=0,
+        )
+        assert prices.cost <= caps.cost * 1.005
+
+    def test_prices_with_privacy(self, tiny_problem):
+        result = solve_distributed(
+            tiny_problem,
+            DistributedConfig(coordination="prices", max_iterations=10, accuracy=1e-3),
+            privacy=LPPMConfig(epsilon=0.5),
+            rng=0,
+        )
+        assert result.accountant is not None
+        assert result.solution.is_feasible(tiny_problem)
+
+
+class TestRestarts:
+    def test_restarts_never_worse(self, tiny_problem):
+        single = solve_distributed(
+            tiny_problem, DistributedConfig(max_iterations=10), rng=0
+        )
+        multi = solve_distributed(
+            tiny_problem, DistributedConfig(max_iterations=10, restarts=4), rng=0
+        )
+        assert multi.cost <= single.cost + 1e-9
+
+    def test_restarts_with_privacy_rejected(self, tiny_problem):
+        with pytest.raises(ValidationError, match="restarts"):
+            solve_distributed(
+                tiny_problem,
+                DistributedConfig(max_iterations=5, restarts=2),
+                privacy=LPPMConfig(epsilon=0.1),
+            )
+
+    def test_bad_sweep_order_rejected(self, tiny_problem):
+        with pytest.raises(ValidationError, match="permutation"):
+            DistributedOptimizer(tiny_problem, sweep_order=[0, 0])

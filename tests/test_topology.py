@@ -1,0 +1,128 @@
+"""Tests for topology generation (placement, links, costs)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network.topology import (
+    connectivity_by_proximity,
+    place_network,
+    random_connectivity,
+    to_bipartite_graph,
+    transmission_costs,
+)
+
+
+class TestPlacement:
+    def test_counts(self):
+        placement = place_network(3, 10, rng=0)
+        assert placement.num_sbs == 3
+        assert placement.num_groups == 10
+
+    def test_bs_at_centre(self):
+        placement = place_network(2, 4, area_side=10.0, rng=0)
+        assert placement.base_station.position.x == pytest.approx(5.0)
+
+    def test_entities_inside_area(self):
+        placement = place_network(5, 20, area_side=7.0, rng=1)
+        for sbs in placement.sbss:
+            assert 0.0 <= sbs.position.x <= 7.0
+            assert 0.0 <= sbs.position.y <= 7.0
+
+    def test_reproducible(self):
+        a = place_network(2, 5, rng=42)
+        b = place_network(2, 5, rng=42)
+        assert a.sbss[0].position == b.sbss[0].position
+
+    def test_distance_matrices(self):
+        placement = place_network(2, 3, rng=0)
+        assert placement.distances().shape == (2, 3)
+        assert placement.bs_distances().shape == (3,)
+
+    def test_operator_names(self):
+        placement = place_network(2, 3, operators=["att", "verizon"], rng=0)
+        assert placement.sbss[1].operator == "verizon"
+
+    def test_operator_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            place_network(2, 3, operators=["solo"], rng=0)
+
+    def test_bad_area(self):
+        with pytest.raises(ValidationError):
+            place_network(2, 3, area_side=0.0)
+
+
+class TestProximityConnectivity:
+    def test_exact_link_count(self):
+        placement = place_network(3, 10, rng=0)
+        for k in (0, 5, 17, 30):
+            connectivity = connectivity_by_proximity(placement, k)
+            assert int(connectivity.sum()) == k
+
+    def test_closest_pairs_chosen(self):
+        placement = place_network(2, 5, rng=3)
+        distances = placement.distances()
+        connectivity = connectivity_by_proximity(placement, 3)
+        chosen = distances[connectivity > 0]
+        unchosen = distances[connectivity == 0]
+        assert chosen.max() <= unchosen.min() + 1e-12
+
+    def test_too_many_links(self):
+        placement = place_network(2, 3, rng=0)
+        with pytest.raises(ValidationError):
+            connectivity_by_proximity(placement, 7)
+
+
+class TestRandomConnectivity:
+    def test_exact_link_count(self):
+        for k in (0, 10, 40, 90):
+            connectivity = random_connectivity(3, 30, k, rng=0)
+            assert int(connectivity.sum()) == k
+
+    def test_binary(self):
+        connectivity = random_connectivity(3, 30, 40, rng=1)
+        assert set(np.unique(connectivity)).issubset({0.0, 1.0})
+
+    def test_spread_covers_groups_first(self):
+        connectivity = random_connectivity(3, 10, 10, rng=2)
+        # With spreading, 10 links over 10 groups cover every group once.
+        assert np.all(connectivity.sum(axis=0) == 1.0)
+
+    def test_no_spread_mode(self):
+        connectivity = random_connectivity(3, 10, 10, rng=2, spread_over_groups=False)
+        assert int(connectivity.sum()) == 10
+
+    def test_link_budget_validation(self):
+        with pytest.raises(ValidationError):
+            random_connectivity(2, 3, 7)
+
+
+class TestTransmissionCosts:
+    def test_paper_defaults(self):
+        placement = place_network(3, 30, rng=0)
+        sbs_cost, bs_cost = transmission_costs(placement, rng=0)
+        assert np.all(sbs_cost == 1.0)
+        assert bs_cost.min() >= 100.0 and bs_cost.max() <= 150.0
+
+    def test_distance_weighted(self):
+        placement = place_network(3, 30, rng=0)
+        sbs_cost, _ = transmission_costs(placement, distance_weighted=True, rng=0)
+        assert sbs_cost.std() > 0.0
+        assert sbs_cost.max() <= 1.0 + 1e-12
+
+    def test_bad_range(self):
+        placement = place_network(2, 3, rng=0)
+        with pytest.raises(ValidationError):
+            transmission_costs(placement, bs_cost_range=(150.0, 100.0))
+
+
+class TestBipartiteGraph:
+    def test_structure(self):
+        connectivity = np.array([[1.0, 0.0], [1.0, 1.0]])
+        graph = to_bipartite_graph(connectivity)
+        assert graph.number_of_edges() == 3
+        assert graph.has_edge(("sbs", 1), ("mu", 1))
+
+    def test_bad_dim(self):
+        with pytest.raises(ValidationError):
+            to_bipartite_graph(np.zeros(3))

@@ -1,0 +1,145 @@
+"""Tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_binary_array,
+    as_float_array,
+    as_probability_array,
+    check_in_interval,
+    check_nonnegative_float,
+    check_positive_int,
+    require,
+    rng_from,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAsFloatArray:
+    def test_converts_lists(self):
+        out = as_float_array([1, 2, 3], "x")
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_shape_enforced(self):
+        with pytest.raises(ValidationError, match="shape"):
+            as_float_array([1.0, 2.0], "x", shape=(3,))
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValidationError, match="dimension"):
+            as_float_array([[1.0]], "x", ndim=1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            as_float_array([1.0, np.nan], "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="finite"):
+            as_float_array([np.inf], "x")
+
+    def test_allows_inf_when_not_finite(self):
+        out = as_float_array([np.inf], "x", finite=False)
+        assert np.isinf(out[0])
+
+    def test_nonnegative(self):
+        with pytest.raises(ValidationError, match="nonnegative"):
+            as_float_array([-0.1], "x", nonnegative=True)
+
+    def test_positive(self):
+        with pytest.raises(ValidationError, match="positive"):
+            as_float_array([0.0], "x", positive=True)
+
+    def test_unconvertible(self):
+        with pytest.raises(ValidationError, match="not convertible"):
+            as_float_array(["a", object()], "x")
+
+
+class TestAsBinaryArray:
+    def test_snaps_near_values(self):
+        out = as_binary_array([1e-12, 1.0 - 1e-12], "x")
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValidationError, match="binary"):
+            as_binary_array([0.5], "x")
+
+    def test_rejects_two(self):
+        with pytest.raises(ValidationError, match="binary"):
+            as_binary_array([2.0], "x")
+
+    def test_shape(self):
+        with pytest.raises(ValidationError):
+            as_binary_array([0.0, 1.0], "x", shape=(3,))
+
+
+class TestAsProbabilityArray:
+    def test_clips_tolerated_overshoot(self):
+        out = as_probability_array([1.0 + 1e-12, -1e-12], "x")
+        assert out.max() <= 1.0
+        assert out.min() >= 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            as_probability_array([1.5], "x")
+
+
+class TestScalarChecks:
+    def test_positive_int_ok(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "n")
+
+    def test_numpy_integer_accepted(self):
+        assert check_positive_int(np.int64(4), "n") == 4
+
+    def test_nonnegative_float(self):
+        assert check_nonnegative_float(0.0, "x") == 0.0
+
+    def test_nonnegative_float_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative_float(-1.0, "x")
+
+    def test_nonnegative_float_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative_float(float("nan"), "x")
+
+    def test_in_interval_closed(self):
+        assert check_in_interval(0.0, "x", low=0.0, high=1.0) == 0.0
+
+    def test_in_interval_open_bound_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_interval(1.0, "x", low=0.0, high=1.0, high_open=True)
+
+    def test_in_interval_low_open(self):
+        with pytest.raises(ValidationError):
+            check_in_interval(0.0, "x", low=0.0, high=1.0, low_open=True)
+
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRngFrom:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert rng_from(gen) is gen
+
+    def test_seed_reproducible(self):
+        a = rng_from(42).uniform()
+        b = rng_from(42).uniform()
+        assert a == b
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from(None), np.random.Generator)

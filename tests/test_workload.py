@@ -1,0 +1,187 @@
+"""Tests for the workload substrate: Zipf, trace, assignment, streams."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workload.assignment import assign_requests, assign_requests_weighted
+from repro.workload.streams import Request, deterministic_stream, poisson_stream
+from repro.workload.trace import TraceConfig, VideoTrace, trending_video_trace
+from repro.workload.zipf import fit_zipf_exponent, zipf_counts, zipf_popularity
+
+
+class TestZipf:
+    def test_popularity_normalised(self):
+        p = zipf_popularity(50, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_popularity_sorted(self):
+        p = zipf_popularity(20, 1.2)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_exponent_zero_uniform(self):
+        p = zipf_popularity(10, 0.0)
+        np.testing.assert_allclose(p, 0.1)
+
+    def test_counts_head_pinned(self):
+        counts = zipf_counts(50, head_count=140_000.0)
+        assert counts[0] == pytest.approx(140_000.0)
+
+    def test_counts_with_jitter_still_sorted(self):
+        counts = zipf_counts(50, jitter=0.3, rng=0)
+        assert np.all(np.diff(counts) <= 0)
+        assert counts[0] == pytest.approx(140_000.0)
+
+    def test_counts_minimum_one(self):
+        counts = zipf_counts(100, exponent=3.0, head_count=10.0)
+        assert counts.min() >= 1.0
+
+    def test_fit_exponent_recovers(self):
+        counts = zipf_popularity(100, 1.3) * 1e6
+        assert fit_zipf_exponent(counts) == pytest.approx(1.3, abs=0.01)
+
+    def test_fit_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            fit_zipf_exponent(np.array([1.0, 0.0]))
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValidationError):
+            zipf_popularity(10, -1.0)
+
+
+class TestTrace:
+    def test_default_matches_paper_shape(self):
+        """Fig. 2: 50 videos, head ~140k, tail a few thousand."""
+        trace = trending_video_trace()
+        assert trace.num_videos == 50
+        assert trace.views[0] == pytest.approx(140_000.0, rel=0.01)
+        assert trace.views[-1] >= 2_000.0
+        assert trace.views[-1] < 10_000.0
+
+    def test_sorted_descending(self):
+        trace = trending_video_trace()
+        assert np.all(np.diff(trace.views) <= 0)
+
+    def test_deterministic_default(self):
+        a = trending_video_trace()
+        b = trending_video_trace()
+        np.testing.assert_array_equal(a.views, b.views)
+
+    def test_top_k(self):
+        trace = trending_video_trace()
+        assert trace.top(20).shape == (20,)
+        with pytest.raises(ValidationError):
+            trace.top(0)
+        with pytest.raises(ValidationError):
+            trace.top(51)
+
+    def test_request_rates(self):
+        trace = trending_video_trace()
+        np.testing.assert_allclose(trace.request_rates(), trace.views / 30.0)
+
+    def test_scaled_demand(self):
+        trace = trending_video_trace()
+        scaled = trace.scaled_demand(6000.0)
+        assert scaled.sum() == pytest.approx(6000.0)
+        # shape preserved
+        np.testing.assert_allclose(scaled / scaled[0], trace.views / trace.views[0])
+
+    def test_scaled_demand_invalid(self):
+        trace = trending_video_trace()
+        with pytest.raises(ValidationError):
+            trace.scaled_demand(0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            TraceConfig(tail_views=200_000.0)
+        with pytest.raises(ValidationError):
+            TraceConfig(head_views=-1.0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValidationError):
+            VideoTrace(views=np.array([-1.0]), window_minutes=30.0)
+
+
+class TestAssignment:
+    def test_column_sums_preserved(self):
+        volumes = np.array([10.0, 5.0, 0.0])
+        demand = assign_requests(volumes, 4, rng=0)
+        np.testing.assert_allclose(demand.sum(axis=0), volumes)
+
+    def test_shape(self):
+        demand = assign_requests(np.ones(5), 3, rng=0)
+        assert demand.shape == (3, 5)
+
+    def test_nonnegative(self):
+        demand = assign_requests(np.ones(5) * 7.0, 3, rng=1)
+        assert demand.min() >= 0.0
+
+    def test_weighted_expectation(self):
+        """Heavier groups receive more demand on average."""
+        rng = np.random.default_rng(0)
+        weights = np.array([1.0, 9.0])
+        totals = np.zeros(2)
+        for _ in range(200):
+            demand = assign_requests_weighted(np.array([10.0]), weights, rng=rng)
+            totals += demand[:, 0]
+        assert totals[1] > 5 * totals[0]
+
+    def test_zero_weight_gets_nothing(self):
+        demand = assign_requests_weighted(
+            np.array([10.0]), np.array([1.0, 0.0]), rng=0
+        )
+        assert demand[1, 0] == 0.0
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            assign_requests_weighted(np.array([1.0]), np.zeros(3))
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            assign_requests_weighted(np.array([1.0]), np.array([]))
+
+
+class TestStreams:
+    def test_deterministic_counts(self):
+        demand = np.array([[3.0, 0.0], [0.0, 2.0]])
+        requests = deterministic_stream(demand, horizon=30.0)
+        count_00 = sum(1 for r in requests if (r.group, r.file) == (0, 0))
+        count_11 = sum(1 for r in requests if (r.group, r.file) == (1, 1))
+        assert count_00 == 3 and count_11 == 2
+
+    def test_deterministic_sorted(self):
+        demand = np.ones((3, 3)) * 4.0
+        requests = deterministic_stream(demand, horizon=10.0)
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+
+    def test_deterministic_within_horizon(self):
+        requests = deterministic_stream(np.array([[5.0]]), horizon=30.0)
+        assert all(0.0 <= r.time < 30.0 for r in requests)
+
+    def test_poisson_mean_count(self):
+        demand = np.full((2, 2), 50.0)
+        rng = np.random.default_rng(0)
+        requests = poisson_stream(demand, horizon=30.0, rng=rng)
+        assert len(requests) == pytest.approx(200, rel=0.25)
+
+    def test_poisson_sorted(self):
+        requests = poisson_stream(np.full((2, 2), 10.0), horizon=5.0, rng=0)
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+
+    def test_rate_scale(self):
+        demand = np.full((1, 1), 100.0)
+        thinned = poisson_stream(demand, horizon=1.0, rng=0, rate_scale=0.1)
+        assert len(thinned) < 40
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValidationError):
+            deterministic_stream(np.ones((1, 1)), horizon=0.0)
+        with pytest.raises(ValidationError):
+            poisson_stream(np.ones((1, 1)), horizon=-1.0)
+
+    def test_request_ordering_dataclass(self):
+        a = Request(time=1.0, group=0, file=0)
+        b = Request(time=2.0, group=0, file=0)
+        assert a < b

@@ -1,0 +1,141 @@
+"""Tests for trace file loading/saving and the ASCII chart rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.reporting import ascii_chart, format_sweep_chart
+from repro.experiments.runner import SweepPoint, SweepResult
+from repro.workload.io import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    trace_from_counts,
+)
+from repro.workload.trace import trending_video_trace
+
+
+class TestTraceFromCounts:
+    def test_sorted_descending(self):
+        trace = trace_from_counts([5.0, 100.0, 20.0])
+        np.testing.assert_allclose(trace.views, [100.0, 20.0, 5.0])
+
+    def test_window(self):
+        trace = trace_from_counts([1.0], window_minutes=60.0)
+        assert trace.window_minutes == 60.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            trace_from_counts([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            trace_from_counts([-1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            trace_from_counts([np.nan])
+
+
+class TestCSVRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        trace = trending_video_trace()
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path, column="views")
+        np.testing.assert_allclose(loaded.views, np.round(trace.views))
+
+    def test_load_by_index(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("10\n30\n20\n")
+        trace = load_trace_csv(path, column=0)
+        np.testing.assert_allclose(trace.views, [30.0, 20.0, 10.0])
+
+    def test_load_by_negative_index(self, tmp_path):
+        path = tmp_path / "multi.csv"
+        path.write_text("a,1,100\nb,2,50\n")
+        trace = load_trace_csv(path, column=-1)
+        np.testing.assert_allclose(trace.views, [100.0, 50.0])
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("video,count\nv1,10\nv2,5\n")
+        trace = load_trace_csv(path, column="count")
+        np.testing.assert_allclose(trace.views, [10.0, 5.0])
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("video,count\nv1,10\n")
+        with pytest.raises(ValidationError, match="column"):
+            load_trace_csv(path, column="views")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            load_trace_csv(tmp_path / "nope.csv")
+
+    def test_no_numeric_rows(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_text("a,b\nc,d\n")
+        with pytest.raises(ValidationError, match="no numeric"):
+            load_trace_csv(path, column=1)
+
+
+class TestJSON:
+    def test_list(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([5, 9, 1]))
+        trace = load_trace_json(path)
+        np.testing.assert_allclose(trace.views, [9.0, 5.0, 1.0])
+
+    def test_mapping(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"v1": 100, "v2": 40}))
+        trace = load_trace_json(path)
+        np.testing.assert_allclose(trace.views, [100.0, 40.0])
+
+    def test_wrong_type(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps("nope"))
+        with pytest.raises(ValidationError):
+            load_trace_json(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(["a", "b"]))
+        with pytest.raises(ValidationError):
+            load_trace_json(path)
+
+
+class TestAsciiChart:
+    def test_monotone_bars(self):
+        chart = ascii_chart([1.0, 2.0, 4.0], width=20)
+        lines = chart.splitlines()
+        widths = [line.count("#") for line in lines]
+        assert widths[0] < widths[1] < widths[2]
+        assert widths[2] == 20
+
+    def test_flat_series(self):
+        chart = ascii_chart([3.0, 3.0], width=10)
+        for line in chart.splitlines():
+            assert line.count("#") == 5
+
+    def test_empty(self):
+        assert "empty" in ascii_chart([])
+
+    def test_sweep_chart(self):
+        points = (
+            SweepPoint(x=1.0, costs={"lppm": 100.0}, stds={}),
+            SweepPoint(x=2.0, costs={"lppm": 50.0}, stds={}),
+        )
+        result = SweepResult(name="demo", x_label="x", points=points, schemes=("lppm",))
+        chart = format_sweep_chart(result, "lppm")
+        assert "demo" in chart
+        assert "100" in chart
+
+    def test_sweep_chart_unknown_scheme(self):
+        points = (SweepPoint(x=1.0, costs={"lppm": 1.0}, stds={}),)
+        result = SweepResult(name="d", x_label="x", points=points, schemes=("lppm",))
+        with pytest.raises(ValueError):
+            format_sweep_chart(result, "ghost")
