@@ -42,6 +42,7 @@ def test_communication_cost(benchmark):
                 "broadcasts": stats.by_kind.get(
                     MessageKind.AGGREGATE_BROADCAST.value, 0
                 ),
+                "bytes_by_kind": dict(stats.bytes_by_kind),
             }
         return rows
 
@@ -57,6 +58,7 @@ def test_communication_cost(benchmark):
             problem.num_sbs if label == "prices" else 0
         )
         assert stats["messages"] > 0
+        assert sum(stats["bytes_by_kind"].values()) == stats["bytes"]
     # Price broadcasts are stacked (2, U, F) payloads: more bytes per
     # message than caps mode at equal message count.
     caps_bpm = rows["caps"]["bytes"] / rows["caps"]["messages"]
@@ -65,10 +67,14 @@ def test_communication_cost(benchmark):
 
     lines = [f"centralized strawman (ship all local demand once): {centralized_bytes:,} bytes"]
     for label, stats in rows.items():
+        breakdown = ", ".join(
+            f"{kind} {nbytes:,}" for kind, nbytes in sorted(stats["bytes_by_kind"].items())
+        )
         lines.append(
             f"{label:7s}: {stats['iterations']} iterations, "
             f"{stats['messages']} messages ({stats['uploads']} uploads, "
-            f"{stats['broadcasts']} broadcasts), {stats['bytes']:,} bytes"
+            f"{stats['broadcasts']} broadcasts), {stats['bytes']:,} bytes "
+            f"[{breakdown}]"
         )
     save_result("communication_cost", "\n".join(lines))
     benchmark.extra_info.update(

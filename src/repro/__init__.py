@@ -40,6 +40,7 @@ from .experiments import (
     run_lrfu,
     run_optimum,
 )
+from .network import FaultConfig, FaultSchedule, FaultyChannel, LinkFaultProfile
 from .privacy import LaplacePrivacyMechanism, LPPMConfig, PrivacyAccountant
 
 __version__ = "1.0.0"
@@ -60,6 +61,10 @@ __all__ = [
     "run_lppm",
     "run_lrfu",
     "run_optimum",
+    "FaultConfig",
+    "FaultSchedule",
+    "FaultyChannel",
+    "LinkFaultProfile",
     "LaplacePrivacyMechanism",
     "LPPMConfig",
     "PrivacyAccountant",

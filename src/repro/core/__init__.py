@@ -19,6 +19,8 @@ from .cost import (
 )
 from .distributed import (
     BaseStationAgent,
+    Checkpoint,
+    CheckpointStore,
     DistributedConfig,
     DistributedOptimizer,
     DistributedResult,
@@ -58,6 +60,8 @@ __all__ = [
     "served_fraction",
     "total_cost",
     "BaseStationAgent",
+    "Checkpoint",
+    "CheckpointStore",
     "DistributedConfig",
     "DistributedOptimizer",
     "DistributedResult",

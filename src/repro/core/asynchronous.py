@@ -59,6 +59,16 @@ class AsyncConfig:
         simultaneous best responses to the same stale view.
     subproblem:
         Per-SBS solver configuration.
+    drop_probability:
+        Probability that any one message (upload or broadcast copy) is
+        lost in transit.  The async protocol needs no ARQ to survive
+        this: a lost upload simply leaves the BS's view stale until the
+        SBS's next wake-up, a bounded extra staleness.
+    crash_windows:
+        Node-crash schedule: ``(sbs_index, start_time, end_time)``
+        triples.  A crashed SBS skips its wake-ups and loses in-flight
+        messages addressed to it; its last report stays in the BS's view
+        (the BS serves the residual at ``f2`` either way).
     """
 
     duration: float = 50.0
@@ -66,6 +76,8 @@ class AsyncConfig:
     mean_message_delay: float = 0.5
     damping: float = 0.6
     subproblem: SubproblemConfig = dataclasses.field(default_factory=SubproblemConfig)
+    drop_probability: float = 0.0
+    crash_windows: Tuple[Tuple[int, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         for name, value in (
@@ -77,6 +89,18 @@ class AsyncConfig:
         check_nonnegative_float(self.mean_message_delay, "mean_message_delay")
         if not 0.0 < self.damping <= 1.0:
             raise ValidationError(f"damping must lie in (0, 1], got {self.damping}")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValidationError(
+                f"drop_probability must lie in [0, 1), got {self.drop_probability}"
+            )
+        for window in self.crash_windows:
+            if len(window) != 3:
+                raise ValidationError(
+                    f"crash windows are (sbs, start, end) triples, got {window!r}"
+                )
+            sbs, start, end = window
+            if int(sbs) < 0 or start < 0 or end <= start:
+                raise ValidationError(f"malformed crash window {window!r}")
 
 
 @dataclasses.dataclass
@@ -90,6 +114,8 @@ class AsyncResult:
     mean_staleness: float
     events_processed: int
     epsilon_spent: float = 0.0
+    messages_dropped: int = 0
+    wakeups_skipped: int = 0
 
     def final_window_costs(self, fraction: float = 0.25) -> np.ndarray:
         """Costs recorded in the trailing ``fraction`` of the run."""
@@ -133,14 +159,33 @@ def solve_asynchronous(
     updates: Dict[int, int] = {n: 0 for n in problem.sbs_indices()}
     staleness_samples: List[float] = []
     epsilon_spent = 0.0
+    dropped = [0]
+    skipped = [0]
 
     def delay(mean: float) -> float:
         if mean <= 0:
             return 0.0
         return float(generator.exponential(mean))
 
+    def node_crashed(sbs: int) -> bool:
+        now = scheduler.now
+        return any(
+            int(index) == sbs and start <= now < end
+            for index, start, end in config.crash_windows
+        )
+
+    def link_drops() -> bool:
+        # Guard the draw so a zero drop rate leaves the random stream —
+        # and therefore the failure-free trajectory — bit-identical.
+        if config.drop_probability <= 0.0:
+            return False
+        return bool(generator.random() < config.drop_probability)
+
     def bs_receive_upload(sbs: int, block: np.ndarray) -> None:
         nonlocal epsilon_spent
+        if link_drops():
+            dropped[0] += 1
+            return
         reports[sbs] = block
         trajectory.append((scheduler.now, total_cost(problem, reports)))
         aggregate = reports.sum(axis=0)
@@ -154,6 +199,11 @@ def solve_asynchronous(
             )
 
     def sbs_receive_aggregate(sbs: int, aggregate: np.ndarray, sent_at: float) -> None:
+        if link_drops() or node_crashed(sbs):
+            # Lost on the wire, or arrived at a node that is down: a
+            # crashed SBS keeps only the view it had before the crash.
+            dropped[0] += 1
+            return
         # Keep only the freshest view (messages can arrive out of order).
         if sent_at >= local_aggregate_time[sbs]:
             local_aggregate[sbs] = aggregate
@@ -161,6 +211,14 @@ def solve_asynchronous(
 
     def sbs_wakeup(sbs: int) -> None:
         nonlocal epsilon_spent
+        if node_crashed(sbs):
+            # Down: do no work, but keep the clock alive so the SBS
+            # resumes updating once its crash window ends.
+            skipped[0] += 1
+            scheduler.schedule(
+                delay(config.mean_update_interval), lambda s=sbs: sbs_wakeup(s)
+            )
+            return
         staleness_samples.append(scheduler.now - local_aggregate_time[sbs])
         aggregate_others = np.clip(local_aggregate[sbs] - last_report[sbs], 0.0, None)
         result = solve_subproblem(
@@ -196,4 +254,6 @@ def solve_asynchronous(
         mean_staleness=float(np.mean(staleness_samples)) if staleness_samples else 0.0,
         events_processed=scheduler.events_processed,
         epsilon_spent=epsilon_spent,
+        messages_dropped=dropped[0],
+        wakeups_skipped=skipped[0],
     )

@@ -19,13 +19,21 @@ __all__ = ["PhaseRecord", "CostHistory"]
 
 @dataclasses.dataclass(frozen=True)
 class PhaseRecord:
-    """Cost snapshot after one SBS finished its phase."""
+    """Cost snapshot after one SBS finished its phase.
+
+    ``retries`` counts upload retransmissions the ARQ layer needed for
+    this phase; ``stale`` marks a phase whose SBS contributed nothing
+    fresh (it was crashed, or every delivery attempt failed) so the BS
+    reused the last known report — the graceful-degradation path.
+    """
 
     iteration: int
     phase: int
     sbs: int
     cost: float
     noise_l1: float = 0.0
+    retries: int = 0
+    stale: bool = False
 
 
 @dataclasses.dataclass
@@ -79,6 +87,22 @@ class CostHistory:
         """Total L1 privacy noise injected across all phases."""
         return float(sum(record.noise_l1 for record in self.phases))
 
+    def stale_phases(self) -> List[PhaseRecord]:
+        """Phases where the BS had to reuse a stale report (degradation)."""
+        return [record for record in self.phases if record.stale]
+
+    def stale_phase_count(self, iteration: Optional[int] = None) -> int:
+        """Number of stale phases (optionally within one iteration)."""
+        return sum(
+            1
+            for record in self.phases
+            if record.stale and (iteration is None or record.iteration == iteration)
+        )
+
+    def total_retries(self) -> int:
+        """Total upload retransmissions across all phases."""
+        return sum(record.retries for record in self.phases)
+
     def summary(self) -> dict:
         """Compact run summary for logs and reports."""
         return {
@@ -87,4 +111,6 @@ class CostHistory:
             "iterations": len(self.iteration_costs),
             "phases": len(self.phases),
             "total_noise_l1": self.total_noise(),
+            "stale_phases": self.stale_phase_count(),
+            "retries": self.total_retries(),
         }

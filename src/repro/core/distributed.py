@@ -34,7 +34,8 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from .._validation import check_in_interval, check_positive_int, rng_from
-from ..exceptions import ProtocolError, ValidationError
+from ..exceptions import ProtocolError, ProtocolTimeout, ValidationError
+from ..network.faults import FaultConfig, FaultyChannel
 from ..network.messaging import Channel, Message, MessageKind
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.factory import MechanismConfig, build_mechanism
@@ -50,6 +51,8 @@ __all__ = [
     "DistributedResult",
     "BaseStationAgent",
     "SBSAgent",
+    "Checkpoint",
+    "CheckpointStore",
     "DistributedOptimizer",
     "solve_distributed",
 ]
@@ -96,6 +99,17 @@ class DistributedConfig:
     slack0 / slack_decay:
         Initial cap slack and its per-iteration geometric decay
         (prices mode only).
+    max_retries:
+        Fault-tolerant runs only: how many times an SBS retransmits an
+        unacknowledged ``POLICY_UPLOAD`` before declaring the phase lost.
+    retry_backoff_cap:
+        Cap (in channel ticks) of the exponential backoff between
+        retransmissions: waits go 1, 2, 4, ... up to this cap.
+    on_timeout:
+        What to do when every retry fails: ``"degrade"`` (the default)
+        lets the BS reuse the SBS's last known report and the unserved
+        residual falls back to the BS at cost ``f2``; ``"raise"`` aborts
+        the run with :class:`~repro.exceptions.ProtocolTimeout`.
     """
 
     accuracy: float = 1e-4
@@ -109,6 +123,9 @@ class DistributedConfig:
     slack0: float = 0.5
     slack_decay: float = 0.65
     restarts: int = 1
+    max_retries: int = 4
+    retry_backoff_cap: int = 8
+    on_timeout: str = "degrade"
 
     def __post_init__(self) -> None:
         if self.accuracy < 0:
@@ -126,6 +143,61 @@ class DistributedConfig:
         if not 0.0 <= self.slack0 <= 1.0 or not 0.0 < self.slack_decay < 1.0:
             raise ValidationError("slack0 must lie in [0, 1] and slack_decay in (0, 1)")
         check_positive_int(self.restarts, "restarts")
+        if self.max_retries < 0:
+            raise ValidationError(f"max_retries must be nonnegative, got {self.max_retries}")
+        check_positive_int(self.retry_backoff_cap, "retry_backoff_cap")
+        if self.on_timeout not in ("degrade", "raise"):
+            raise ValidationError(
+                f"on_timeout must be 'degrade' or 'raise', got {self.on_timeout!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """Durable snapshot of one SBS's protocol state.
+
+    Everything an SBS needs to rejoin a run mid-sweep after a crash:
+    the warm-start multipliers ``mu`` of its Lagrangian subproblem, the
+    last policy it reported (and the last one the BS acknowledged), its
+    cache decision, and a monotone upload sequence number so the BS's
+    duplicate detection survives the reboot.
+    """
+
+    iteration: int
+    multipliers: Optional[np.ndarray]
+    last_report: np.ndarray
+    acked_report: np.ndarray
+    caching: np.ndarray
+    true_routing: np.ndarray
+    has_solved: bool
+    seq: int
+
+
+class CheckpointStore:
+    """In-memory stable storage for per-node :class:`Checkpoint` snapshots.
+
+    Models the SBS's local NVRAM: state written here survives a crash of
+    the node (but the store itself is per-run — a fresh run starts
+    empty).  ``save`` overwrites; ``load`` returns ``None`` for a node
+    that never checkpointed, which forces a cold rejoin.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, Checkpoint] = {}
+
+    def save(self, node: str, checkpoint: Checkpoint) -> None:
+        """Persist ``node``'s snapshot, replacing any earlier one."""
+        self._snapshots[node] = checkpoint
+
+    def load(self, node: str) -> Optional[Checkpoint]:
+        """Latest snapshot for ``node``, or ``None`` if never saved."""
+        return self._snapshots.get(node)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._snapshots
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
 
 
 @dataclasses.dataclass
@@ -156,6 +228,16 @@ class DistributedResult:
     unperturbed_routing: Optional[np.ndarray] = None
     unperturbed_cost: Optional[float] = None
     accountant: Optional[PrivacyAccountant] = None
+
+    @property
+    def stale_phases(self) -> int:
+        """Phases where the BS reused a stale report (degradation windows)."""
+        return self.history.stale_phase_count()
+
+    @property
+    def total_retries(self) -> int:
+        """Upload retransmissions the ARQ layer needed across the run."""
+        return self.history.total_retries()
 
     @property
     def total_epsilon(self) -> Optional[float]:
@@ -197,6 +279,8 @@ class BaseStationAgent:
         best_margin = problem.savings_margin().max(axis=0)  # (U,)
         self._price_scale = best_margin[:, np.newaxis] * problem.demand
         self._price_cap = 1.5 * self._price_scale
+        # Highest upload sequence number folded per SBS (ARQ dedup state).
+        self._folded_seq: Dict[int, int] = {}
 
     @property
     def reports(self) -> np.ndarray:
@@ -250,6 +334,45 @@ class BaseStationAgent:
         self._reports[expected_sbs] = block
         return block
 
+    def absorb_uploads(self) -> List[int]:
+        """Drain the mailbox, folding fresh sequenced uploads (ARQ receive).
+
+        Used by the fault-tolerant protocol instead of
+        :meth:`collect_upload`.  Every ``POLICY_UPLOAD`` is answered with
+        a cumulative acknowledgement carrying the highest sequence number
+        folded for that sender, so retransmitted duplicates are re-acked
+        without being folded twice (stop-and-wait ARQ with idempotent
+        receive).  Returns the SBS indices whose reports were updated.
+        """
+        folded: List[int] = []
+        for message in self._channel.drain(self.name):
+            if message.kind is not MessageKind.POLICY_UPLOAD:
+                continue
+            try:
+                index = int(message.sender.split("-", 1)[1])
+            except (IndexError, ValueError):
+                raise ProtocolError(f"malformed upload sender {message.sender!r}")
+            self._problem._check_sbs(index)
+            block = np.asarray(message.payload)
+            if block.shape != (self._problem.num_groups, self._problem.num_files):
+                raise ProtocolError(f"upload has wrong shape {block.shape}")
+            if message.seq > self._folded_seq.get(index, 0):
+                self._reports[index] = block
+                self._folded_seq[index] = message.seq
+                folded.append(index)
+            self._channel.send(
+                Message(
+                    kind=MessageKind.ACK,
+                    sender=self.name,
+                    recipient=message.sender,
+                    payload=np.array([float(self._folded_seq.get(index, 0))]),
+                    iteration=message.iteration,
+                    phase=message.phase,
+                    seq=self._folded_seq.get(index, 0),
+                )
+            )
+        return folded
+
     def system_cost(self) -> float:
         """Network cost evaluated at the reported policies."""
         return total_cost(self._problem, self._reports)
@@ -282,10 +405,37 @@ class SBSAgent:
         self.last_report = np.zeros((problem.num_groups, problem.num_files))
         self._last_multipliers = None  # warm start across iterations
         self._has_solved = False
+        # Fault-tolerance state (inert on the reliable, failure-free path).
+        self.resilient = False
+        self.stale_aggregate_phases = 0
+        self.recoveries = 0
+        self._crashed = False
+        self._seq = 0
+        self._max_ack = 0
+        self._acked_report = np.zeros((problem.num_groups, problem.num_files))
+        self._agg_payload: Optional[np.ndarray] = None
+        self._agg_tag: Optional[tuple] = None
 
     @property
     def is_private(self) -> bool:
         return self._mechanism is not None
+
+    def _ingest(self, messages) -> None:
+        """Fold drained messages into local state (aggregate memory, acks).
+
+        Broadcasts can arrive late or out of order on a faulty channel,
+        so "latest" is decided by the ``(iteration, phase)`` tag rather
+        than arrival order; stale stragglers never overwrite a fresher
+        view.
+        """
+        for message in messages:
+            if message.kind is MessageKind.AGGREGATE_BROADCAST:
+                tag = (message.iteration, message.phase)
+                if self._agg_tag is None or tag >= self._agg_tag:
+                    self._agg_tag = tag
+                    self._agg_payload = message.payload
+            elif message.kind is MessageKind.ACK:
+                self._max_ack = max(self._max_ack, int(message.payload[0]))
 
     def read_latest_aggregate(self) -> tuple:
         """Drain the mailbox; return the freshest ``(aggregate, prices)``.
@@ -293,6 +443,12 @@ class SBSAgent:
         Plain broadcasts carry a ``(U, F)`` aggregate (prices ``None``);
         price-coordination broadcasts carry a stacked ``(2, U, F)``
         payload.
+
+        On the reliable path a missing broadcast is a protocol-order bug
+        and raises :class:`~repro.exceptions.ProtocolError`.  A resilient
+        agent instead degrades gracefully: it reuses the last aggregate
+        it ever received (broadcasts can be dropped), falling back to the
+        all-zero initial aggregate if it has never heard from the BS.
         """
         messages = self._channel.drain(self.name)
         aggregates = [
@@ -300,18 +456,29 @@ class SBSAgent:
             for message in messages
             if message.kind is MessageKind.AGGREGATE_BROADCAST
         ]
-        if not aggregates:
-            raise ProtocolError(f"{self.name} has no aggregate broadcast to read")
-        payload = np.asarray(aggregates[-1])
+        if not self.resilient:
+            if not aggregates:
+                raise ProtocolError(f"{self.name} has no aggregate broadcast to read")
+            payload = np.asarray(aggregates[-1])
+        else:
+            self._ingest(messages)
+            if not aggregates:
+                self.stale_aggregate_phases += 1
+            if self._agg_payload is None:
+                payload = np.zeros((self._problem.num_groups, self._problem.num_files))
+            else:
+                payload = np.asarray(self._agg_payload)
         if payload.ndim == 3:
             return payload[0], payload[1]
         return payload, None
 
-    def run_phase(self, iteration: int, phase: int, *, cap_slack: float = 0.0) -> float:
-        """Execute one phase: read aggregate, solve ``P_n``, upload.
+    def compute_phase(self, iteration: int, phase: int, *, cap_slack: float = 0.0) -> tuple:
+        """Read the aggregate, solve ``P_n``, apply LPPM; no upload yet.
 
-        Returns the L1 mass of privacy noise injected (zero when not
-        private).
+        Returns ``(report, noise_l1)`` — the (possibly perturbed) policy
+        block to upload and the L1 mass of privacy noise injected.  The
+        caller is responsible for delivering the report (reliably or via
+        the ARQ layer).
         """
         aggregate, prices = self.read_latest_aggregate()
         aggregate_others = np.clip(aggregate - self.last_report, 0.0, None)
@@ -341,6 +508,12 @@ class SBSAgent:
                     label=f"iter-{iteration}-phase-{phase}",
                 )
         self.last_report = report
+        return report, noise_l1
+
+    def send_upload(
+        self, report: np.ndarray, iteration: int, phase: int, *, seq: int = 0
+    ) -> None:
+        """Line 4 of Algorithm 1: upload the policy block to the BS."""
         self._channel.send(
             Message(
                 kind=MessageKind.POLICY_UPLOAD,
@@ -349,9 +522,112 @@ class SBSAgent:
                 payload=report,
                 iteration=iteration,
                 phase=phase,
+                seq=seq,
             )
         )
+
+    def run_phase(self, iteration: int, phase: int, *, cap_slack: float = 0.0) -> float:
+        """Execute one phase: read aggregate, solve ``P_n``, upload.
+
+        Returns the L1 mass of privacy noise injected (zero when not
+        private).
+        """
+        report, noise_l1 = self.compute_phase(iteration, phase, cap_slack=cap_slack)
+        self.send_upload(report, iteration, phase)
         return noise_l1
+
+    # -- reliable-delivery (ARQ) sender state --------------------------
+    def next_seq(self) -> int:
+        """Allocate the next upload sequence number."""
+        self._seq += 1
+        return self._seq
+
+    def await_ack(self, seq: int) -> bool:
+        """Poll the mailbox; True once the BS has acked ``seq`` (or later).
+
+        Acks are cumulative, so a duplicate or reordered ack for a later
+        sequence number also confirms this one.  Broadcasts drained while
+        polling are folded into the aggregate memory, not discarded.
+        """
+        self._ingest(self._channel.drain(self.name))
+        return self._max_ack >= seq
+
+    def commit_report(self) -> None:
+        """Mark the last computed report as acknowledged by the BS."""
+        self._acked_report = self.last_report
+
+    def rollback_report(self) -> None:
+        """Undelivered upload: revert to the last report the BS holds.
+
+        Keeps the SBS's ``y_{-n}`` bookkeeping consistent with the BS's
+        actual aggregate when a phase's upload was lost.
+        """
+        self.last_report = self._acked_report
+
+    # -- crash / recovery ----------------------------------------------
+    def crash(self) -> None:
+        """Lose all volatile state (idempotent within one crash window)."""
+        if self._crashed:
+            return
+        self._crashed = True
+        shape = (self._problem.num_groups, self._problem.num_files)
+        self.caching = np.zeros(self._problem.num_files)
+        self.true_routing = np.zeros(shape)
+        self.last_report = np.zeros(shape)
+        self._acked_report = np.zeros(shape)
+        self._last_multipliers = None
+        self._has_solved = False
+        self._seq = 0
+        self._max_ack = 0
+        self._agg_payload = None
+        self._agg_tag = None
+        # A down node's mailbox does not accumulate: anything delivered
+        # before the crash was lost with the volatile state.
+        self._channel.drain(self.name)
+
+    def recover(self, store: CheckpointStore) -> None:
+        """Rejoin after a crash, restoring the last checkpoint if any.
+
+        Without a checkpoint the SBS cold-rejoins from the initial state
+        (as if it had never participated); with one it resumes exactly
+        where its last completed phase left off.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.recoveries += 1
+        checkpoint = store.load(self.name)
+        if checkpoint is None:
+            return
+        self._last_multipliers = (
+            None if checkpoint.multipliers is None else checkpoint.multipliers.copy()
+        )
+        self.last_report = checkpoint.last_report.copy()
+        self._acked_report = checkpoint.acked_report.copy()
+        self.caching = checkpoint.caching.copy()
+        self.true_routing = checkpoint.true_routing.copy()
+        self._has_solved = checkpoint.has_solved
+        self._seq = checkpoint.seq
+
+    def save_checkpoint(self, store: CheckpointStore, iteration: int) -> None:
+        """Snapshot protocol state to stable storage (end of a phase)."""
+        store.save(
+            self.name,
+            Checkpoint(
+                iteration=iteration,
+                multipliers=(
+                    None
+                    if self._last_multipliers is None
+                    else np.array(self._last_multipliers, copy=True)
+                ),
+                last_report=np.array(self.last_report, copy=True),
+                acked_report=np.array(self._acked_report, copy=True),
+                caching=np.array(self.caching, copy=True),
+                true_routing=np.array(self.true_routing, copy=True),
+                has_solved=self._has_solved,
+                seq=self._seq,
+            ),
+        )
 
 
 class DistributedOptimizer:
@@ -365,6 +641,7 @@ class DistributedOptimizer:
         privacy: Optional[MechanismConfig] = None,
         rng: Union[int, np.random.Generator, None] = None,
         sweep_order: Optional[Sequence[int]] = None,
+        faults: Optional[FaultConfig] = None,
     ) -> None:
         self.problem = problem
         self.config = config or DistributedConfig()
@@ -376,7 +653,14 @@ class DistributedOptimizer:
                 f"sweep_order must be a permutation of 0..{problem.num_sbs - 1}"
             )
         self._order = order
-        self.channel = Channel()
+        self.faults = faults
+        if faults is not None and self.config.mode != "gauss-seidel":
+            raise ValidationError(
+                "fault injection is implemented for the gauss-seidel protocol; "
+                "use solve_asynchronous for faulty asynchronous runs"
+            )
+        self.channel: Channel = Channel() if faults is None else FaultyChannel(faults)
+        self.checkpoints = CheckpointStore()
         self.base_station = BaseStationAgent(
             problem, self.channel, with_prices=self.config.coordination == "prices"
         )
@@ -389,16 +673,16 @@ class DistributedOptimizer:
                 # Independent noise stream per SBS, all derived from one seed.
                 child_seed = int(generator.integers(np.iinfo(np.int64).max))
                 mechanism = build_mechanism(privacy, rng=child_seed)
-            self.sbss.append(
-                SBSAgent(
-                    problem,
-                    n,
-                    self.channel,
-                    subproblem_config=self.config.subproblem,
-                    mechanism=mechanism,
-                    accountant=self.accountant,
-                )
+            agent = SBSAgent(
+                problem,
+                n,
+                self.channel,
+                subproblem_config=self.config.subproblem,
+                mechanism=mechanism,
+                accountant=self.accountant,
             )
+            agent.resilient = faults is not None
+            self.sbss.append(agent)
 
     # ------------------------------------------------------------------
     def run(self) -> DistributedResult:
@@ -414,6 +698,7 @@ class DistributedOptimizer:
         self.base_station.broadcast_aggregate(iteration=-1, phase=-1)
 
         with_prices = config.coordination == "prices"
+        resilient = self.faults is not None
         for iteration in range(config.max_iterations):
             slack = config.slack0 * config.slack_decay**iteration if with_prices else 0.0
             price_step = (
@@ -421,7 +706,10 @@ class DistributedOptimizer:
                 if with_prices
                 else None
             )
-            if config.mode == "gauss-seidel":
+            if resilient:
+                self.channel.set_time(iteration)
+                self._resilient_sweep(iteration, history, slack, price_step)
+            elif config.mode == "gauss-seidel":
                 self._gauss_seidel_sweep(iteration, history, slack, price_step)
             else:
                 self._jacobi_sweep(iteration, history, slack, price_step)
@@ -432,9 +720,17 @@ class DistributedOptimizer:
             # In prices mode the early sweeps run with a loose slack and
             # immature prices; a stable cost there says nothing about
             # optimality, so hold off the convergence test until the
-            # slack has essentially vanished.
+            # slack has essentially vanished.  Likewise an iteration with
+            # stale phases (crashes, exhausted retries) can leave the cost
+            # frozen without having optimized anything — never let such an
+            # iteration certify convergence.
             slack_settled = (not with_prices) or slack < 0.02
-            if slack_settled and abs(previous_cost - cost) / denominator <= config.accuracy:
+            clean_iteration = (not resilient) or history.stale_phase_count(iteration) == 0
+            if (
+                slack_settled
+                and clean_iteration
+                and abs(previous_cost - cost) / denominator <= config.accuracy
+            ):
                 converged = True
                 break
             previous_cost = cost
@@ -443,7 +739,11 @@ class DistributedOptimizer:
             # Feasibility restoration: one zero-slack sweep with frozen
             # prices removes any residual over-service left by the
             # transient slack.
-            self._gauss_seidel_sweep(iterations, history, slack=0.0, price_step=None)
+            if resilient:
+                self.channel.set_time(iterations)
+                self._resilient_sweep(iterations, history, slack=0.0, price_step=None)
+            else:
+                self._gauss_seidel_sweep(iterations, history, slack=0.0, price_step=None)
             history.close_iteration(self.base_station.system_cost())
 
         unperturbed = np.stack([agent.true_routing for agent in self.sbss])
@@ -498,6 +798,112 @@ class DistributedOptimizer:
                 )
             )
 
+    def _resilient_sweep(
+        self,
+        iteration: int,
+        history: CostHistory,
+        slack: float = 0.0,
+        price_step: Optional[float] = None,
+    ) -> None:
+        """One Gauss-Seidel iteration over an unreliable channel.
+
+        The same phase structure as :meth:`_gauss_seidel_sweep`, but each
+        upload travels through the ARQ layer, crashed SBSs are skipped
+        (the BS reuses their last known report — graceful degradation:
+        the unserved residual falls back to the BS at cost ``f2``), and
+        recovered SBSs are restored from their last checkpoint so they
+        rejoin mid-run instead of restarting the sweep.
+        """
+        channel = self.channel
+        for phase, index in enumerate(self._order):
+            agent = self.sbss[index]
+            if not channel.node_is_up(agent.name):
+                agent.crash()
+                history.record_phase(
+                    PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=agent.index,
+                        cost=self.base_station.system_cost(),
+                        stale=True,
+                    )
+                )
+                continue
+            agent.recover(self.checkpoints)
+            report, noise_l1 = agent.compute_phase(iteration, phase, cap_slack=slack)
+            retries = self._upload_with_retries(agent, report, iteration, phase)
+            if retries is None:
+                # Delivery failed for good: the BS keeps the SBS's last
+                # folded report; roll the SBS's own view back so its
+                # y_{-n} bookkeeping matches what the BS actually holds.
+                agent.rollback_report()
+                history.record_phase(
+                    PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=agent.index,
+                        cost=self.base_station.system_cost(),
+                        noise_l1=noise_l1,
+                        retries=self.config.max_retries,
+                        stale=True,
+                    )
+                )
+                continue
+            agent.commit_report()
+            agent.save_checkpoint(self.checkpoints, iteration)
+            if price_step is not None:
+                self.base_station.update_prices(price_step)
+            self.base_station.broadcast_aggregate(iteration, phase)
+            history.record_phase(
+                PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=agent.index,
+                    cost=self.base_station.system_cost(),
+                    noise_l1=noise_l1,
+                    retries=retries,
+                )
+            )
+
+    def _upload_with_retries(
+        self, agent: SBSAgent, report: np.ndarray, iteration: int, phase: int
+    ) -> Optional[int]:
+        """Deliver one upload via stop-and-wait ARQ with capped backoff.
+
+        Sends the sequenced upload, lets the BS absorb whatever arrived,
+        and polls for the cumulative ack.  Between attempts the channel
+        clock advances by an exponentially growing backoff (capped at
+        ``retry_backoff_cap`` ticks) so delayed in-flight messages get a
+        chance to surface before the next retransmission.  Returns the
+        number of retries used, or ``None`` when the budget was exhausted
+        (``on_timeout="degrade"``); raises
+        :class:`~repro.exceptions.ProtocolTimeout` when configured to
+        fail hard.
+        """
+        seq = agent.next_seq()
+        backoff = 1
+        for attempt in range(self.config.max_retries + 1):
+            if attempt:
+                self.channel.stats.retransmissions += 1
+                self.channel.advance(backoff)
+                backoff = min(2 * backoff, self.config.retry_backoff_cap)
+            agent.send_upload(report, iteration, phase, seq=seq)
+            self.base_station.absorb_uploads()
+            if agent.await_ack(seq):
+                return attempt
+        # Last chance: flush any still-delayed traffic before giving up.
+        self.channel.advance(self.config.retry_backoff_cap)
+        self.base_station.absorb_uploads()
+        if agent.await_ack(seq):
+            return self.config.max_retries
+        if self.config.on_timeout == "raise":
+            raise ProtocolTimeout(
+                f"{agent.name} upload seq {seq} unacknowledged after "
+                f"{self.config.max_retries} retries (iteration {iteration}, "
+                f"phase {phase})"
+            )
+        return None
+
     def _jacobi_sweep(
         self,
         iteration: int,
@@ -538,6 +944,7 @@ def solve_distributed(
     *,
     privacy: Optional[MechanismConfig] = None,
     rng: Union[int, np.random.Generator, None] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> DistributedResult:
     """Run Algorithm 1, optionally best-of-``restarts`` sweep orders.
 
@@ -548,10 +955,17 @@ def solve_distributed(
     system cost.  Restarts are refused with privacy enabled: every extra
     run would spend additional budget, which should be an explicit
     decision, not a solver default.
+
+    ``faults`` switches the run onto a :class:`~repro.network.faults.FaultyChannel`
+    and the fault-tolerant protocol (sequence-numbered uploads with
+    ack/retry, checkpoint-based crash recovery, graceful degradation);
+    with ``faults=None`` the failure-free protocol runs unchanged.
     """
     config = config or DistributedConfig()
     if config.restarts == 1:
-        return DistributedOptimizer(problem, config, privacy=privacy, rng=rng).run()
+        return DistributedOptimizer(
+            problem, config, privacy=privacy, rng=rng, faults=faults
+        ).run()
     if privacy is not None:
         raise ValidationError(
             "restarts > 1 with LPPM would multiply the privacy budget; "
@@ -564,7 +978,7 @@ def solve_distributed(
     best: Optional[DistributedResult] = None
     for order in orders:
         result = DistributedOptimizer(
-            problem, config, privacy=None, rng=generator, sweep_order=order
+            problem, config, privacy=None, rng=generator, sweep_order=order, faults=faults
         ).run()
         if best is None or result.cost < best.cost:
             best = result

@@ -34,3 +34,13 @@ class PrivacyError(ReproError):
 
 class ProtocolError(ReproError):
     """The message-passing simulation was driven out of protocol order."""
+
+
+class ProtocolTimeout(ProtocolError):
+    """A reliable-delivery exchange exhausted its retry budget.
+
+    Raised by the fault-tolerant protocol layer when an upload (or its
+    acknowledgement) was lost more times than ``max_retries`` allows and
+    the run was configured to fail hard (``on_timeout="raise"``) instead
+    of degrading gracefully.
+    """

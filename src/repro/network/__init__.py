@@ -2,6 +2,14 @@
 
 from .entities import BaseStation, MobileUserGroup, Position, SmallBaseStation
 from .eventsim import EventScheduler
+from .faults import (
+    CrashWindow,
+    FaultConfig,
+    FaultSchedule,
+    FaultyChannel,
+    LinkFaultProfile,
+    PartitionWindow,
+)
 from .messaging import Channel, ChannelStats, Message, MessageKind
 from .topology import (
     Placement,
@@ -22,6 +30,12 @@ __all__ = [
     "ChannelStats",
     "Message",
     "MessageKind",
+    "CrashWindow",
+    "FaultConfig",
+    "FaultSchedule",
+    "FaultyChannel",
+    "LinkFaultProfile",
+    "PartitionWindow",
     "Placement",
     "connectivity_by_proximity",
     "place_network",

@@ -37,7 +37,20 @@ class EventScheduler:
         """Run ``callback`` ``delay`` time units from now (``delay >= 0``)."""
         if delay < 0:
             raise ValidationError(f"delay must be nonnegative, got {delay}")
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulation time ``time``.
+
+        Scheduling into the past would silently execute the event "now"
+        while claiming an earlier timestamp — a recipe for causality
+        bugs — so timestamps before :attr:`now` are rejected.
+        """
+        if time < self._now:
+            raise ValidationError(
+                f"cannot schedule into the past: time {time} < now {self._now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""

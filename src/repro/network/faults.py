@@ -1,0 +1,284 @@
+"""Fault injection for the protocol substrate.
+
+Real 5G small-cell backhaul is nothing like the reliable, in-order
+channel Algorithm 1 is written against: control messages get lost,
+delayed and reordered, SBSs crash and come back, links partition.  This
+module makes those failures first-class and *deterministic* so the
+solvers can be hardened against them and the benchmarks can measure the
+degradation they cause:
+
+* :class:`LinkFaultProfile` — per-message-kind probabilities of drop,
+  duplication, delay and reordering;
+* :class:`FaultSchedule` — declarative, iteration-indexed windows of
+  node crashes and link partitions ("crash sbs-1 at iteration 3,
+  recover at 6");
+* :class:`FaultyChannel` — a drop-in :class:`~repro.network.messaging.Channel`
+  that applies both, driven by a seeded ``numpy`` generator so two runs
+  with the same seed inject byte-identical fault sequences.
+
+Time on a :class:`FaultyChannel` advances in *ticks*: every ``send`` is
+one tick, and the ARQ layer's backoff waits call :meth:`FaultyChannel.advance`
+explicitly.  Delayed messages sit in a holding buffer until their due
+tick.  Protocol iterations (for the schedule) are set by the
+orchestrator via :meth:`FaultyChannel.set_time`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_in_interval
+from ..exceptions import ValidationError
+from .messaging import Channel, Message, MessageKind
+
+__all__ = [
+    "LinkFaultProfile",
+    "CrashWindow",
+    "PartitionWindow",
+    "FaultSchedule",
+    "FaultConfig",
+    "FaultyChannel",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkFaultProfile:
+    """Independent per-delivery fault probabilities for one message kind.
+
+    Each delivery attempt (one recipient of one send) draws, in order:
+    drop, then — if not dropped — delay, duplication and reordering.
+    ``max_delay_ticks`` bounds how long a delayed message is held.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+    max_delay_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            check_in_interval(getattr(self, name), name, low=0.0, high=1.0)
+        if self.max_delay_ticks < 1:
+            raise ValidationError(
+                f"max_delay_ticks must be >= 1, got {self.max_delay_ticks}"
+            )
+
+    @property
+    def is_quiet(self) -> bool:
+        """True when this profile never perturbs a delivery."""
+        return self.drop == self.duplicate == self.delay == self.reorder == 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashWindow:
+    """Node ``node`` is down for iterations ``start <= tau < end``."""
+
+    node: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValidationError("crash window needs a node name")
+        if self.end <= self.start:
+            raise ValidationError(
+                f"crash window must end after it starts, got [{self.start}, {self.end})"
+            )
+
+    def covers(self, iteration: int) -> bool:
+        """Whether this window has the node down at ``iteration``."""
+        return self.start <= iteration < self.end
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionWindow:
+    """Link ``a <-> b`` drops everything for iterations ``start <= tau < end``."""
+
+    a: str
+    b: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not self.a or not self.b or self.a == self.b:
+            raise ValidationError("partition window needs two distinct node names")
+        if self.end <= self.start:
+            raise ValidationError(
+                f"partition window must end after it starts, got [{self.start}, {self.end})"
+            )
+
+    def covers(self, a: str, b: str, iteration: int) -> bool:
+        """Whether this window severs the ``a <-> b`` link at ``iteration``."""
+        return {a, b} == {self.a, self.b} and self.start <= iteration < self.end
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """Declarative crash/partition timeline, indexed by protocol iteration."""
+
+    crashes: Tuple[CrashWindow, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
+
+    def is_crashed(self, node: str, iteration: int) -> bool:
+        """Whether ``node`` is down at ``iteration``."""
+        return any(w.node == node and w.covers(iteration) for w in self.crashes)
+
+    def is_partitioned(self, a: str, b: str, iteration: int) -> bool:
+        """Whether the ``a <-> b`` link is severed at ``iteration``."""
+        return any(w.covers(a, b, iteration) for w in self.partitions)
+
+    def crash_sbs(self, index: int, at: int, recover_at: int) -> "FaultSchedule":
+        """Return a schedule with SBS ``index`` down for ``[at, recover_at)``."""
+        window = CrashWindow(node=f"sbs-{index}", start=at, end=recover_at)
+        return dataclasses.replace(self, crashes=self.crashes + (window,))
+
+    def partition_link(self, a: str, b: str, at: int, heal_at: int) -> "FaultSchedule":
+        """Return a schedule with the ``a <-> b`` link cut for ``[at, heal_at)``."""
+        window = PartitionWindow(a=a, b=b, start=at, end=heal_at)
+        return dataclasses.replace(self, partitions=self.partitions + (window,))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultConfig:
+    """Everything a :class:`FaultyChannel` needs to misbehave on purpose.
+
+    ``default`` applies to every message kind not listed in ``by_kind``
+    (keys may be :class:`MessageKind` members or their string values).
+    ``seed`` makes the injected fault sequence reproducible.
+    """
+
+    default: LinkFaultProfile = dataclasses.field(default_factory=LinkFaultProfile)
+    by_kind: Mapping[Union[MessageKind, str], LinkFaultProfile] = dataclasses.field(
+        default_factory=dict
+    )
+    schedule: FaultSchedule = dataclasses.field(default_factory=FaultSchedule)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        known = {member.value for member in MessageKind}
+        for key in self.by_kind:
+            value = key.value if isinstance(key, MessageKind) else key
+            if value not in known:
+                raise ValidationError(
+                    f"unknown message kind in by_kind: {key!r} "
+                    f"(expected one of {sorted(known)})"
+                )
+
+    def profile_for(self, kind: MessageKind) -> LinkFaultProfile:
+        """The fault profile governing messages of ``kind``."""
+        for key, profile in self.by_kind.items():
+            if key is kind or key == kind.value:
+                return profile
+        return self.default
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` that injects seeded, configurable faults.
+
+    Same interface as the reliable channel — ``register`` / ``send`` /
+    ``receive`` / ``drain`` / taps / stats — plus:
+
+    * :meth:`set_time` — advance the schedule's protocol iteration;
+    * :meth:`advance` — burn backoff ticks so delayed messages surface;
+    * :meth:`node_is_up` — whether the schedule has a node crashed now.
+
+    Fault order per delivery: schedule (crash/partition) first, then the
+    probabilistic drop / delay / duplicate / reorder draws.  All draws
+    come from one seeded generator in a fixed order, so identical seeds
+    give identical runs.
+    """
+
+    def __init__(self, config: Optional[FaultConfig] = None) -> None:
+        super().__init__()
+        self.config = config or FaultConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.iteration = 0
+        self._tick = 0
+        # Delayed messages: (due_tick, insertion_index, recipient, message).
+        self._held: List[Tuple[int, int, str, Message]] = []
+        self._held_counter = 0
+
+    # -- schedule plumbing ---------------------------------------------
+    def set_time(self, iteration: int) -> None:
+        """Tell the channel which protocol iteration is running."""
+        self.iteration = int(iteration)
+
+    def node_is_up(self, node_name: str) -> bool:
+        """Whether ``node_name`` is currently alive per the schedule."""
+        return not self.config.schedule.is_crashed(node_name, self.iteration)
+
+    # -- tick clock ----------------------------------------------------
+    def advance(self, ticks: int = 1) -> int:
+        """Advance the tick clock, releasing due delayed messages.
+
+        Returns the number of messages released.  The ARQ layer calls
+        this during backoff waits so that in-flight delayed traffic can
+        arrive before the next retransmission.
+        """
+        if ticks < 0:
+            raise ValidationError(f"ticks must be nonnegative, got {ticks}")
+        self._tick += int(ticks)
+        return self._release_due()
+
+    def _release_due(self) -> int:
+        due = [entry for entry in self._held if entry[0] <= self._tick]
+        if not due:
+            return 0
+        self._held = [entry for entry in self._held if entry[0] > self._tick]
+        for _, _, recipient, message in sorted(due, key=lambda e: (e[0], e[1])):
+            self._enqueue(recipient, message)
+        return len(due)
+
+    # -- faulty delivery -----------------------------------------------
+    def _deliver(self, message: Message, recipients: List[str]) -> None:
+        self.advance(1)  # every send is one tick of channel time
+        schedule = self.config.schedule
+        profile = self.config.profile_for(message.kind)
+        sender_down = schedule.is_crashed(message.sender, self.iteration)
+        for name in recipients:
+            if (
+                sender_down
+                or schedule.is_crashed(name, self.iteration)
+                or schedule.is_partitioned(message.sender, name, self.iteration)
+            ):
+                self.stats.dropped += 1
+                continue
+            self._deliver_one(name, message, profile)
+
+    def _deliver_one(self, name: str, message: Message, profile: LinkFaultProfile) -> None:
+        if profile.is_quiet:
+            self._enqueue(name, message)
+            return
+        if self._rng.random() < profile.drop:
+            self.stats.dropped += 1
+            return
+        if self._rng.random() < profile.delay:
+            ticks = 1 + int(self._rng.integers(profile.max_delay_ticks))
+            self.stats.delayed += 1
+            self._held.append((self._tick + ticks, self._held_counter, name, message))
+            self._held_counter += 1
+        else:
+            self._enqueue(name, message, reorder=profile.reorder)
+        if self._rng.random() < profile.duplicate:
+            self.stats.duplicated += 1
+            self._enqueue(name, message)
+
+    def _enqueue(self, name: str, message: Message, *, reorder: float = 0.0) -> None:
+        queue = self._queues[name]
+        if reorder > 0.0 and len(queue) >= 1 and self._rng.random() < reorder:
+            # Adjacent transposition: overtake the most recently queued
+            # message (a mild, realistic reordering).
+            self.stats.reordered += 1
+            queue.insert(len(queue) - 1, message)
+        else:
+            queue.append(message)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Number of delayed messages currently held back."""
+        return len(self._held)

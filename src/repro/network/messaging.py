@@ -39,6 +39,7 @@ class MessageKind(enum.Enum):
 
     POLICY_UPLOAD = "policy_upload"        # SBS -> BS: routing block (U, F)
     AGGREGATE_BROADCAST = "aggregate"      # BS -> SBS: aggregated routing (U, F)
+    ACK = "ack"                            # BS -> SBS: cumulative upload ack
     CONTROL = "control"                    # orchestration metadata
 
 
@@ -49,7 +50,9 @@ class Message:
     ``sender``/``recipient`` are node names (``"bs"`` or ``"sbs-<n>"``;
     ``recipient="*"`` denotes a broadcast).  ``payload`` is a read-only
     numpy array; ``iteration`` and ``phase`` tag the Gauss-Seidel step
-    that produced it.
+    that produced it.  ``seq`` is a per-sender sequence number used by
+    the reliable-delivery (ARQ) layer; the default ``0`` means
+    "unsequenced" and is what the failure-free protocol sends.
     """
 
     kind: MessageKind
@@ -58,6 +61,7 @@ class Message:
     payload: np.ndarray
     iteration: int
     phase: int
+    seq: int = 0
 
     def nbytes(self) -> int:
         """Size of the payload in bytes (communication-cost accounting)."""
@@ -66,11 +70,27 @@ class Message:
 
 @dataclasses.dataclass
 class ChannelStats:
-    """Cumulative traffic counters for a channel."""
+    """Cumulative traffic counters for a channel.
+
+    Beyond the send counters, the fault-injection layer
+    (:class:`repro.network.faults.FaultyChannel`) and the ARQ layer in
+    :mod:`repro.core.distributed` fold their outcomes in here too, so a
+    single object answers both "what did the protocol cost" and "what
+    did the network do to it".
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
+    bytes_by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
+    # Fault-injection outcomes (always zero on a reliable Channel).
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    # Retransmissions issued by the ARQ layer (each is also counted in
+    # ``messages_sent`` when it hits the wire).
+    retransmissions: int = 0
 
     def record(self, message: Message) -> None:
         """Fold one sent message into the counters."""
@@ -78,6 +98,7 @@ class ChannelStats:
         self.bytes_sent += message.nbytes()
         key = message.kind.value
         self.by_kind[key] = self.by_kind.get(key, 0) + 1
+        self.bytes_by_kind[key] = self.bytes_by_kind.get(key, 0) + message.nbytes()
 
 
 class Channel:
@@ -125,6 +146,15 @@ class Channel:
         self.stats.record(message)
         for observer in self._taps:
             observer(message)
+        self._deliver(message, recipients)
+
+    def _deliver(self, message: Message, recipients: List[str]) -> None:
+        """Enqueue ``message`` for each recipient (reliable, in order).
+
+        Subclasses (:class:`repro.network.faults.FaultyChannel`) override
+        this hook to drop, duplicate, delay or reorder deliveries; taps
+        and stats have already observed the send by the time it runs.
+        """
         for name in recipients:
             self._queues[name].append(message)
 

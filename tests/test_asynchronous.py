@@ -85,6 +85,27 @@ class TestEventScheduler:
         scheduler.step()
         assert scheduler.pending() == 1
 
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_at(2.5, lambda: times.append(scheduler.now))
+        scheduler.run_until(5.0)
+        assert times == [2.5]
+
+    def test_schedule_into_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        with pytest.raises(ValidationError, match="past"):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_schedule_at_now_allowed(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: scheduler.schedule_at(1.0, lambda: fired.append(True)))
+        scheduler.run_until(2.0)
+        assert fired == [True]
+
 
 class TestAsyncConfig:
     def test_defaults(self):
@@ -99,6 +120,16 @@ class TestAsyncConfig:
             AsyncConfig(damping=0.0)
         with pytest.raises(ValidationError):
             AsyncConfig(mean_message_delay=-1.0)
+
+    def test_fault_validation(self):
+        with pytest.raises(ValidationError):
+            AsyncConfig(drop_probability=1.0)
+        with pytest.raises(ValidationError):
+            AsyncConfig(drop_probability=-0.1)
+        with pytest.raises(ValidationError):
+            AsyncConfig(crash_windows=((0, 5.0, 5.0),))
+        with pytest.raises(ValidationError):
+            AsyncConfig(crash_windows=((0, 5.0),))
 
 
 class TestAsynchronousRuns:
@@ -163,3 +194,76 @@ class TestAsynchronousRuns:
         full = result.final_window_costs(fraction=1.0)
         tail = result.final_window_costs(fraction=0.25)
         assert tail.size <= full.size
+
+
+class TestAsyncFaults:
+    def test_zero_drop_rate_is_bit_identical_to_default(self, tiny_problem):
+        """The fault plumbing must not perturb the failure-free random
+        stream: drop_probability=0 reproduces the plain run exactly."""
+        plain = solve_asynchronous(tiny_problem, AsyncConfig(duration=25.0), rng=4)
+        gated = solve_asynchronous(
+            tiny_problem, AsyncConfig(duration=25.0, drop_probability=0.0), rng=4
+        )
+        assert plain.cost == gated.cost
+        assert plain.cost_trajectory == gated.cost_trajectory
+        assert gated.messages_dropped == 0
+
+    def test_message_loss_counted_and_survived(self, tiny_problem):
+        result = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=60.0, drop_probability=0.2),
+            rng=0,
+        )
+        assert result.messages_dropped > 0
+        assert result.cost < tiny_problem.max_cost()
+
+    def test_drop_rate_degrades_gracefully(self, tiny_problem):
+        """Moderate loss costs little: the async protocol is naturally
+        tolerant because every wake-up re-uploads the full policy."""
+        clean = solve_asynchronous(
+            tiny_problem, AsyncConfig(duration=80.0, mean_update_interval=2.0), rng=1
+        )
+        lossy = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=80.0, mean_update_interval=2.0, drop_probability=0.1),
+            rng=1,
+        )
+        clean_tail = float(clean.final_window_costs().mean())
+        lossy_tail = float(lossy.final_window_costs().mean())
+        assert lossy_tail <= clean_tail * 1.10
+
+    def test_crashed_sbs_skips_wakeups(self, tiny_problem):
+        result = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=40.0, crash_windows=((0, 10.0, 25.0),)),
+            rng=0,
+        )
+        assert result.wakeups_skipped > 0
+        assert result.cost < tiny_problem.max_cost()
+
+    def test_crash_recovery_resumes_updates(self, tiny_problem):
+        """An SBS crashed for a window still records updates afterwards."""
+        crashed = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=60.0, mean_update_interval=2.0,
+                        crash_windows=((1, 5.0, 30.0),)),
+            rng=2,
+        )
+        clean = solve_asynchronous(
+            tiny_problem,
+            AsyncConfig(duration=60.0, mean_update_interval=2.0),
+            rng=2,
+        )
+        assert crashed.updates_per_sbs[1] > 0
+        assert crashed.updates_per_sbs[1] < clean.updates_per_sbs[1]
+
+    def test_faulty_async_reproducible(self, tiny_problem):
+        config = AsyncConfig(
+            duration=40.0, drop_probability=0.15, crash_windows=((0, 5.0, 15.0),)
+        )
+        a = solve_asynchronous(tiny_problem, config, rng=9)
+        b = solve_asynchronous(tiny_problem, config, rng=9)
+        assert a.cost == b.cost
+        assert a.cost_trajectory == b.cost_trajectory
+        assert a.messages_dropped == b.messages_dropped
+        assert a.wakeups_skipped == b.wakeups_skipped

@@ -9,6 +9,7 @@ from repro.exceptions import (
     InfeasibleError,
     PrivacyError,
     ProtocolError,
+    ProtocolTimeout,
     ReproError,
     SolverError,
     UnboundedError,
@@ -26,6 +27,7 @@ class TestExceptionHierarchy:
             SolverError,
             PrivacyError,
             ProtocolError,
+            ProtocolTimeout,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -33,6 +35,12 @@ class TestExceptionHierarchy:
 
     def test_validation_error_is_value_error(self):
         assert issubclass(ValidationError, ValueError)
+
+    def test_protocol_timeout_is_protocol_error(self):
+        """Callers catching ProtocolError also see retry exhaustion."""
+        assert issubclass(ProtocolTimeout, ProtocolError)
+        with pytest.raises(ProtocolError):
+            raise ProtocolTimeout("retries exhausted")
 
     def test_catchable_as_base(self):
         with pytest.raises(ReproError):

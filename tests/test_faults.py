@@ -1,0 +1,424 @@
+"""Tests for the fault-injection layer and the fault-tolerant protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.centralized import solve_centralized
+from repro.core.distributed import (
+    CheckpointStore,
+    DistributedConfig,
+    DistributedOptimizer,
+    solve_distributed,
+)
+from repro.exceptions import ProtocolTimeout, ValidationError
+from repro.network.faults import (
+    CrashWindow,
+    FaultConfig,
+    FaultSchedule,
+    FaultyChannel,
+    LinkFaultProfile,
+    PartitionWindow,
+)
+from repro.network.messaging import Message, MessageKind
+from repro.privacy.mechanism import LPPMConfig
+
+from conftest import random_problem
+
+
+def make_message(sender="sbs-0", recipient="bs", kind=MessageKind.POLICY_UPLOAD, seq=0):
+    return Message(
+        kind=kind,
+        sender=sender,
+        recipient=recipient,
+        payload=np.ones((2, 2)),
+        iteration=0,
+        phase=0,
+        seq=seq,
+    )
+
+
+class TestProfilesAndSchedule:
+    def test_profile_validation(self):
+        with pytest.raises(ValidationError):
+            LinkFaultProfile(drop=1.5)
+        with pytest.raises(ValidationError):
+            LinkFaultProfile(max_delay_ticks=0)
+
+    def test_quiet_profile(self):
+        assert LinkFaultProfile().is_quiet
+        assert not LinkFaultProfile(delay=0.1).is_quiet
+
+    def test_crash_window_validation(self):
+        with pytest.raises(ValidationError):
+            CrashWindow(node="", start=0, end=1)
+        with pytest.raises(ValidationError):
+            CrashWindow(node="sbs-0", start=3, end=3)
+
+    def test_partition_window_validation(self):
+        with pytest.raises(ValidationError):
+            PartitionWindow(a="bs", b="bs", start=0, end=1)
+
+    def test_schedule_builders(self):
+        schedule = FaultSchedule().crash_sbs(1, at=2, recover_at=5)
+        assert schedule.is_crashed("sbs-1", 2)
+        assert schedule.is_crashed("sbs-1", 4)
+        assert not schedule.is_crashed("sbs-1", 5)
+        assert not schedule.is_crashed("sbs-0", 3)
+
+    def test_partition_is_symmetric(self):
+        schedule = FaultSchedule().partition_link("bs", "sbs-0", at=1, heal_at=3)
+        assert schedule.is_partitioned("bs", "sbs-0", 1)
+        assert schedule.is_partitioned("sbs-0", "bs", 2)
+        assert not schedule.is_partitioned("bs", "sbs-0", 3)
+        assert not schedule.is_partitioned("bs", "sbs-1", 1)
+
+    def test_profile_for_kind(self):
+        profile = LinkFaultProfile(drop=0.5)
+        config = FaultConfig(by_kind={MessageKind.POLICY_UPLOAD: profile})
+        assert config.profile_for(MessageKind.POLICY_UPLOAD) is profile
+        assert config.profile_for(MessageKind.ACK).is_quiet
+
+    def test_profile_for_kind_by_string_key(self):
+        profile = LinkFaultProfile(drop=0.5)
+        config = FaultConfig(by_kind={"policy_upload": profile})
+        assert config.profile_for(MessageKind.POLICY_UPLOAD) is profile
+
+    def test_typoed_kind_rejected(self):
+        """A misspelled kind would otherwise silently inject nothing."""
+        with pytest.raises(ValidationError, match="unknown message kind"):
+            FaultConfig(by_kind={"policy_uplaod": LinkFaultProfile(drop=0.5)})
+
+
+class TestFaultyChannel:
+    def _channel(self, config):
+        channel = FaultyChannel(config)
+        channel.register("bs")
+        channel.register("sbs-0")
+        return channel
+
+    def test_quiet_config_behaves_like_reliable_channel(self):
+        channel = self._channel(FaultConfig())
+        for _ in range(5):
+            channel.send(make_message())
+        assert channel.pending("bs") == 5
+        assert channel.stats.dropped == 0
+        assert [m.iteration for m in channel.drain("bs")] == [0] * 5
+
+    def test_certain_drop(self):
+        config = FaultConfig(default=LinkFaultProfile(drop=1.0))
+        channel = self._channel(config)
+        channel.send(make_message())
+        assert channel.pending("bs") == 0
+        assert channel.stats.dropped == 1
+        # The send itself is still counted (it hit the wire).
+        assert channel.stats.messages_sent == 1
+
+    def test_certain_duplicate(self):
+        config = FaultConfig(default=LinkFaultProfile(duplicate=1.0))
+        channel = self._channel(config)
+        channel.send(make_message())
+        assert channel.pending("bs") == 2
+        assert channel.stats.duplicated == 1
+
+    def test_delay_holds_until_advance(self):
+        config = FaultConfig(default=LinkFaultProfile(delay=1.0, max_delay_ticks=3))
+        channel = self._channel(config)
+        channel.send(make_message())
+        assert channel.pending("bs") == 0
+        assert channel.in_flight == 1
+        channel.advance(4)
+        assert channel.pending("bs") == 1
+        assert channel.in_flight == 0
+        assert channel.stats.delayed == 1
+
+    def test_reorder_overtakes_previous_message(self):
+        config = FaultConfig(default=LinkFaultProfile(reorder=1.0), seed=7)
+        channel = self._channel(config)
+        first = make_message(seq=1)
+        second = make_message(seq=2)
+        channel.send(first)
+        channel.send(second)
+        received = [m.seq for m in channel.drain("bs")]
+        assert sorted(received) == [1, 2]
+        assert channel.stats.reordered >= 1
+        assert received == [2, 1]
+
+    def test_crashed_recipient_loses_messages(self):
+        schedule = FaultSchedule(crashes=(CrashWindow(node="bs", start=0, end=2),))
+        channel = self._channel(FaultConfig(schedule=schedule))
+        channel.send(make_message())
+        assert channel.pending("bs") == 0
+        assert channel.stats.dropped == 1
+        channel.set_time(2)
+        channel.send(make_message())
+        assert channel.pending("bs") == 1
+
+    def test_partitioned_link_drops_both_directions(self):
+        schedule = FaultSchedule().partition_link("bs", "sbs-0", at=0, heal_at=1)
+        channel = self._channel(FaultConfig(schedule=schedule))
+        channel.send(make_message())  # sbs-0 -> bs
+        channel.send(
+            make_message(sender="bs", recipient="sbs-0", kind=MessageKind.ACK)
+        )
+        assert channel.pending("bs") == 0
+        assert channel.pending("sbs-0") == 0
+        assert channel.stats.dropped == 2
+
+    def test_node_is_up_follows_schedule(self):
+        schedule = FaultSchedule().crash_sbs(0, at=1, recover_at=2)
+        channel = self._channel(FaultConfig(schedule=schedule))
+        assert channel.node_is_up("sbs-0")
+        channel.set_time(1)
+        assert not channel.node_is_up("sbs-0")
+        channel.set_time(2)
+        assert channel.node_is_up("sbs-0")
+
+    def test_negative_advance_rejected(self):
+        channel = self._channel(FaultConfig())
+        with pytest.raises(ValidationError):
+            channel.advance(-1)
+
+    def test_same_seed_same_fault_sequence(self):
+        outcomes = []
+        for _ in range(2):
+            config = FaultConfig(
+                default=LinkFaultProfile(drop=0.3, duplicate=0.2, delay=0.2),
+                seed=42,
+            )
+            channel = self._channel(config)
+            for i in range(50):
+                channel.send(make_message(seq=i))
+            channel.advance(10)
+            outcomes.append(
+                (
+                    [m.seq for m in channel.drain("bs")],
+                    channel.stats.dropped,
+                    channel.stats.duplicated,
+                    channel.stats.delayed,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_broadcast_faults_drawn_per_recipient(self):
+        config = FaultConfig(default=LinkFaultProfile(drop=0.5), seed=0)
+        channel = FaultyChannel(config)
+        for name in ("bs", "sbs-0", "sbs-1", "sbs-2"):
+            channel.register(name)
+        for _ in range(30):
+            channel.send(
+                make_message(
+                    sender="bs", recipient="*", kind=MessageKind.AGGREGATE_BROADCAST
+                )
+            )
+        delivered = sum(channel.pending(f"sbs-{i}") for i in range(3))
+        assert channel.stats.dropped + delivered == 90
+        assert 0 < channel.stats.dropped < 90
+
+
+class TestReliableUploads:
+    """The ARQ layer: uploads survive lossy channels via retry."""
+
+    def test_drop_rate_recovered_by_retries(self, tiny_problem):
+        baseline = solve_distributed(tiny_problem)
+        faults = FaultConfig(
+            by_kind={MessageKind.POLICY_UPLOAD: LinkFaultProfile(drop=0.2)}, seed=3
+        )
+        result = solve_distributed(tiny_problem, faults=faults)
+        assert result.cost == pytest.approx(baseline.cost, rel=1e-9)
+        assert result.total_retries > 0
+        assert result.channel.stats.dropped > 0
+        assert result.channel.stats.retransmissions == result.total_retries
+
+    def test_lost_acks_do_not_double_fold(self, tiny_problem):
+        """Dropped acks force retransmissions; seq dedup keeps the BS
+        aggregate identical to the failure-free run."""
+        baseline = solve_distributed(tiny_problem)
+        faults = FaultConfig(
+            by_kind={MessageKind.ACK: LinkFaultProfile(drop=0.4)}, seed=11
+        )
+        result = solve_distributed(tiny_problem, faults=faults)
+        np.testing.assert_allclose(result.solution.routing, baseline.solution.routing)
+        assert result.total_retries > 0
+
+    def test_delayed_uploads_eventually_arrive(self, tiny_problem):
+        baseline = solve_distributed(tiny_problem)
+        faults = FaultConfig(
+            default=LinkFaultProfile(delay=0.3, max_delay_ticks=2), seed=5
+        )
+        result = solve_distributed(tiny_problem, faults=faults)
+        assert result.cost <= baseline.cost * 1.05 + 1e-9
+
+    def test_timeout_raises_when_configured(self, tiny_problem):
+        faults = FaultConfig(
+            by_kind={MessageKind.POLICY_UPLOAD: LinkFaultProfile(drop=1.0)}, seed=0
+        )
+        config = DistributedConfig(max_iterations=2, max_retries=2, on_timeout="raise")
+        with pytest.raises(ProtocolTimeout):
+            solve_distributed(tiny_problem, config, faults=faults)
+
+    def test_total_blackout_degrades_to_all_backhaul(self, tiny_problem):
+        """With every upload lost the BS never hears anything: the whole
+        demand falls back to the BS at cost f2 — the worst case W — and
+        the run completes without a ProtocolError."""
+        faults = FaultConfig(
+            by_kind={MessageKind.POLICY_UPLOAD: LinkFaultProfile(drop=1.0)}, seed=0
+        )
+        config = DistributedConfig(max_iterations=3, max_retries=1)
+        result = solve_distributed(tiny_problem, config, faults=faults)
+        assert result.cost == pytest.approx(tiny_problem.max_cost())
+        assert not result.converged
+        assert result.stale_phases == 3 * tiny_problem.num_sbs
+
+    def test_stale_iteration_never_certifies_convergence(self, tiny_problem):
+        """A frozen cost during a blackout must not be declared converged."""
+        faults = FaultConfig(
+            by_kind={MessageKind.POLICY_UPLOAD: LinkFaultProfile(drop=1.0)}, seed=0
+        )
+        config = DistributedConfig(max_iterations=4, max_retries=0, accuracy=1.0)
+        result = solve_distributed(tiny_problem, config, faults=faults)
+        assert not result.converged
+        assert result.iterations == 4
+
+    def test_jacobi_mode_rejects_faults(self, tiny_problem):
+        with pytest.raises(ValidationError, match="gauss-seidel"):
+            DistributedOptimizer(
+                tiny_problem,
+                DistributedConfig(mode="jacobi"),
+                faults=FaultConfig(),
+            )
+
+    def test_bad_reliability_config(self):
+        with pytest.raises(ValidationError):
+            DistributedConfig(max_retries=-1)
+        with pytest.raises(ValidationError):
+            DistributedConfig(on_timeout="shrug")
+
+
+class TestCrashRecovery:
+    def test_crash_and_recovery_completes(self, tiny_problem):
+        """Mid-run SBS crash + recovery: no ProtocolError, degradation
+        window visible in the stale-phase counters, and the run still
+        ends at the failure-free cost."""
+        baseline = solve_distributed(tiny_problem)
+        faults = FaultConfig(schedule=FaultSchedule().crash_sbs(1, at=1, recover_at=3))
+        config = DistributedConfig(accuracy=1e-6, max_iterations=12)
+        result = solve_distributed(tiny_problem, config, faults=faults)
+        assert result.cost == pytest.approx(baseline.cost, rel=1e-6)
+        stale_iterations = sorted(
+            {record.iteration for record in result.history.stale_phases()}
+        )
+        assert stale_iterations == [1, 2]
+        assert all(record.sbs == 1 for record in result.history.stale_phases())
+
+    def test_recovered_sbs_restores_checkpoint(self, tiny_problem):
+        faults = FaultConfig(schedule=FaultSchedule().crash_sbs(0, at=1, recover_at=2))
+        optimizer = DistributedOptimizer(
+            tiny_problem, DistributedConfig(accuracy=1e-6, max_iterations=8), faults=faults
+        )
+        result = optimizer.run()
+        agent = optimizer.sbss[0]
+        assert agent.recoveries == 1
+        assert "sbs-0" in optimizer.checkpoints
+        assert result.converged
+
+    def test_crash_before_any_checkpoint_cold_rejoins(self, tiny_problem):
+        faults = FaultConfig(schedule=FaultSchedule().crash_sbs(0, at=0, recover_at=2))
+        config = DistributedConfig(accuracy=1e-6, max_iterations=10)
+        baseline = solve_distributed(tiny_problem)
+        result = solve_distributed(tiny_problem, config, faults=faults)
+        assert result.cost == pytest.approx(baseline.cost, rel=1e-3)
+
+    def test_checkpoint_store_api(self):
+        store = CheckpointStore()
+        assert store.load("sbs-0") is None
+        assert "sbs-0" not in store
+        assert len(store) == 0
+
+    def test_crashed_sbs_keeps_serving_stale_report_in_bs_view(self, tiny_problem):
+        """Graceful degradation: during the crash the BS reuses the last
+        known report, so the cost never jumps to the all-backhaul worst
+        case."""
+        faults = FaultConfig(schedule=FaultSchedule().crash_sbs(1, at=1, recover_at=3))
+        config = DistributedConfig(accuracy=0.0, max_iterations=6)
+        result = solve_distributed(tiny_problem, config, faults=faults)
+        crash_costs = [
+            record.cost for record in result.history.phases if record.iteration in (1, 2)
+        ]
+        assert crash_costs
+        assert max(crash_costs) < tiny_problem.max_cost()
+
+
+class TestSeedDeterminism:
+    """Same seed -> bit-identical cost histories and policies."""
+
+    def test_solve_distributed_bit_identical(self, tiny_problem):
+        runs = [
+            solve_distributed(
+                tiny_problem,
+                DistributedConfig(max_iterations=5, accuracy=1e-3),
+                privacy=LPPMConfig(epsilon=0.1),
+                rng=7,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].history.iteration_costs == runs[1].history.iteration_costs
+        assert np.array_equal(runs[0].history.phase_costs(), runs[1].history.phase_costs())
+        assert np.array_equal(runs[0].solution.routing, runs[1].solution.routing)
+        assert np.array_equal(runs[0].solution.caching, runs[1].solution.caching)
+
+    def test_faulty_run_bit_identical(self, tiny_problem):
+        def run():
+            faults = FaultConfig(
+                default=LinkFaultProfile(drop=0.15, delay=0.15, duplicate=0.1),
+                schedule=FaultSchedule().crash_sbs(0, at=2, recover_at=4),
+                seed=13,
+            )
+            return solve_distributed(
+                tiny_problem,
+                DistributedConfig(max_iterations=8, accuracy=1e-6),
+                faults=faults,
+            )
+
+        a, b = run(), run()
+        assert a.history.iteration_costs == b.history.iteration_costs
+        assert np.array_equal(a.history.phase_costs(), b.history.phase_costs())
+        assert np.array_equal(a.solution.routing, b.solution.routing)
+        assert a.channel.stats.dropped == b.channel.stats.dropped
+        assert a.total_retries == b.total_retries
+
+    def test_different_seeds_inject_different_faults(self, tiny_problem):
+        def run(seed):
+            faults = FaultConfig(default=LinkFaultProfile(drop=0.3), seed=seed)
+            return solve_distributed(
+                tiny_problem, DistributedConfig(max_iterations=6), faults=faults
+            )
+
+        stats = {run(seed).channel.stats.dropped for seed in range(5)}
+        assert len(stats) > 1
+
+
+class TestFaultToleranceQuality:
+    def test_ten_percent_drop_within_one_percent_of_failure_free(self, rng):
+        """The headline robustness claim, on a random mid-size instance."""
+        problem = random_problem(rng)
+        baseline = solve_distributed(
+            problem, DistributedConfig(accuracy=1e-6, max_iterations=20)
+        )
+        faults = FaultConfig(
+            by_kind={MessageKind.POLICY_UPLOAD: LinkFaultProfile(drop=0.10)}, seed=1
+        )
+        result = solve_distributed(
+            problem, DistributedConfig(accuracy=1e-6, max_iterations=20), faults=faults
+        )
+        assert result.cost <= baseline.cost * 1.01 + 1e-9
+        assert result.solution.is_feasible(problem)
+
+    def test_faulty_run_still_beats_centralized_bound(self, tiny_problem):
+        faults = FaultConfig(
+            default=LinkFaultProfile(drop=0.1, delay=0.1), seed=2
+        )
+        result = solve_distributed(
+            tiny_problem, DistributedConfig(accuracy=1e-6, max_iterations=15), faults=faults
+        )
+        centralized = solve_centralized(tiny_problem)
+        assert result.cost >= centralized.cost - 1e-6

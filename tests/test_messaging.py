@@ -77,6 +77,43 @@ class TestChannelBasics:
         assert len(channel.drain("bs")) == 2
         assert channel.pending("bs") == 0
 
+    def test_drain_preserves_fifo_order(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        for iteration in range(4):
+            channel.send(
+                Message(
+                    kind=MessageKind.POLICY_UPLOAD,
+                    sender="sbs-0",
+                    recipient="bs",
+                    payload=np.zeros((1,)),
+                    iteration=iteration,
+                    phase=0,
+                )
+            )
+        assert [m.iteration for m in channel.drain("bs")] == [0, 1, 2, 3]
+
+    def test_drain_empty_queue_returns_empty_list(self):
+        channel = Channel()
+        channel.register("bs")
+        assert channel.drain("bs") == []
+
+    def test_drain_unregistered_node(self):
+        channel = Channel()
+        with pytest.raises(ProtocolError, match="not registered"):
+            channel.drain("ghost")
+
+    def test_pending_unregistered_node(self):
+        channel = Channel()
+        with pytest.raises(ProtocolError, match="not registered"):
+            channel.pending("ghost")
+
+    def test_empty_node_name_rejected(self):
+        channel = Channel()
+        with pytest.raises(ValidationError):
+            channel.register("")
+
 
 class TestBroadcast:
     def test_broadcast_reaches_everyone_but_sender(self):
@@ -146,5 +183,32 @@ class TestTapsAndStats:
         assert channel.stats.bytes_sent == 4 * 8
         assert channel.stats.by_kind == {"policy_upload": 1}
 
+    def test_bytes_by_kind_breakdown(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        channel.send(make_message())  # (2, 2) float64 upload = 32 bytes
+        channel.send(make_message())
+        channel.send(
+            Message(
+                kind=MessageKind.AGGREGATE_BROADCAST,
+                sender="bs",
+                recipient="*",
+                payload=np.zeros((3,)),  # 24 bytes
+                iteration=0,
+                phase=0,
+            )
+        )
+        assert channel.stats.bytes_by_kind == {"policy_upload": 64, "aggregate": 24}
+        assert sum(channel.stats.bytes_by_kind.values()) == channel.stats.bytes_sent
+
+    def test_fault_counters_start_at_zero(self):
+        stats = Channel().stats
+        assert stats.dropped == stats.duplicated == stats.delayed == 0
+        assert stats.reordered == stats.retransmissions == 0
+
     def test_message_nbytes(self):
         assert make_message().nbytes() == 32
+
+    def test_default_seq_is_unsequenced(self):
+        assert make_message().seq == 0
