@@ -1,0 +1,266 @@
+"""Perf-tracking benchmark harness: emits ``BENCH_*.json``.
+
+Measures the two optimization layers this repository ships for
+Algorithm 1 and writes machine-readable records for CI trend tracking:
+
+* ``BENCH_algorithm1.json`` — single-thread hot-path numbers: the legacy
+  (per-iteration validated) subproblem oracle vs the fast (hoisted,
+  buffer-reusing) oracle, a full ``solve_distributed`` run with its perf
+  counters, and an exact fast-vs-legacy solution cross-check.
+* ``BENCH_sweeps.json`` — sweep-engine numbers on a figure-style
+  epsilon sweep: the legacy serial engine (no dedup, validating solver),
+  the optimized serial engine, and the process-parallel engine, with an
+  exact serial-vs-parallel cross-check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py [--smoke] [--workers N]
+        [--out-dir DIR]
+
+``--smoke`` shrinks the scenario so the harness finishes in seconds (the
+CI perf-smoke job runs this on every push).  The exit code is nonzero
+whenever any cross-check diverges, so CI fails loudly if the fast paths
+ever stop being exact.
+
+Note on speedup interpretation: the parallel numbers depend on the
+machine's core count — on a single-core runner ``parallel_seconds`` can
+exceed serial due to process startup, which is why the divergence check,
+not the speedup, is the hard gate.  ``speedup_vs_legacy`` (dedup + fast
+solver, still one process) is the portable headline number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import perf  # noqa: E402
+from repro.core.distributed import DistributedConfig, solve_distributed  # noqa: E402
+from repro.core.subproblem import (  # noqa: E402
+    SubproblemConfig,
+    SubproblemWorkspace,
+    solve_subproblem,
+)
+from repro.experiments.config import ScenarioConfig, build_problem  # noqa: E402
+from repro.experiments.runner import run_sweep  # noqa: E402
+
+
+def _machine_record() -> dict:
+    """Host facts needed to compare benchmark records across runs."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _time_repeated(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_algorithm1(smoke: bool) -> tuple:
+    """Hot-path benchmark: fast vs legacy subproblem + one full run.
+
+    Returns ``(record, ok)`` where ``ok`` is False when the fast and
+    legacy oracles disagree on any component of the solution.
+    """
+    scenario = ScenarioConfig() if not smoke else ScenarioConfig(num_groups=12, num_links=16)
+    problem = build_problem(scenario, rng=7)
+    rng = np.random.default_rng(0)
+    aggregate = np.clip(
+        rng.random((problem.num_groups, problem.num_files)) * 0.6, 0.0, 1.0
+    )
+    repeats = 3 if smoke else 8
+
+    fast_cfg = SubproblemConfig(fast=True)
+    legacy_cfg = SubproblemConfig(fast=False)
+    workspace = SubproblemWorkspace(problem)
+
+    fast = solve_subproblem(problem, 0, aggregate, fast_cfg, workspace=workspace)
+    legacy = solve_subproblem(problem, 0, aggregate, legacy_cfg)
+    identical = (
+        np.array_equal(fast.caching, legacy.caching)
+        and np.array_equal(fast.routing, legacy.routing)
+        and fast.cost == legacy.cost
+        and fast.dual_history == legacy.dual_history
+    )
+
+    t_fast = _time_repeated(
+        lambda: solve_subproblem(problem, 0, aggregate, fast_cfg, workspace=workspace),
+        repeats,
+    )
+    t_legacy = _time_repeated(
+        lambda: solve_subproblem(problem, 0, aggregate, legacy_cfg), repeats
+    )
+
+    registry = perf.PerfRegistry()
+    config = DistributedConfig(accuracy=1e-3, max_iterations=4 if smoke else 8)
+    t0 = time.perf_counter()
+    with perf.collecting(registry):
+        result = solve_distributed(problem, config, rng=0)
+    run_wall = time.perf_counter() - t0
+
+    record = {
+        "benchmark": "algorithm1_hot_path",
+        "smoke": smoke,
+        "machine": _machine_record(),
+        "scenario": {
+            "num_sbs": problem.num_sbs,
+            "num_groups": problem.num_groups,
+            "num_files": problem.num_files,
+        },
+        "solve_subproblem": {
+            "legacy_seconds": t_legacy,
+            "fast_seconds": t_fast,
+            "speedup": t_legacy / t_fast if t_fast > 0 else float("inf"),
+            "identical": identical,
+        },
+        "solve_distributed": {
+            "wall_seconds": run_wall,
+            "cost": result.cost,
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "perf": registry.snapshot(),
+        },
+    }
+    return record, identical
+
+
+def bench_sweeps(smoke: bool, workers: int) -> tuple:
+    """Sweep-engine benchmark: legacy serial vs optimized serial vs parallel.
+
+    Returns ``(record, ok)`` where ``ok`` is False when the parallel (or
+    dedup) sweep differs from the plain serial sweep in any cell.
+    """
+    scenario = (
+        ScenarioConfig() if not smoke else ScenarioConfig(num_groups=12, num_links=16)
+    )
+    config = DistributedConfig(
+        accuracy=1e-3, max_iterations=3 if smoke else 6,
+        subproblem=SubproblemConfig(fast=True),
+    )
+    legacy_config = DistributedConfig(
+        accuracy=1e-3, max_iterations=3 if smoke else 6,
+        subproblem=SubproblemConfig(fast=False),
+    )
+    epsilons = [0.01, 1.0, 100.0] if smoke else [0.01, 0.1, 1.0, 10.0, 100.0]
+    seeds = (7, 11) if smoke else (7, 11, 13)
+
+    def sweep(distributed_config, **kw):
+        return run_sweep(
+            "bench",
+            "epsilon",
+            epsilons,
+            lambda _x: scenario,
+            epsilon_of_x=lambda x: float(x),
+            seeds=seeds,
+            distributed_config=distributed_config,
+            **kw,
+        )
+
+    # The pre-optimization engine: validating solver, no dedup, serial.
+    t0 = time.perf_counter()
+    legacy_result = sweep(legacy_config, workers=1, dedup=False)
+    t_legacy = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial_result = sweep(config, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_result = sweep(config, workers=workers)
+    t_parallel = time.perf_counter() - t0
+
+    identical = serial_result == parallel_result
+    # The solver fast path is exact, so the legacy engine must agree too.
+    identical_vs_legacy = legacy_result == serial_result
+
+    cells = len(epsilons) * len(seeds) * 3
+    record = {
+        "benchmark": "sweep_engine",
+        "smoke": smoke,
+        "workers": workers,
+        "machine": _machine_record(),
+        "sweep": {"x_values": epsilons, "seeds": list(seeds), "cells": cells},
+        "legacy_serial_seconds": t_legacy,
+        "serial_seconds": t_serial,
+        "parallel_seconds": t_parallel,
+        "speedup_vs_legacy": t_legacy / t_serial if t_serial > 0 else float("inf"),
+        "speedup_vs_serial": t_serial / t_parallel if t_parallel > 0 else float("inf"),
+        "identical_serial_parallel": identical,
+        "identical_vs_legacy_engine": identical_vs_legacy,
+    }
+    return record, identical and identical_vs_legacy
+
+
+def main(argv=None) -> int:
+    """Run both benchmarks; write JSON records; nonzero exit on divergence."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny scenario for CI (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N", help="parallel sweep processes"
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "results",
+        help="directory receiving BENCH_*.json",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    ok = True
+    algo_record, algo_ok = bench_algorithm1(args.smoke)
+    ok &= algo_ok
+    path = args.out_dir / "BENCH_algorithm1.json"
+    path.write_text(json.dumps(algo_record, indent=2) + "\n")
+    sub = algo_record["solve_subproblem"]
+    print(
+        f"algorithm1: legacy {sub['legacy_seconds'] * 1e3:.1f} ms, "
+        f"fast {sub['fast_seconds'] * 1e3:.1f} ms "
+        f"({sub['speedup']:.2f}x, identical={sub['identical']}) -> {path}"
+    )
+
+    sweep_record, sweep_ok = bench_sweeps(args.smoke, args.workers)
+    ok &= sweep_ok
+    path = args.out_dir / "BENCH_sweeps.json"
+    path.write_text(json.dumps(sweep_record, indent=2) + "\n")
+    print(
+        f"sweeps: legacy {sweep_record['legacy_serial_seconds']:.2f} s, "
+        f"serial {sweep_record['serial_seconds']:.2f} s "
+        f"({sweep_record['speedup_vs_legacy']:.2f}x vs legacy), "
+        f"parallel[{args.workers}] {sweep_record['parallel_seconds']:.2f} s "
+        f"(identical={sweep_record['identical_serial_parallel']}) -> {path}"
+    )
+
+    if not ok:
+        print("FAIL: fast/parallel results diverged from the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

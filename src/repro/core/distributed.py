@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import perf
 from .._validation import check_in_interval, check_positive_int, rng_from
 from ..exceptions import ProtocolError, ProtocolTimeout, ValidationError
 from ..network.faults import FaultConfig, FaultyChannel
@@ -44,7 +45,7 @@ from .convergence import CostHistory, PhaseRecord
 from .cost import total_cost
 from .problem import ProblemInstance
 from .solution import Solution
-from .subproblem import SubproblemConfig, solve_subproblem
+from .subproblem import SubproblemConfig, SubproblemWorkspace, solve_subproblem
 
 __all__ = [
     "DistributedConfig",
@@ -99,6 +100,15 @@ class DistributedConfig:
     slack0 / slack_decay:
         Initial cap slack and its per-iteration geometric decay
         (prices mode only).
+    warm_start:
+        Reuse each SBS's final dual multipliers ``mu`` from its previous
+        Gauss-Seidel phase as the starting point of the next dual ascent
+        (with a proportionally smaller restart step).  Off by default:
+        the cold-start run is the paper-literal algorithm and the
+        regression anchors pin its exact costs.  Warm starting changes
+        the dual trajectory — and may change intermediate primal
+        iterates — but converges to the same final cost (cross-checked
+        in the tests) in fewer subgradient iterations.
     max_retries:
         Fault-tolerant runs only: how many times an SBS retransmits an
         unacknowledged ``POLICY_UPLOAD`` before declaring the phase lost.
@@ -123,6 +133,7 @@ class DistributedConfig:
     slack0: float = 0.5
     slack_decay: float = 0.65
     restarts: int = 1
+    warm_start: bool = False
     max_retries: int = 4
     retry_backoff_cap: int = 8
     on_timeout: str = "degrade"
@@ -390,6 +401,7 @@ class SBSAgent:
         subproblem_config: Optional[SubproblemConfig] = None,
         mechanism: Optional[LaplacePrivacyMechanism] = None,
         accountant: Optional[PrivacyAccountant] = None,
+        warm_start: bool = False,
     ) -> None:
         problem._check_sbs(index)
         self.index = index
@@ -400,10 +412,13 @@ class SBSAgent:
         self._config = subproblem_config or SubproblemConfig()
         self._mechanism = mechanism
         self._accountant = accountant
+        self._warm_start = warm_start
+        # Scratch buffers shared by every solve this agent performs.
+        self._workspace = SubproblemWorkspace(problem)
         self.caching = np.zeros(problem.num_files)
         self.true_routing = np.zeros((problem.num_groups, problem.num_files))
         self.last_report = np.zeros((problem.num_groups, problem.num_files))
-        self._last_multipliers = None  # warm start across iterations
+        self._last_multipliers = None  # last dual iterate (warm start / checkpoints)
         self._has_solved = False
         # Fault-tolerance state (inert on the reliable, failure-free path).
         self.resilient = False
@@ -480,18 +495,23 @@ class SBSAgent:
         caller is responsible for delivering the report (reliably or via
         the ARQ layer).
         """
+        perf.count("algorithm1.phases")
         aggregate, prices = self.read_latest_aggregate()
         aggregate_others = np.clip(aggregate - self.last_report, 0.0, None)
-        result = solve_subproblem(
-            self._problem,
-            self.index,
-            aggregate_others,
-            self._config,
-            prices=prices,
-            cap_slack=cap_slack,
-            initial_multipliers=self._last_multipliers,
-            candidate_caching=self.caching if self._has_solved else None,
-        )
+        with perf.timed("algorithm1.phase_solve"):
+            result = solve_subproblem(
+                self._problem,
+                self.index,
+                aggregate_others,
+                self._config,
+                prices=prices,
+                cap_slack=cap_slack,
+                initial_multipliers=(
+                    self._last_multipliers if self._warm_start else None
+                ),
+                candidate_caching=self.caching if self._has_solved else None,
+                workspace=self._workspace,
+            )
         self._last_multipliers = result.multipliers
         self._has_solved = True
         self.caching = result.caching
@@ -680,6 +700,7 @@ class DistributedOptimizer:
                 subproblem_config=self.config.subproblem,
                 mechanism=mechanism,
                 accountant=self.accountant,
+                warm_start=self.config.warm_start,
             )
             agent.resilient = faults is not None
             self.sbss.append(agent)
@@ -706,13 +727,15 @@ class DistributedOptimizer:
                 if with_prices
                 else None
             )
-            if resilient:
-                self.channel.set_time(iteration)
-                self._resilient_sweep(iteration, history, slack, price_step)
-            elif config.mode == "gauss-seidel":
-                self._gauss_seidel_sweep(iteration, history, slack, price_step)
-            else:
-                self._jacobi_sweep(iteration, history, slack, price_step)
+            perf.count("algorithm1.iterations")
+            with perf.timed("algorithm1.sweep"):
+                if resilient:
+                    self.channel.set_time(iteration)
+                    self._resilient_sweep(iteration, history, slack, price_step)
+                elif config.mode == "gauss-seidel":
+                    self._gauss_seidel_sweep(iteration, history, slack, price_step)
+                else:
+                    self._jacobi_sweep(iteration, history, slack, price_step)
             cost = self.base_station.system_cost()
             history.close_iteration(cost)
             iterations = iteration + 1

@@ -99,6 +99,38 @@ class ProblemInstance:
         object.__setattr__(self, "bandwidth", bandwidth)
         object.__setattr__(self, "sbs_cost", sbs_cost)
         object.__setattr__(self, "bs_cost", bs_cost)
+        object.__setattr__(self, "_derived", {})
+
+    # ------------------------------------------------------------------
+    # Derived-quantity cache
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, factory):
+        """Memoize ``factory()`` under ``key`` for this (immutable) instance.
+
+        Derived arrays are marked read-only: they are shared across every
+        caller, including the solver hot paths that rely on them never
+        changing.  ``dataclasses.replace`` builds a new instance and
+        therefore a fresh, empty cache.
+        """
+        cache = self._derived
+        if key not in cache:
+            value = factory()
+            if isinstance(value, np.ndarray):
+                value.setflags(write=False)
+            cache[key] = value
+        return cache[key]
+
+    def __getstate__(self):
+        """Pickle the field arrays only; the derived cache is rebuilt lazily."""
+        return {k: v for k, v in self.__dict__.items() if k != "_derived"}
+
+    def __setstate__(self, state):
+        """Restore fields (re-frozen) and start with an empty derived cache."""
+        for key, value in state.items():
+            if isinstance(value, np.ndarray):
+                value.setflags(write=False)
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "_derived", {})
 
     # ------------------------------------------------------------------
     # Dimensions
@@ -131,7 +163,7 @@ class ProblemInstance:
     # Derived quantities
     # ------------------------------------------------------------------
     def savings_rate(self) -> np.ndarray:
-        """Per-unit-of-``y`` cost saving, an ``(N, U, F)`` array.
+        """Per-unit-of-``y`` cost saving, an ``(N, U, F)`` array (cached).
 
         Serving the fraction ``y[n, u, f]`` of demand ``lambda[u, f]``
         from SBS ``n`` instead of the BS saves
@@ -139,17 +171,22 @@ class ProblemInstance:
         The joint problem is equivalent to maximising
         ``sum(savings_rate * y)``.
         """
-        margin = (self.bs_cost[np.newaxis, :] - self.sbs_cost) * self.connectivity
-        return margin[:, :, np.newaxis] * self.demand[np.newaxis, :, :]
+        return self._cached(
+            "savings_rate",
+            lambda: self.savings_margin()[:, :, np.newaxis] * self.demand[np.newaxis, :, :],
+        )
 
     def savings_margin(self) -> np.ndarray:
-        """``(N, U)`` per-unit-of-traffic saving ``(d_hat[u]-d[n,u]) * l[n,u]``.
+        """``(N, U)`` per-unit saving ``(d_hat[u]-d[n,u]) * l[n,u]`` (cached).
 
         Because contents have unit size, the value of one unit of SBS
         bandwidth spent on MU group ``u`` depends only on ``u`` and ``n``;
         this is what makes the routing subproblem a fractional knapsack.
         """
-        return (self.bs_cost[np.newaxis, :] - self.sbs_cost) * self.connectivity
+        return self._cached(
+            "savings_margin",
+            lambda: (self.bs_cost[np.newaxis, :] - self.sbs_cost) * self.connectivity,
+        )
 
     def max_cost(self) -> float:
         """Worst-case serving cost ``W`` (the BS serves every request).
@@ -157,24 +194,82 @@ class ProblemInstance:
         This is the constant ``W = sum_u d_hat[u] * sum_f lambda[u, f]``
         used in Theorem 5 of the paper.
         """
-        return float(np.sum(self.bs_cost * self.demand.sum(axis=1)))
+        return self._cached(
+            "max_cost", lambda: float(np.sum(self.bs_cost * self.demand.sum(axis=1)))
+        )
 
     def total_demand(self) -> float:
         """Total request volume ``sum(lambda)``."""
-        return float(self.demand.sum())
+        return self._cached("total_demand", lambda: float(self.demand.sum()))
 
     def group_demand(self) -> np.ndarray:
-        """``(U,)`` total demand of each MU group."""
-        return self.demand.sum(axis=1)
+        """``(U,)`` total demand of each MU group (cached)."""
+        return self._cached("group_demand", lambda: self.demand.sum(axis=1))
 
     def file_popularity(self) -> np.ndarray:
-        """``(F,)`` total demand of each content across all groups."""
-        return self.demand.sum(axis=0)
+        """``(F,)`` total demand of each content across all groups (cached)."""
+        return self._cached("file_popularity", lambda: self.demand.sum(axis=0))
+
+    def demand_flat(self) -> np.ndarray:
+        """The demand matrix raveled to ``(U * F,)`` C-order (cached).
+
+        The knapsack-based routing subproblems consume flat views; sharing
+        one read-only copy avoids a ravel per dual iteration.
+        """
+        return self._cached("demand_flat", lambda: self.demand.ravel().copy())
+
+    def cache_slots(self) -> np.ndarray:
+        """``(N,)`` integer cache capacities ``floor(C_n)`` (cached).
+
+        The caching subproblem picks whole files, so every solver uses the
+        floored capacity; the ``1e-9`` guard absorbs float drift in
+        capacities that are conceptually integral.
+        """
+        return self._cached(
+            "cache_slots",
+            lambda: np.floor(self.cache_capacity + 1e-9).astype(np.int64),
+        )
+
+    def profitable_file_mask(self) -> np.ndarray:
+        """``(F,)`` boolean mask of contents with any demand at all (cached)."""
+        return self._cached("profitable_file_mask", lambda: self.file_popularity() > 0)
+
+    def potential_routing_mask(self) -> np.ndarray:
+        """``(N, U, F)`` mask of triples where routing can reduce cost (cached).
+
+        True where the SBS is connected, demand is positive and the
+        savings margin is positive — the caching-independent part of the
+        profitable-triple test used by the network-wide routing LP/flow
+        solvers.
+        """
+
+        def build() -> np.ndarray:
+            margin = self.savings_margin()
+            return (
+                (self.connectivity[:, :, np.newaxis] > 0)
+                & (self.demand[np.newaxis, :, :] > 0)
+                & (margin[:, :, np.newaxis] > 0)
+            )
+
+        return self._cached("potential_routing_mask", build)
+
+    def connectivity_indices(self) -> Tuple[np.ndarray, ...]:
+        """Per-SBS index arrays of connected MU groups (cached).
+
+        ``connectivity_indices()[n]`` is ``flatnonzero(connectivity[n])``
+        computed once per instance instead of per call.
+        """
+        return self._cached(
+            "connectivity_indices",
+            lambda: tuple(
+                np.flatnonzero(self.connectivity[n] > 0) for n in range(self.num_sbs)
+            ),
+        )
 
     def neighbours_of_sbs(self, sbs: int) -> np.ndarray:
         """Indices of MU groups connected to ``sbs``."""
         self._check_sbs(sbs)
-        return np.flatnonzero(self.connectivity[sbs] > 0)
+        return self.connectivity_indices()[sbs]
 
     def sbs_of_group(self, group: int) -> np.ndarray:
         """Indices of SBSs connected to MU group ``group``."""
@@ -184,7 +279,7 @@ class ProblemInstance:
 
     def num_links(self) -> int:
         """Total number of SBS-MU links (ones in the connectivity matrix)."""
-        return int(self.connectivity.sum())
+        return self._cached("num_links", lambda: int(self.connectivity.sum()))
 
     def _check_sbs(self, sbs: int) -> None:
         if not 0 <= sbs < self.num_sbs:

@@ -38,7 +38,12 @@ __all__ = [
 
 
 def residual_caps(
-    problem: ProblemInstance, sbs: int, aggregate_others: np.ndarray
+    problem: ProblemInstance,
+    sbs: int,
+    aggregate_others: np.ndarray,
+    *,
+    out: Optional[np.ndarray] = None,
+    validate: bool = True,
 ) -> np.ndarray:
     """Per-(u, f) upper bounds on ``y[sbs, u, f]`` given the others.
 
@@ -47,15 +52,29 @@ def residual_caps(
     aggregate is clipped to ``[0, 1]`` first so a slightly over-serving
     aggregate (possible transiently under the privacy mechanism) never
     produces negative caps.
+
+    ``out`` (a writable ``(U, F)`` float64 buffer) receives the caps in
+    place, letting callers that solve per sweep phase — one
+    :class:`~repro.core.distributed.SBSAgent` per Gauss-Seidel round —
+    reuse one allocation for the whole run.  ``validate=False`` skips the
+    array validation for trusted internal callers that already hold a
+    conforming float64 aggregate.
     """
     problem._check_sbs(sbs)
-    aggregate = as_float_array(
-        aggregate_others,
-        "aggregate_others",
-        shape=(problem.num_groups, problem.num_files),
-    )
-    remaining = np.clip(1.0 - aggregate, 0.0, 1.0)
-    return remaining * problem.connectivity[sbs][:, np.newaxis]
+    if validate:
+        aggregate = as_float_array(
+            aggregate_others,
+            "aggregate_others",
+            shape=(problem.num_groups, problem.num_files),
+        )
+    else:
+        aggregate = aggregate_others
+    if out is None:
+        out = np.empty((problem.num_groups, problem.num_files))
+    np.subtract(1.0, aggregate, out=out)
+    np.clip(out, 0.0, 1.0, out=out)
+    out *= problem.connectivity[sbs][:, np.newaxis]
+    return out
 
 
 def optimal_routing_for_sbs(
@@ -131,13 +150,7 @@ def _profitable_triples(problem: ProblemInstance, caching: np.ndarray) -> np.nda
     Requires connectivity, a cached file, positive demand and a positive
     savings margin.
     """
-    margin = problem.savings_margin()  # (N, U)
-    mask = (
-        (problem.connectivity[:, :, np.newaxis] > 0)
-        & (caching[:, np.newaxis, :] > 0)
-        & (problem.demand[np.newaxis, :, :] > 0)
-        & (margin[:, :, np.newaxis] > 0)
-    )
+    mask = problem.potential_routing_mask() & (caching[:, np.newaxis, :] > 0)
     return np.argwhere(mask)
 
 

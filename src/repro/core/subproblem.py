@@ -24,16 +24,31 @@ the knapsack) and the cheapest feasible pair seen is returned.  An
 optional local-search polish swaps files in/out of the best cache set
 until no single swap improves the cost, and an exhaustive solver is
 provided for validating optimality on tiny instances.
+
+Two oracle implementations back the dual ascent:
+
+* the **fast path** (``SubproblemConfig.fast=True``, the default) hoists
+  everything that does not change across dual iterations — routing cost
+  coefficients, knapsack weights, residual caps, the tie-break filler
+  order — out of the loop, validates arrays once at this API boundary
+  only, and reuses the preallocated buffers of a
+  :class:`SubproblemWorkspace`;
+* the **legacy path** (``fast=False``) routes every dual iteration
+  through the public, validating helpers (:func:`cache_subproblem`,
+  :func:`routing_subproblem`).  It is kept as the reference baseline for
+  the perf benchmarks and is cross-checked bit-for-bit against the fast
+  path in the tests.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from .. import perf
 from .._validation import as_float_array, check_positive_int
 from ..exceptions import ValidationError
 from ..solvers.fractional_knapsack import solve_fractional_knapsack
@@ -44,6 +59,7 @@ from .routing import optimal_routing_for_sbs, residual_caps
 __all__ = [
     "SubproblemConfig",
     "SubproblemSolution",
+    "SubproblemWorkspace",
     "solve_subproblem",
     "solve_subproblem_exhaustive",
     "cache_subproblem",
@@ -66,6 +82,10 @@ class SubproblemConfig:
         :func:`repro.solvers.subgradient.subgradient_ascent`).
     polish:
         Run single-swap local search on the recovered cache set.
+    fast:
+        Use the hoisted, buffer-reusing oracle (see the module
+        docstring).  ``False`` selects the legacy per-iteration
+        validated helpers; both produce bit-identical solutions.
     """
 
     schedule: Optional[StepSchedule] = None
@@ -73,6 +93,7 @@ class SubproblemConfig:
     tol: float = 1e-7
     patience: int = 25
     polish: bool = True
+    fast: bool = True
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_iter, "max_iter")
@@ -98,6 +119,29 @@ class SubproblemSolution:
     iterations: int
     converged: bool
     multipliers: Optional[np.ndarray] = None  # (U, F) final dual iterate
+
+
+class SubproblemWorkspace:
+    """Preallocated scratch buffers for the fast subproblem oracle.
+
+    One workspace holds every ``(U, F)``-sized buffer the dual-ascent
+    inner loop needs, so a caller that solves repeatedly — an
+    :class:`~repro.core.distributed.SBSAgent` runs one solve per
+    Gauss-Seidel round — pays the allocations once per run instead of
+    once per dual iteration.  A workspace is tied to the problem's
+    ``(U, F)`` shape; :func:`solve_subproblem` rejects a mismatch.
+    """
+
+    __slots__ = ("shape", "caps", "effective_caps", "costs_flat", "priced_mu_flat")
+
+    def __init__(self, problem: ProblemInstance) -> None:
+        shape = (problem.num_groups, problem.num_files)
+        size = shape[0] * shape[1]
+        self.shape = shape
+        self.caps = np.empty(shape)
+        self.effective_caps = np.empty(shape)
+        self.costs_flat = np.empty(size)
+        self.priced_mu_flat = np.empty(size)
 
 
 def _routing_coefficients(problem: ProblemInstance, sbs: int) -> np.ndarray:
@@ -142,19 +186,36 @@ def cache_subproblem(
     )
     aggregated = multipliers.sum(axis=0)
     capacity = int(np.floor(problem.cache_capacity[sbs] + 1e-9))
-    caching = np.zeros(problem.num_files)
+    filler_order = None
+    if tie_break_value is not None:
+        filler_order = np.argsort(-np.asarray(tie_break_value, dtype=np.float64), kind="stable")
+    return _select_cache_set(problem.num_files, capacity, aggregated, filler_order)
+
+
+def _select_cache_set(
+    num_files: int,
+    capacity: int,
+    aggregated: np.ndarray,
+    filler_order: Optional[np.ndarray],
+) -> np.ndarray:
+    """Shared greedy selection: top-``capacity`` positive aggregated
+    multipliers, remaining slots filled along ``filler_order``.
+
+    Vectorized but equivalent to the original first-come scan: the
+    chosen *set* (and therefore the binary caching vector) is identical.
+    """
+    caching = np.zeros(num_files)
     if capacity == 0:
         return caching
     order = np.argsort(-aggregated, kind="stable")
-    chosen = [f for f in order[:capacity] if aggregated[f] > 0]
-    if len(chosen) < capacity and tie_break_value is not None:
-        filler_order = np.argsort(-np.asarray(tie_break_value, dtype=np.float64), kind="stable")
-        for f in filler_order:
-            if len(chosen) >= capacity:
-                break
-            if f not in chosen:
-                chosen.append(int(f))
-    caching[chosen] = 1.0
+    head = order[:capacity]
+    take = head[aggregated[head] > 0]
+    caching[take] = 1.0
+    if take.size < capacity and filler_order is not None:
+        taken = np.zeros(num_files, dtype=bool)
+        taken[take] = True
+        fill = filler_order[~taken[filler_order]][: capacity - take.size]
+        caching[fill] = 1.0
     return caching
 
 
@@ -208,15 +269,13 @@ def _evaluate_cache_set(
 
 
 def _polish_cache_set(
-    problem: ProblemInstance,
-    sbs: int,
     caching: np.ndarray,
-    caps: np.ndarray,
-    constant: float,
     best_routing: np.ndarray,
     best_cost: float,
     *,
-    extra_cost: Optional[np.ndarray] = None,
+    evaluate: Callable[[np.ndarray], Tuple[np.ndarray, float]],
+    potential: np.ndarray,
+    capacity: int,
     max_passes: int = 4,
     max_candidates: int = 12,
 ) -> Tuple[np.ndarray, np.ndarray, float]:
@@ -224,13 +283,14 @@ def _polish_cache_set(
 
     Candidate in-files are limited to the ``max_candidates`` highest
     potential-value uncached files — the only ones that can plausibly
-    displace a cached file under a linear objective.
+    displace a cached file under a linear objective.  ``evaluate`` maps a
+    candidate caching vector to its exact ``(routing, cost)``; both the
+    fast and legacy oracles supply their own evaluator.
     """
     caching = caching.copy()
-    potential = (problem.savings_margin()[sbs][:, np.newaxis] * problem.demand * caps).sum(axis=0)
     for _ in range(max_passes):
         cached_files = np.flatnonzero(caching > 0)
-        empty_slots = int(np.floor(problem.cache_capacity[sbs] + 1e-9)) - cached_files.size
+        empty_slots = capacity - cached_files.size
         uncached_files = np.flatnonzero(caching == 0)
         # Only candidates with any potential value are worth trying.
         candidates = uncached_files[potential[uncached_files] > 0]
@@ -241,9 +301,7 @@ def _polish_cache_set(
             for f_in in candidates[:empty_slots]:
                 trial = caching.copy()
                 trial[f_in] = 1.0
-                routing, cost = _evaluate_cache_set(
-                    problem, sbs, trial, caps, constant, extra_cost
-                )
+                routing, cost = evaluate(trial)
                 if cost < best_cost - 1e-12:
                     caching, best_routing, best_cost = trial, routing, cost
                     improved = True
@@ -252,9 +310,7 @@ def _polish_cache_set(
                 trial = caching.copy()
                 trial[f_out] = 0.0
                 trial[f_in] = 1.0
-                routing, cost = _evaluate_cache_set(
-                    problem, sbs, trial, caps, constant, extra_cost
-                )
+                routing, cost = evaluate(trial)
                 if cost < best_cost - 1e-12:
                     caching, best_routing, best_cost = trial, routing, cost
                     improved = True
@@ -276,6 +332,7 @@ def solve_subproblem(
     cap_slack: float = 0.0,
     initial_multipliers: Optional[np.ndarray] = None,
     candidate_caching: Optional[np.ndarray] = None,
+    workspace: Optional[SubproblemWorkspace] = None,
 ) -> SubproblemSolution:
     """Solve ``P_n`` by the paper's dual decomposition with primal recovery.
 
@@ -292,15 +349,41 @@ def solve_subproblem(
     Gauss-Seidel iterations the aggregate changes little, so reusing the
     previous multipliers reaches the dual region in far fewer steps
     (the :class:`~repro.core.distributed.SBSAgent` passes its last
-    multipliers automatically).  ``candidate_caching`` seeds the primal
-    recovery with an incumbent cache set (evaluated exactly under the
-    current caps), guaranteeing the returned solution is never worse
-    than keeping the incumbent — which is what makes every Gauss-Seidel
-    phase non-increasing regardless of dual-ascent noise.
+    multipliers when ``DistributedConfig.warm_start`` is enabled).
+    ``candidate_caching`` seeds the primal recovery with an incumbent
+    cache set (evaluated exactly under the current caps), guaranteeing
+    the returned solution is never worse than keeping the incumbent —
+    which is what makes every Gauss-Seidel phase non-increasing
+    regardless of dual-ascent noise.
+
+    ``workspace`` supplies preallocated scratch buffers for the fast
+    oracle (one is created per call when omitted); repeat callers should
+    hold one :class:`SubproblemWorkspace` per SBS and pass it in.
     """
     config = config or SubproblemConfig()
     problem._check_sbs(sbs)
-    caps = residual_caps(problem, sbs, aggregate_others)
+    num_groups, num_files = problem.num_groups, problem.num_files
+    perf.count("subproblem.solves")
+    # Arrays are validated once here, at the API boundary; the oracles
+    # below trust them for the whole dual ascent.
+    aggregate_others = as_float_array(
+        aggregate_others, "aggregate_others", shape=(num_groups, num_files)
+    )
+    if workspace is not None and workspace.shape != (num_groups, num_files):
+        raise ValidationError(
+            f"workspace shape {workspace.shape} does not match problem "
+            f"shape {(num_groups, num_files)}"
+        )
+    use_fast = config.fast
+    if use_fast and workspace is None:
+        workspace = SubproblemWorkspace(problem)
+    caps = residual_caps(
+        problem,
+        sbs,
+        aggregate_others,
+        out=workspace.caps if use_fast else None,
+        validate=False,
+    )
     if cap_slack < 0:
         raise ValidationError(f"cap_slack must be nonnegative, got {cap_slack}")
     if cap_slack > 0:
@@ -308,13 +391,14 @@ def solve_subproblem(
         caps = np.minimum(caps + cap_slack * reach, reach)
     if prices is not None:
         prices = np.asarray(prices, dtype=np.float64)
-        if prices.shape != (problem.num_groups, problem.num_files):
+        if prices.shape != (num_groups, num_files):
             raise ValidationError(
-                f"prices must have shape {(problem.num_groups, problem.num_files)}"
+                f"prices must have shape {(num_groups, num_files)}"
             )
     constant = _constant_term(problem, sbs, aggregate_others)
     coefficients = _routing_coefficients(problem, sbs)
     tie_break = (problem.savings_margin()[sbs][:, np.newaxis] * problem.demand * caps).sum(axis=0)
+    capacity = int(problem.cache_slots()[sbs])
 
     schedule = config.schedule
     if schedule is None:
@@ -325,43 +409,99 @@ def solve_subproblem(
         eta0_factor = 0.125 if initial_multipliers is not None else 0.5
         schedule = StepSchedule(eta0=max(scale, 1e-12) * eta0_factor, alpha=0.25)
 
+    priced = coefficients if prices is None else coefficients + prices
+
+    if use_fast:
+        # Everything invariant across dual iterations, hoisted out of the
+        # loop: flat views of the priced coefficients and caps, the shared
+        # demand weights, and the tie-break filler order.
+        ws = workspace
+        coefficients_flat = coefficients.ravel()
+        priced_flat = priced.ravel()
+        prices_flat = None if prices is None else prices.ravel()
+        caps_flat = caps.ravel()
+        weights_flat = problem.demand_flat()
+        bandwidth = float(problem.bandwidth[sbs])
+        filler_order = np.argsort(-tie_break, kind="stable")
+
+        def evaluate(caching: np.ndarray) -> Tuple[np.ndarray, float]:
+            np.multiply(caps, caching[np.newaxis, :], out=ws.effective_caps)
+            result = solve_fractional_knapsack(
+                priced_flat,
+                weights_flat,
+                bandwidth,
+                ws.effective_caps.ravel(),
+                validate=False,
+            )
+            routing = result.allocation.reshape(num_groups, num_files)
+            return routing, constant + float(np.sum(priced * routing))
+
+    else:
+
+        def evaluate(caching: np.ndarray) -> Tuple[np.ndarray, float]:
+            return _evaluate_cache_set(problem, sbs, caching, caps, constant, prices)
+
     best: dict = {"cost": np.inf, "caching": None, "routing": None}
     if candidate_caching is not None:
         seed_caching = as_float_array(
-            candidate_caching, "candidate_caching", shape=(problem.num_files,)
+            candidate_caching, "candidate_caching", shape=(num_files,)
         )
-        seed_routing, seed_cost = _evaluate_cache_set(
-            problem, sbs, seed_caching, caps, constant, prices
-        )
+        seed_routing, seed_cost = evaluate(seed_caching)
         best.update(cost=seed_cost, caching=seed_caching, routing=seed_routing)
 
-    priced = coefficients if prices is None else coefficients + prices
+    if use_fast:
 
-    def oracle(multipliers: np.ndarray):
-        mu = multipliers.reshape(problem.num_groups, problem.num_files)
-        caching = cache_subproblem(problem, sbs, mu, tie_break_value=tie_break)
-        routing = routing_subproblem(problem, sbs, mu, caps, extra_cost=prices)
-        dual_value = (
-            constant
-            + float(np.sum((priced + mu) * routing))
-            - float(np.sum(mu.sum(axis=0) * caching))
-        )
-        subgradient = routing - caching[np.newaxis, :]
-        # Primal recovery: evaluate the candidate cache set exactly.
-        recovered_routing, recovered_cost = _evaluate_cache_set(
-            problem, sbs, caching, caps, constant, prices
-        )
-        if recovered_cost < best["cost"]:
-            best["cost"] = recovered_cost
-            best["caching"] = caching
-            best["routing"] = recovered_routing
-        return dual_value, subgradient.ravel(), None
+        def oracle(multipliers: np.ndarray):
+            mu = multipliers.reshape(num_groups, num_files)
+            aggregated = mu.sum(axis=0)
+            caching = _select_cache_set(num_files, capacity, aggregated, filler_order)
+            np.add(coefficients_flat, multipliers, out=ws.costs_flat)
+            if prices_flat is not None:
+                ws.costs_flat += prices_flat
+            result = solve_fractional_knapsack(
+                ws.costs_flat, weights_flat, bandwidth, caps_flat, validate=False
+            )
+            routing = result.allocation.reshape(num_groups, num_files)
+            np.add(priced_flat, multipliers, out=ws.priced_mu_flat)
+            dual_value = (
+                constant
+                + float(np.sum(ws.priced_mu_flat * result.allocation))
+                - float(np.sum(aggregated * caching))
+            )
+            subgradient = routing - caching[np.newaxis, :]
+            # Primal recovery: evaluate the candidate cache set exactly.
+            recovered_routing, recovered_cost = evaluate(caching)
+            if recovered_cost < best["cost"]:
+                best["cost"] = recovered_cost
+                best["caching"] = caching
+                best["routing"] = recovered_routing
+            return dual_value, subgradient.ravel(), None
+
+    else:
+
+        def oracle(multipliers: np.ndarray):
+            mu = multipliers.reshape(num_groups, num_files)
+            caching = cache_subproblem(problem, sbs, mu, tie_break_value=tie_break)
+            routing = routing_subproblem(problem, sbs, mu, caps, extra_cost=prices)
+            dual_value = (
+                constant
+                + float(np.sum((priced + mu) * routing))
+                - float(np.sum(mu.sum(axis=0) * caching))
+            )
+            subgradient = routing - caching[np.newaxis, :]
+            # Primal recovery: evaluate the candidate cache set exactly.
+            recovered_routing, recovered_cost = evaluate(caching)
+            if recovered_cost < best["cost"]:
+                best["cost"] = recovered_cost
+                best["caching"] = caching
+                best["routing"] = recovered_routing
+            return dual_value, subgradient.ravel(), None
 
     if initial_multipliers is None:
-        start = np.zeros(problem.num_groups * problem.num_files)
+        start = np.zeros(num_groups * num_files)
     else:
         start = np.asarray(initial_multipliers, dtype=np.float64).ravel()
-        if start.size != problem.num_groups * problem.num_files:
+        if start.size != num_groups * num_files:
             raise ValidationError(
                 "initial_multipliers must have U*F entries, got "
                 f"{start.size}"
@@ -375,13 +515,19 @@ def solve_subproblem(
         tol=config.tol,
         patience=config.patience,
     )
+    perf.count("subgradient.iterations", result.iterations)
 
     caching, routing, cost = best["caching"], best["routing"], best["cost"]
     if caching is None:  # pragma: no cover - oracle always runs at least once
         raise ValidationError("subgradient ascent performed no iterations")
     if config.polish:
         caching, routing, cost = _polish_cache_set(
-            problem, sbs, caching, caps, constant, routing, cost, extra_cost=prices
+            caching,
+            routing,
+            cost,
+            evaluate=evaluate,
+            potential=tie_break,
+            capacity=capacity,
         )
     return SubproblemSolution(
         caching=caching,
@@ -392,7 +538,7 @@ def solve_subproblem(
         iterations=result.iterations,
         converged=result.converged,
         multipliers=result.multipliers.reshape(
-            problem.num_groups, problem.num_files
+            num_groups, num_files
         ),
     )
 

@@ -37,7 +37,7 @@ _FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6")
 _TARGETS = _FIGURES + ("all", "convergence", "attack", "validate")
 
 
-def _run_figure(name: str, fast: bool) -> str:
+def _run_figure(name: str, fast: bool, workers: int = 1) -> str:
     if name == "fig2":
         views = figure2_trace()
         return format_series("Fig. 2 top-20 view counts", views, precision=0)
@@ -47,7 +47,7 @@ def _run_figure(name: str, fast: bool) -> str:
         "fig5": figure5_num_links,
         "fig6": figure6_bandwidth,
     }
-    result = runners[name](fast=fast)
+    result = runners[name](fast=fast, workers=workers)
     return "\n".join(
         [
             format_sweep_table(result),
@@ -123,7 +123,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="smaller sweeps / single seed (quick smoke run)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate sweep cells in N parallel processes "
+        "(bit-identical to the serial run; figure targets only)",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.target == "convergence":
         print(_run_convergence(args.fast))
         return 0
@@ -139,7 +149,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = list(_FIGURES) if args.target == "all" else [args.target]
     for name in names:
         print(f"=== {name} ===")
-        print(_run_figure(name, args.fast))
+        print(_run_figure(name, args.fast, args.workers))
         print()
     return 0
 

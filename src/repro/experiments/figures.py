@@ -4,7 +4,9 @@ Each function returns the data behind the corresponding figure.  Default
 parameters follow Section V; every function takes ``fast=True`` knobs
 used by the test suite (fewer seeds, smaller sweeps) while the
 benchmarks run the full settings and record the series in
-EXPERIMENTS.md.
+EXPERIMENTS.md.  ``workers=N`` fans the sweep cells out over worker
+processes (see :func:`repro.experiments.runner.run_sweep`) with
+bit-identical results.
 
 Paper reference values (captions and prose of Section V):
 
@@ -58,6 +60,7 @@ def figure3_privacy_budget(
     scenario: ScenarioConfig = DEFAULT_SCENARIO,
     delta: float = 0.5,
     fast: bool = False,
+    workers: int = 1,
 ) -> SweepResult:
     """Fig. 3: total serving cost vs privacy budget epsilon.
 
@@ -73,6 +76,7 @@ def figure3_privacy_budget(
         seeds=_seeds(fast),
         delta=delta,
         distributed_config=_config(fast),
+        workers=workers,
     )
 
 
@@ -83,6 +87,7 @@ def figure4_num_mus(
     epsilon: float = 0.1,
     delta: float = 0.5,
     fast: bool = False,
+    workers: int = 1,
 ) -> SweepResult:
     """Fig. 4: total serving cost vs number of MU groups (eps = 0.1)."""
     return run_sweep(
@@ -94,6 +99,7 @@ def figure4_num_mus(
         seeds=_seeds(fast),
         delta=delta,
         distributed_config=_config(fast),
+        workers=workers,
     )
 
 
@@ -104,6 +110,7 @@ def figure5_num_links(
     epsilon: float = 0.1,
     delta: float = 0.5,
     fast: bool = False,
+    workers: int = 1,
 ) -> SweepResult:
     """Fig. 5: total serving cost vs number of SBS-MU links (eps = 0.1).
 
@@ -127,6 +134,7 @@ def figure5_num_links(
         seeds=_seeds(fast),
         delta=delta,
         distributed_config=_config(fast),
+        workers=workers,
     )
 
 
@@ -137,6 +145,7 @@ def figure6_bandwidth(
     epsilon: float = 0.1,
     delta: float = 0.5,
     fast: bool = False,
+    workers: int = 1,
 ) -> SweepResult:
     """Fig. 6: total serving cost vs SBS bandwidth (eps = 0.1).
 
@@ -155,4 +164,5 @@ def figure6_bandwidth(
         seeds=_seeds(fast),
         delta=delta,
         distributed_config=_config(fast),
+        workers=workers,
     )

@@ -4,17 +4,40 @@ A sweep varies one scenario knob (epsilon, number of MUs, number of
 links, bandwidth) and evaluates every scheme at each point, averaging
 over seeds.  Results come back as :class:`SweepResult` — a small typed
 table the reporting module renders and the benchmarks assert against.
+
+Execution model
+---------------
+
+Every sweep cell — one ``(scheme, x, seed)`` triple — is a *pure
+function* of its picklable :class:`_CellTask` description: the scenario
+carries the construction seed, the schemes derive all their randomness
+from the explicit ``rng`` integer, and nothing flows between cells.
+That buys two orthogonal optimizations, both exact:
+
+* **deduplication** — when ``scenario_of_x`` ignores ``x`` (Fig. 3's
+  epsilon sweep, where only the LPPM cells actually depend on the
+  coordinate) identical cells collapse to a single evaluation whose
+  result is reused everywhere it appears;
+* **parallelism** — ``workers=N`` fans the distinct cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
+  rebuilds its problem from the scenario config and returns one float;
+  results are reassembled in submission order, so the output is
+  **bit-identical** to the serial run (the tests assert this).
+
+The default (``workers=1``) keeps the historical serial behaviour.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.distributed import DistributedConfig
 from ..exceptions import ValidationError
+from ..network.faults import FaultConfig
 from .config import ScenarioConfig, build_problem
 from .schemes import run_lppm, run_lrfu, run_optimum
 
@@ -57,6 +80,103 @@ def average_gap(result: SweepResult, scheme: str, reference: str) -> float:
     return float(np.mean([point.gap(scheme, reference) for point in result.points]))
 
 
+@dataclasses.dataclass(frozen=True)
+class _CellTask:
+    """A self-contained, picklable description of one sweep cell.
+
+    Carries everything :func:`_evaluate_cell` needs to rebuild the
+    problem and run the scheme in a worker process.  ``epsilon`` /
+    ``delta`` / ``sensitivity`` are only meaningful for the LPPM scheme.
+    """
+
+    scheme: str
+    scenario: ScenarioConfig
+    rng: int
+    config: Optional[DistributedConfig]
+    faults: Optional[FaultConfig]
+    epsilon: float = 0.0
+    delta: float = 0.5
+    sensitivity: float = 1.0
+
+    def key(self) -> Optional[Hashable]:
+        """Hashable identity for deduplication, or ``None`` if unhashable.
+
+        A :class:`~repro.network.faults.FaultConfig` holds a mapping and
+        is not hashable, so faulty cells are never deduplicated — each
+        one runs on its own.
+        """
+        if self.faults is not None:
+            return None
+        return (
+            self.scheme,
+            self.scenario,
+            self.rng,
+            self.config,
+            self.epsilon,
+            self.delta,
+            self.sensitivity,
+        )
+
+
+def _evaluate_cell(task: _CellTask) -> float:
+    """Run one sweep cell and return its scheme cost.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
+    pickle it; deterministic given ``task`` alone.
+    """
+    problem = build_problem(task.scenario)
+    if task.scheme == "optimum":
+        return run_optimum(
+            problem, config=task.config, rng=task.rng, faults=task.faults
+        ).cost
+    if task.scheme == "lppm":
+        return run_lppm(
+            problem,
+            task.epsilon,
+            delta=task.delta,
+            sensitivity=task.sensitivity,
+            config=task.config,
+            rng=task.rng,
+            faults=task.faults,
+        ).cost
+    if task.scheme == "lrfu":
+        return run_lrfu(problem, rng=task.rng).cost
+    raise ValidationError(f"unknown sweep scheme {task.scheme!r}")
+
+
+def _evaluate_cells(
+    tasks: Sequence[_CellTask], *, workers: int, dedup: bool
+) -> List[float]:
+    """Evaluate every cell, deduplicated and optionally in parallel.
+
+    Distinct cells are evaluated in first-occurrence order — serially
+    for ``workers=1``, else via ``ProcessPoolExecutor.map`` (which
+    preserves that order) — and the per-task result list is reassembled
+    from the distinct results.  Because each cell is a pure function of
+    its task, the returned floats are bit-identical no matter how the
+    evaluation was scheduled.
+    """
+    keys = [task.key() if dedup else None for task in tasks]
+    distinct: List[_CellTask] = []
+    slot_of_task: List[int] = []
+    slot_of_key: Dict[Hashable, int] = {}
+    for task, key in zip(tasks, keys):
+        if key is not None and key in slot_of_key:
+            slot_of_task.append(slot_of_key[key])
+            continue
+        slot = len(distinct)
+        distinct.append(task)
+        slot_of_task.append(slot)
+        if key is not None:
+            slot_of_key[key] = slot
+    if workers <= 1:
+        results = [_evaluate_cell(task) for task in distinct]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_evaluate_cell, distinct))
+    return [results[slot] for slot in slot_of_task]
+
+
 def run_sweep(
     name: str,
     x_label: str,
@@ -69,6 +189,9 @@ def run_sweep(
     sensitivity: float = 1.0,
     distributed_config: Optional[DistributedConfig] = None,
     include_lrfu: bool = True,
+    faults: Optional[FaultConfig] = None,
+    workers: int = 1,
+    dedup: bool = True,
 ) -> SweepResult:
     """Evaluate optimum / LPPM (/ LRFU) across ``x_values``.
 
@@ -77,30 +200,65 @@ def run_sweep(
     (constant for Figs. 4-6, the coordinate itself for Fig. 3).  Every
     (x, seed) pair builds an independent problem instance; costs are
     averaged over seeds.
+
+    ``faults`` threads a fault model into the Algorithm 1 schemes (the
+    LRFU baseline has no protocol to break and ignores it).  ``workers``
+    evaluates sweep cells in parallel processes; ``dedup`` collapses
+    identical cells to one evaluation.  Both knobs — and any combination
+    of them — return results bit-identical to the plain serial sweep;
+    the defaults (``workers=1``, dedup on) keep execution local and
+    deterministic.
     """
     if not x_values:
         raise ValidationError("x_values must be nonempty")
+    if workers < 1:
+        raise ValidationError(f"workers must be a positive integer, got {workers}")
     schemes = ["optimum", "lppm"] + (["lrfu"] if include_lrfu else [])
-    points: List[SweepPoint] = []
+    tasks: List[_CellTask] = []
     for x in x_values:
         scenario = scenario_of_x(x)
-        per_scheme: Dict[str, List[float]] = {scheme: [] for scheme in schemes}
         for seed in seeds:
-            problem = build_problem(scenario.replace(seed=int(seed)))
-            optimum = run_optimum(problem, config=distributed_config, rng=int(seed))
-            per_scheme["optimum"].append(optimum.cost)
-            lppm = run_lppm(
-                problem,
-                epsilon_of_x(x),
-                delta=delta,
-                sensitivity=sensitivity,
-                config=distributed_config,
-                rng=int(seed) + 1,
+            cell_scenario = scenario.replace(seed=int(seed))
+            tasks.append(
+                _CellTask(
+                    scheme="optimum",
+                    scenario=cell_scenario,
+                    rng=int(seed),
+                    config=distributed_config,
+                    faults=faults,
+                )
             )
-            per_scheme["lppm"].append(lppm.cost)
+            tasks.append(
+                _CellTask(
+                    scheme="lppm",
+                    scenario=cell_scenario,
+                    rng=int(seed) + 1,
+                    config=distributed_config,
+                    faults=faults,
+                    epsilon=float(epsilon_of_x(x)),
+                    delta=float(delta),
+                    sensitivity=float(sensitivity),
+                )
+            )
             if include_lrfu:
-                lrfu = run_lrfu(problem, rng=int(seed) + 2)
-                per_scheme["lrfu"].append(lrfu.cost)
+                tasks.append(
+                    _CellTask(
+                        scheme="lrfu",
+                        scenario=cell_scenario,
+                        rng=int(seed) + 2,
+                        config=None,
+                        faults=None,
+                    )
+                )
+    costs = _evaluate_cells(tasks, workers=workers, dedup=dedup)
+    cells_per_x = len(seeds) * len(schemes)
+    points: List[SweepPoint] = []
+    for i, x in enumerate(x_values):
+        block = costs[i * cells_per_x : (i + 1) * cells_per_x]
+        per_scheme: Dict[str, List[float]] = {scheme: [] for scheme in schemes}
+        for j in range(len(seeds)):
+            for k, scheme in enumerate(schemes):
+                per_scheme[scheme].append(block[j * len(schemes) + k])
         points.append(
             SweepPoint(
                 x=float(x),

@@ -24,6 +24,7 @@ from ..core.distributed import DistributedConfig, solve_distributed
 from ..core.problem import ProblemInstance
 from ..core.solution import Solution
 from ..exceptions import ValidationError
+from ..network.faults import FaultConfig
 from ..privacy.mechanism import LPPMConfig
 
 __all__ = ["SchemeResult", "run_optimum", "run_lppm", "run_lrfu", "run_centralized", "SCHEMES"]
@@ -44,9 +45,15 @@ def run_optimum(
     *,
     config: Optional[DistributedConfig] = None,
     rng: Union[int, np.random.Generator, None] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> SchemeResult:
-    """Algorithm 1 without LPPM (the 'Optimum' curve)."""
-    result = solve_distributed(problem, config, rng=rng)
+    """Algorithm 1 without LPPM (the 'Optimum' curve).
+
+    ``faults`` forwards a fault model to
+    :func:`~repro.core.distributed.solve_distributed`, switching the run
+    onto the fault-tolerant protocol (used by the robustness sweeps).
+    """
+    result = solve_distributed(problem, config, rng=rng, faults=faults)
     return SchemeResult(
         scheme="optimum",
         cost=result.cost,
@@ -66,10 +73,15 @@ def run_lppm(
     sensitivity: float = 1.0,
     config: Optional[DistributedConfig] = None,
     rng: Union[int, np.random.Generator, None] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> SchemeResult:
-    """Algorithm 1 with the LPPM mechanism."""
+    """Algorithm 1 with the LPPM mechanism.
+
+    ``faults`` selects the fault-tolerant protocol, as in
+    :func:`run_optimum`.
+    """
     privacy = LPPMConfig(epsilon=epsilon, delta=delta, sensitivity=sensitivity)
-    result = solve_distributed(problem, config, privacy=privacy, rng=rng)
+    result = solve_distributed(problem, config, privacy=privacy, rng=rng, faults=faults)
     metadata = {
         "iterations": float(result.iterations),
         "converged": float(result.converged),

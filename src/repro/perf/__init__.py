@@ -1,0 +1,29 @@
+"""Performance observability: timers, counters and their registry.
+
+See :mod:`repro.perf.registry` for the collection model and
+docs/performance.md for the counter glossary and benchmark harness.
+"""
+
+from .registry import (
+    PerfRegistry,
+    Timer,
+    activate,
+    active_registry,
+    add_time,
+    collecting,
+    count,
+    deactivate,
+    timed,
+)
+
+__all__ = [
+    "PerfRegistry",
+    "Timer",
+    "activate",
+    "active_registry",
+    "add_time",
+    "collecting",
+    "count",
+    "deactivate",
+    "timed",
+]

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import perf
 from ..exceptions import ValidationError
 
 __all__ = ["KnapsackResult", "solve_fractional_knapsack", "maximize_fractional_knapsack"]
@@ -78,6 +79,8 @@ def solve_fractional_knapsack(
     weights,
     budget: float,
     caps: Optional[np.ndarray] = None,
+    *,
+    validate: bool = True,
 ) -> KnapsackResult:
     """Minimize ``costs @ z`` subject to ``weights @ z <= budget, 0 <= z <= caps``.
 
@@ -86,8 +89,20 @@ def solve_fractional_knapsack(
     their cap.  Remaining profitable items are taken greedily by cost per
     unit weight until the budget is exhausted, splitting the marginal
     item fractionally.
+
+    ``validate=False`` is the trusted-caller fast path: inputs must
+    already be finite, 1-D ``float64`` arrays of equal length with
+    nonnegative weights/caps and a nonnegative float budget (``caps``
+    required).  The dual-ascent inner loop of Algorithm 1 calls this
+    thousands of times per run, where re-validating unchanged arrays
+    dominated small instances; the greedy itself is identical bit for
+    bit on either path.
     """
-    data = _validate(costs, weights, caps, budget)
+    perf.count("knapsack.calls")
+    if validate:
+        data = _validate(costs, weights, caps, budget)
+    else:
+        data = _Checked(costs=costs, weights=weights, caps=caps, budget=budget)
     allocation = np.zeros_like(data.costs)
 
     profitable = data.costs < 0

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import perf
 from ..exceptions import InfeasibleError, SolverError, UnboundedError, ValidationError
 from .simplex import simplex_solve
 
@@ -68,10 +69,15 @@ def solve_lp(
         raise ValidationError(f"unknown LP backend {backend!r}; choose from {_BACKENDS}")
     from scipy import sparse
 
+    perf.count("lp.calls")
     c = np.asarray(c, dtype=np.float64).ravel()
     if backend == "auto":
         is_sparse = sparse.issparse(a_ub) or sparse.issparse(a_eq)
         backend = "simplex" if (c.size <= _AUTO_SIMPLEX_LIMIT and not is_sparse) else "scipy"
+        if backend == "scipy":
+            # "auto" escalated past the in-house simplex: the instance was
+            # too large or sparse — worth tracking as a perf event.
+            perf.count("lp.scipy_fallbacks")
     if backend == "simplex":
         if sparse.issparse(a_ub):
             a_ub = a_ub.toarray()

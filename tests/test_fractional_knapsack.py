@@ -124,3 +124,28 @@ class TestAgainstLP:
         assert result.allocation.min() >= -1e-12
         assert np.all(result.allocation <= caps + 1e-9)
         assert result.budget_used <= budget + 1e-6
+
+
+class TestNoValidationFastPath:
+    @given(knapsack_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_to_validated_path(self, instance):
+        """The trusted-caller contract: validate=False changes nothing."""
+        costs, weights, caps, budget = instance
+        checked = solve_fractional_knapsack(costs, weights, budget, caps)
+        trusted = solve_fractional_knapsack(
+            costs.astype(np.float64),
+            weights.astype(np.float64),
+            float(budget),
+            caps.astype(np.float64),
+            validate=False,
+        )
+        assert np.array_equal(checked.allocation, trusted.allocation)
+        assert checked.objective == trusted.objective
+        assert checked.budget_used == trusted.budget_used
+
+    def test_validated_path_still_rejects_bad_input(self):
+        with pytest.raises(ValidationError):
+            solve_fractional_knapsack(
+                np.array([np.nan]), np.array([1.0]), 1.0, np.array([1.0])
+            )

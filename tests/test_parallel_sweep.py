@@ -1,0 +1,122 @@
+"""Parallel sweep engine: bit-identical to serial, dedup-safe, fault-safe."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig
+from repro.exceptions import ValidationError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import _CellTask, _evaluate_cells, run_sweep
+from repro.network.faults import FaultConfig, FaultSchedule, LinkFaultProfile
+
+TINY = ScenarioConfig(num_groups=8, num_links=10)
+CONFIG = DistributedConfig(accuracy=1e-3, max_iterations=2)
+
+
+def _sweep(**kwargs):
+    defaults = dict(
+        epsilon_of_x=lambda x: float(x),
+        seeds=(7, 11),
+        distributed_config=CONFIG,
+    )
+    defaults.update(kwargs)
+    return run_sweep(
+        "test", "epsilon", [0.1, 10.0], lambda _x: TINY, **defaults
+    )
+
+
+class TestBitIdentity:
+    def test_parallel_matches_serial(self):
+        """The headline guarantee: workers=N changes nothing, bit for bit."""
+        serial = _sweep(workers=1)
+        parallel = _sweep(workers=4)
+        assert serial == parallel
+
+    def test_dedup_matches_plain_serial(self):
+        assert _sweep(workers=1, dedup=False) == _sweep(workers=1, dedup=True)
+
+    def test_parallel_without_dedup_matches_serial(self):
+        assert _sweep(workers=1, dedup=False) == _sweep(workers=2, dedup=False)
+
+    def test_parallel_with_scenario_variation(self):
+        """Sweeps that vary the scenario (Fig. 4 style) also agree."""
+
+        def sweep(workers):
+            return run_sweep(
+                "mus",
+                "groups",
+                [6.0, 8.0],
+                lambda x: TINY.replace(num_groups=int(x)),
+                epsilon_of_x=lambda _x: 0.1,
+                seeds=(7,),
+                distributed_config=CONFIG,
+                workers=workers,
+            )
+
+        assert sweep(1) == sweep(2)
+
+    def test_parallel_with_faults(self):
+        """Fault-injected sweeps run the resilient protocol; still identical."""
+        faults = FaultConfig(
+            default=LinkFaultProfile(drop=0.1),
+            schedule=FaultSchedule(),
+            seed=3,
+        )
+        serial = _sweep(workers=1, faults=faults)
+        parallel = _sweep(workers=2, faults=faults)
+        assert serial == parallel
+
+    def test_lppm_cells_depend_on_epsilon(self):
+        """Sanity: the sweep actually exercises LPPM noise per coordinate."""
+        result = _sweep(workers=2)
+        lppm = result.series("lppm")
+        optimum = result.series("optimum")
+        assert not np.allclose(lppm, optimum)
+        # Optimum and LRFU ignore epsilon, so their series are flat.
+        assert result.series("optimum")[0] == result.series("optimum")[1]
+
+
+class TestDeduplication:
+    def test_identical_cells_collapse(self):
+        task = _CellTask(
+            scheme="lrfu", scenario=TINY, rng=9, config=None, faults=None
+        )
+        costs = _evaluate_cells([task, task, task], workers=1, dedup=True)
+        assert costs[0] == costs[1] == costs[2]
+
+    def test_faulty_cells_are_never_deduplicated(self):
+        faults = FaultConfig(seed=1)
+        task = _CellTask(
+            scheme="optimum", scenario=TINY, rng=9, config=CONFIG, faults=faults
+        )
+        assert task.key() is None
+
+    def test_distinct_cells_have_distinct_keys(self):
+        a = _CellTask(scheme="lrfu", scenario=TINY, rng=9, config=None, faults=None)
+        b = _CellTask(scheme="lrfu", scenario=TINY, rng=10, config=None, faults=None)
+        assert a.key() != b.key()
+
+
+class TestValidation:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValidationError):
+            _sweep(workers=0)
+
+    def test_rejects_empty_x_values(self):
+        with pytest.raises(ValidationError):
+            run_sweep(
+                "empty",
+                "x",
+                [],
+                lambda _x: TINY,
+                epsilon_of_x=lambda x: float(x),
+            )
+
+    def test_unknown_scheme_cell_raises(self):
+        from repro.experiments.runner import _evaluate_cell
+
+        bad = _CellTask(
+            scheme="nope", scenario=TINY, rng=1, config=None, faults=None
+        )
+        with pytest.raises(ValidationError):
+            _evaluate_cell(bad)

@@ -168,3 +168,73 @@ class TestRandomInstances:
             problem = random_problem(rng)
             assert problem.max_cost() >= 0
             assert problem.savings_rate().min() >= 0
+
+
+class TestDerivedCaching:
+    """Memoized derived quantities: same object back, correct, picklable."""
+
+    def test_repeated_calls_return_cached_object(self):
+        problem = ProblemInstance(**make_args())
+        assert problem.savings_rate() is problem.savings_rate()
+        assert problem.savings_margin() is problem.savings_margin()
+        assert problem.demand_flat() is problem.demand_flat()
+        assert problem.cache_slots() is problem.cache_slots()
+        assert problem.potential_routing_mask() is problem.potential_routing_mask()
+        assert problem.connectivity_indices() is problem.connectivity_indices()
+
+    def test_cached_arrays_are_read_only(self):
+        problem = ProblemInstance(**make_args())
+        with pytest.raises(ValueError):
+            problem.savings_margin()[0] = 99.0
+        with pytest.raises(ValueError):
+            problem.demand_flat()[0] = 99.0
+
+    def test_demand_flat_matches_demand(self):
+        problem = ProblemInstance(**make_args())
+        np.testing.assert_array_equal(
+            problem.demand_flat(), problem.demand.ravel()
+        )
+
+    def test_cache_slots_floor(self):
+        problem = ProblemInstance(**make_args())
+        np.testing.assert_array_equal(
+            problem.cache_slots(),
+            np.floor(problem.cache_capacity + 1e-9).astype(np.int64),
+        )
+
+    def test_potential_routing_mask_semantics(self):
+        problem = ProblemInstance(**make_args())
+        mask = problem.potential_routing_mask()
+        expected = (
+            (problem.connectivity[:, :, np.newaxis] > 0)
+            & (problem.demand[np.newaxis, :, :] > 0)
+            & (problem.savings_margin()[:, :, np.newaxis] > 0)
+        )
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_connectivity_indices_match_neighbours(self):
+        problem = ProblemInstance(**make_args())
+        for sbs in range(problem.num_sbs):
+            np.testing.assert_array_equal(
+                problem.connectivity_indices()[sbs],
+                np.flatnonzero(problem.connectivity[sbs] > 0),
+            )
+            np.testing.assert_array_equal(
+                problem.neighbours_of_sbs(sbs),
+                np.flatnonzero(problem.connectivity[sbs] > 0),
+            )
+
+    def test_pickle_roundtrip_preserves_values_and_cache(self):
+        import pickle
+
+        problem = ProblemInstance(**make_args())
+        problem.savings_margin()  # populate the cache before pickling
+        clone = pickle.loads(pickle.dumps(problem))
+        np.testing.assert_array_equal(clone.demand, problem.demand)
+        np.testing.assert_array_equal(clone.connectivity, problem.connectivity)
+        np.testing.assert_array_equal(
+            clone.savings_margin(), problem.savings_margin()
+        )
+        # The clone gets a fresh, working cache of its own.
+        assert clone.savings_margin() is clone.savings_margin()
+        assert clone.max_cost() == problem.max_cost()

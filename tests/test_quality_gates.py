@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.attacks",
     "repro.experiments",
+    "repro.perf",
 ]
 
 

@@ -142,3 +142,83 @@ class TestExhaustive:
             solve_subproblem_exhaustive(
                 problem, 0, np.zeros((problem.num_groups, 30)), max_subsets=10
             )
+
+
+class TestFastOracleParity:
+    """The hoisted fast oracle must be indistinguishable from the legacy one."""
+
+    def _parity(self, problem, sbs, aggregate, prices=None, cap_slack=0.0):
+        from repro.core.subproblem import SubproblemWorkspace
+
+        workspace = SubproblemWorkspace(problem)
+        fast = solve_subproblem(
+            problem,
+            sbs,
+            aggregate,
+            SubproblemConfig(fast=True),
+            prices=prices,
+            cap_slack=cap_slack,
+            workspace=workspace,
+        )
+        legacy = solve_subproblem(
+            problem,
+            sbs,
+            aggregate,
+            SubproblemConfig(fast=False),
+            prices=prices,
+            cap_slack=cap_slack,
+        )
+        assert np.array_equal(fast.caching, legacy.caching)
+        assert np.array_equal(fast.routing, legacy.routing)
+        assert fast.cost == legacy.cost
+        assert fast.iterations == legacy.iterations
+        assert fast.dual_history == legacy.dual_history
+        assert np.array_equal(fast.multipliers, legacy.multipliers)
+
+    def test_bit_identical_zero_aggregate(self, tiny_problem):
+        self._parity(tiny_problem, 0, np.zeros((3, 4)))
+
+    def test_bit_identical_random_instances(self, rng):
+        for _ in range(4):
+            problem = random_problem(rng)
+            aggregate = np.clip(
+                rng.uniform(size=(problem.num_groups, problem.num_files)), 0.0, 1.0
+            )
+            for sbs in range(problem.num_sbs):
+                self._parity(problem, sbs, aggregate)
+
+    def test_bit_identical_with_prices_and_slack(self, rng):
+        problem = random_problem(rng)
+        shape = (problem.num_groups, problem.num_files)
+        aggregate = np.clip(rng.uniform(size=shape) * 0.8, 0.0, 1.0)
+        prices = rng.uniform(0.0, 0.5, size=shape)
+        self._parity(problem, 0, aggregate, prices=prices, cap_slack=0.3)
+
+    def test_workspace_reuse_is_safe(self, rng):
+        """Solving twice through one workspace must not leak state."""
+        from repro.core.subproblem import SubproblemWorkspace
+
+        problem = random_problem(rng)
+        shape = (problem.num_groups, problem.num_files)
+        workspace = SubproblemWorkspace(problem)
+        agg_a = np.zeros(shape)
+        agg_b = np.clip(rng.uniform(size=shape), 0.0, 1.0)
+        first = solve_subproblem(
+            problem, 0, agg_a, SubproblemConfig(), workspace=workspace
+        )
+        solve_subproblem(problem, 0, agg_b, SubproblemConfig(), workspace=workspace)
+        again = solve_subproblem(
+            problem, 0, agg_a, SubproblemConfig(), workspace=workspace
+        )
+        assert first.cost == again.cost
+        assert np.array_equal(first.routing, again.routing)
+
+    def test_workspace_shape_mismatch_rejected(self, tiny_problem, rng):
+        from repro.core.subproblem import SubproblemWorkspace
+
+        other = random_problem(rng, num_groups=7, num_files=9)
+        workspace = SubproblemWorkspace(other)
+        with pytest.raises(ValidationError):
+            solve_subproblem(
+                tiny_problem, 0, np.zeros((3, 4)), workspace=workspace
+            )

@@ -1,0 +1,68 @@
+"""Warm-started dual ascent: off by default, same converged cost when on."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.core.subproblem import SubproblemConfig, solve_subproblem
+
+from conftest import random_problem
+
+
+class TestDefaults:
+    def test_warm_start_defaults_to_off(self):
+        """The paper-literal cold-start run is the default behaviour."""
+        assert DistributedConfig().warm_start is False
+
+    def test_flag_round_trips(self):
+        assert DistributedConfig(warm_start=True).warm_start is True
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_same_converged_cost_as_cold(self, seed):
+        """Warm starting changes the dual path, not where it ends up."""
+        problem = random_problem(np.random.default_rng(seed))
+        cold = solve_distributed(
+            problem, DistributedConfig(warm_start=False), rng=0
+        )
+        warm = solve_distributed(
+            problem, DistributedConfig(warm_start=True), rng=0
+        )
+        assert warm.cost == pytest.approx(cold.cost, rel=1e-6)
+        assert warm.converged and cold.converged
+
+    def test_warm_start_with_privacy_same_budget(self):
+        """The flag must not change how often the mechanism fires."""
+        from repro.privacy.mechanism import LPPMConfig
+
+        problem = random_problem(np.random.default_rng(5))
+        privacy = LPPMConfig(epsilon=1.0)
+        cold = solve_distributed(
+            problem, DistributedConfig(warm_start=False), privacy=privacy, rng=0
+        )
+        warm = solve_distributed(
+            problem, DistributedConfig(warm_start=True), privacy=privacy, rng=0
+        )
+        assert warm.total_epsilon is not None
+        # Equal iteration counts imply equal numbers of noisy releases.
+        if warm.iterations == cold.iterations:
+            assert warm.total_epsilon == pytest.approx(cold.total_epsilon)
+
+
+class TestSubproblemWarmStart:
+    def test_explicit_multipliers_still_accepted(self):
+        """solve_subproblem keeps its public warm-start parameter."""
+        problem = random_problem(np.random.default_rng(7))
+        aggregate = np.zeros((problem.num_groups, problem.num_files))
+        first = solve_subproblem(problem, 0, aggregate, SubproblemConfig())
+        again = solve_subproblem(
+            problem,
+            0,
+            aggregate,
+            SubproblemConfig(),
+            initial_multipliers=first.multipliers,
+            candidate_caching=first.caching,
+        )
+        # Primal recovery seeded with the incumbent can never do worse.
+        assert again.cost <= first.cost + 1e-9
