@@ -6,7 +6,6 @@ aggregates) against the synchronized Gauss-Seidel ideal, across message
 delays.
 """
 
-import numpy as np
 
 from repro.core.asynchronous import AsyncConfig, solve_asynchronous
 from repro.core.distributed import DistributedConfig, solve_distributed

@@ -9,7 +9,6 @@ price-coordination mode changes the bill (its broadcasts are twice the
 size: aggregate + prices).
 """
 
-import numpy as np
 
 from repro.core.distributed import DistributedConfig, solve_distributed
 from repro.experiments.config import build_problem

@@ -6,7 +6,6 @@ compares the static one-shot policy against per-slot re-optimization,
 with and without switching costs.
 """
 
-import numpy as np
 
 from repro.core.distributed import DistributedConfig
 from repro.core.online import OnlineConfig, simulate_online

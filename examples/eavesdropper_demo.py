@@ -15,7 +15,6 @@ budgets.
 Run:  python examples/eavesdropper_demo.py
 """
 
-import numpy as np
 
 from repro.attacks import run_eavesdropper_experiment
 from repro.core import DistributedConfig

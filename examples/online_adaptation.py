@@ -16,7 +16,6 @@ slots (drift + viral events) and compares:
 Run:  python examples/online_adaptation.py
 """
 
-import numpy as np
 
 from repro.core import DistributedConfig, OnlineConfig, simulate_online
 from repro.experiments.config import ScenarioConfig, build_problem

@@ -8,7 +8,7 @@ public constructors short and the error messages consistent.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +44,8 @@ def as_float_array(
     finite:
         Require every entry to be finite (no NaN or infinity).
     """
+    if np.iscomplexobj(value):
+        raise ValidationError(f"{name} must be real-valued, got complex entries")
     try:
         array = np.asarray(value, dtype=np.float64)
     except (TypeError, ValueError) as exc:

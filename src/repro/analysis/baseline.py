@@ -1,0 +1,105 @@
+"""Baseline (grandfathering) support for :mod:`repro.analysis`.
+
+A baseline file records the fingerprints of known, accepted findings so
+the linter can gate on *new* violations only.  The intended workflow:
+
+1. ``repro-lint src --baseline .repro-lint-baseline.json
+   --update-baseline`` writes the current findings as the baseline.
+2. CI runs ``repro-lint src`` (the default baseline path is picked up
+   automatically when the file exists) and fails only on findings that
+   are not in the baseline.
+3. Fixing a baselined violation and re-running ``--update-baseline``
+   shrinks the file; the diff review keeps the ratchet honest.
+
+Fingerprints hash the rule code, file path and offending line *text*
+(see :meth:`repro.analysis.findings.Finding.fingerprint`), so baselines
+survive unrelated edits that only shift line numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["DEFAULT_BASELINE_NAME", "load_baseline", "write_baseline", "partition_findings"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+LineLookup = Callable[[Finding], str]
+
+
+def _fingerprints(
+    findings: Sequence[Finding], line_lookup: LineLookup
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its occurrence-disambiguated fingerprint."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    pairs: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        text = line_lookup(finding)
+        key = (finding.code, finding.path, text.strip())
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        pairs.append((finding, finding.fingerprint(text, occurrence)))
+    return pairs
+
+
+def _default_line_lookup(finding: Finding) -> str:
+    try:
+        lines = Path(finding.path).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return ""
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1]
+    return ""
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Read a baseline file; returns ``{fingerprint: entry}`` (empty if absent)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    fingerprints = data.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"malformed baseline fingerprints in {path}")
+    return fingerprints
+
+
+def write_baseline(
+    path: Path, findings: Sequence[Finding], line_lookup: Optional[LineLookup] = None
+) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    lookup = line_lookup or _default_line_lookup
+    entries = {
+        fingerprint: {
+            "code": finding.code,
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding, fingerprint in _fingerprints(findings, lookup)
+    }
+    payload = {"version": _VERSION, "fingerprints": dict(sorted(entries.items()))}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def partition_findings(
+    findings: Sequence[Finding],
+    baseline: Dict[str, dict],
+    line_lookup: Optional[LineLookup] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against ``baseline``."""
+    lookup = line_lookup or _default_line_lookup
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding, fingerprint in _fingerprints(findings, lookup):
+        (old if fingerprint in baseline else new).append(finding)
+    return new, old

@@ -1,0 +1,245 @@
+"""Lint engine: file discovery, pragma suppression, rule execution.
+
+The engine parses each file once, extracts ``# repro-lint:`` pragmas
+from the token stream, runs every selected rule over the AST, and drops
+findings that a pragma suppresses.
+
+Pragma grammar (everything after ``--`` is a human justification and is
+ignored by the parser, but please always write one)::
+
+    # repro-lint: disable=<rule>[,<rule>...] [-- justification]
+    # repro-lint: disable-file=<rule>[,<rule>...] [-- justification]
+
+``<rule>`` is a rule name (``no-stdlib-random``), a code (``REPRO101``)
+or ``all``.  A ``disable`` pragma suppresses matching findings reported
+on its own physical line; when the pragma stands on a comment-only
+line, it applies to the next code line instead (the idiomatic placement
+when the offending line is long).  ``disable-file`` suppresses findings
+for the whole file, wherever the comment appears.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .rules import Rule, all_rules, resolve_rule
+from .rules.base import FileContext
+
+__all__ = [
+    "LintError",
+    "parse_pragmas",
+    "resolve_module_name",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "select_rules",
+]
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint\s*:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s-]+)")
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+class LintError(Exception):
+    """Raised for unusable inputs (unknown rule, unparseable path)."""
+
+
+def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract suppression pragmas from ``source``.
+
+    Returns ``(per_line, per_file)`` where ``per_line`` maps a physical
+    line number to the set of rule identifiers disabled on that line and
+    ``per_file`` is the set disabled for the whole file.  Identifiers
+    are kept verbatim (name, code, or ``all``); matching against a rule
+    happens in :func:`lint_file`.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, per_file
+    for lineno, col, comment in comments:
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            continue
+        kind, raw = match.groups()
+        rules = {part.strip() for part in raw.split("--")[0].split(",") if part.strip()}
+        if not rules:
+            continue
+        if kind == "disable-file":
+            per_file |= rules
+            continue
+        target = lineno
+        prefix = lines[lineno - 1][:col] if lineno <= len(lines) else ""
+        if not prefix.strip():
+            # Comment-only line: the pragma governs the next code line.
+            target = lineno + 1
+            while target <= len(lines) and not lines[target - 1].strip():
+                target += 1
+        per_line.setdefault(target, set()).update(rules)
+    return per_line, per_file
+
+
+def resolve_module_name(path: Path) -> Optional[str]:
+    """Dotted module name for ``path``, walking up while packages continue."""
+    try:
+        resolved = path.resolve()
+    except OSError:
+        return None
+    if resolved.suffix != ".py":
+        return None
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    current = resolved.parent
+    found_package = False
+    while (current / "__init__.py").exists():
+        parts.insert(0, current.name)
+        found_package = True
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if not found_package and not parts:
+        return None
+    return ".".join(parts) if parts else None
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Set[Path] = set()
+    result: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(
+                    part in _SKIP_DIRS or part.endswith(".egg-info")
+                    for part in candidate.parts
+                )
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise LintError(f"path does not exist: {path}")
+        else:
+            candidates = []
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                result.append(candidate)
+    return result
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _matches(identifiers: Set[str], rule: Rule) -> bool:
+    return bool(identifiers & {rule.code, rule.name, "all"})
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
+    """Run ``rules`` over one file, honouring suppression pragmas.
+
+    Unparseable files produce a single synthetic ``REPRO000`` finding
+    rather than crashing the run: a syntax error in linted code is
+    itself a reportable defect.
+    """
+    source = path.read_text(encoding="utf-8")
+    display = _display_path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="REPRO000",
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    per_line, per_file = parse_pragmas(source)
+    ctx = FileContext(
+        path=path,
+        display_path=display,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        module=resolve_module_name(path),
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        if _matches(per_file, rule):
+            continue
+        for finding in rule.check(ctx):
+            line_pragmas = per_line.get(finding.line, set())
+            if _matches(line_pragmas, rule):
+                continue
+            findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None, ignore: Optional[Iterable[str]] = None
+) -> List[Rule]:
+    """Resolve ``--select`` / ``--ignore`` identifier lists to rule objects."""
+    if select:
+        chosen = []
+        for identifier in select:
+            rule = resolve_rule(identifier)
+            if rule is None:
+                raise LintError(f"unknown rule: {identifier}")
+            if rule not in chosen:
+                chosen.append(rule)
+    else:
+        chosen = all_rules()
+    if ignore:
+        dropped = set()
+        for identifier in ignore:
+            rule = resolve_rule(identifier)
+            if rule is None:
+                raise LintError(f"unknown rule: {identifier}")
+            dropped.add(rule.code)
+        chosen = [rule for rule in chosen if rule.code not in dropped]
+    return chosen
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint every Python file under ``paths``.
+
+    Returns ``(findings, files_checked)`` with findings sorted by
+    location.  ``select`` / ``ignore`` accept rule names or codes.
+    """
+    rules = select_rules(select, ignore)
+    files = iter_python_files([Path(p) for p in paths])
+    findings: List[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, rules))
+    findings.sort()
+    return findings, len(files)

@@ -1,0 +1,54 @@
+"""Finding records produced by the :mod:`repro.analysis` linter.
+
+A :class:`Finding` pins one rule violation to a file/line/column and
+carries a stable :meth:`~Finding.fingerprint` used by the baseline file
+to grandfather pre-existing violations without freezing line numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Union
+
+__all__ = ["Finding"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def fingerprint(self, line_text: str, occurrence: int = 0) -> str:
+        """Stable identity for baseline matching.
+
+        Hashes the rule code, the (posix-normalised) path, the stripped
+        text of the offending line and an occurrence index — so findings
+        survive unrelated edits that shift line numbers, while two
+        identical violations on different lines stay distinct.
+        """
+        payload = "\x1f".join(
+            [self.code, self.path.replace("\\", "/"), line_text.strip(), str(occurrence)]
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready representation used by the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable rendering (text reporter row)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.rule}] {self.message}"

@@ -1,0 +1,51 @@
+"""Output formatting for :mod:`repro.analysis` lint runs."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from .findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int,
+    grandfathered: int = 0,
+    statistics: bool = False,
+) -> str:
+    """Human-readable report: one row per finding plus a summary line."""
+    rows: List[str] = [finding.render() for finding in findings]
+    if statistics and findings:
+        rows.append("")
+        for code, count in sorted(Counter(f"{f.code} [{f.rule}]" for f in findings).items()):
+            rows.append(f"{count:5d}  {code}")
+    rows.append("")
+    noun = "file" if files_checked == 1 else "files"
+    summary = f"{len(findings)} finding(s) in {files_checked} {noun} checked"
+    if grandfathered:
+        summary += f" ({grandfathered} baselined finding(s) suppressed)"
+    rows.append(summary)
+    return "\n".join(rows).lstrip("\n")
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int,
+    grandfathered: int = 0,
+) -> str:
+    """Machine-readable report: ``{"summary": {...}, "findings": [...]}``."""
+    payload = {
+        "summary": {
+            "files_checked": files_checked,
+            "findings": len(findings),
+            "grandfathered": grandfathered,
+        },
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,121 @@
+"""API-hygiene rule: ``__all__`` must match what the module defines.
+
+``repro`` leans on ``__all__`` for its public surface (the quality-gate
+tests iterate it, and the ``__init__`` re-export chain is how users
+import everything).  A name listed in ``__all__`` that the module never
+defines raises ``AttributeError`` only when someone finally touches it
+— typically in a downstream ``import *`` or a docs build.  This rule
+checks statically that every ``__all__`` entry is a string naming a
+definition, import, or assignment in the module, and that no entry is
+duplicated.
+
+Files using ``from x import *`` are skipped for the undefined-name
+check (the star import may provide anything).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+from typing import Iterator, Optional, Set
+
+from ..findings import Finding
+from .base import FileContext, Rule, register
+
+__all__ = ["AllMismatch"]
+
+
+def _collect_module_names(tree: ast.Module) -> "tuple[Set[str], bool]":
+    """Names bound at module level (recursing into if/try/with, not defs)."""
+    names: Set[str] = set()
+    has_star = False
+
+    def visit_block(statements: Sequence[ast.stmt]) -> None:
+        nonlocal has_star
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(statement.name)
+            elif isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(statement, ast.ImportFrom):
+                for alias in statement.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                for target in targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+            elif isinstance(statement, (ast.If, ast.Try)):
+                for attr in ("body", "orelse", "finalbody"):
+                    visit_block(getattr(statement, attr, []) or [])
+                for handler in getattr(statement, "handlers", []):
+                    visit_block(handler.body)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                visit_block(statement.body)
+            elif isinstance(statement, (ast.For, ast.AsyncFor, ast.While)):
+                visit_block(statement.body)
+                visit_block(statement.orelse)
+
+    visit_block(tree.body)
+    return names, has_star
+
+
+def _find_all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for statement in tree.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return statement
+    return None
+
+
+@register
+class AllMismatch(Rule):
+    """Flag ``__all__`` entries that the module never defines (or repeats)."""
+
+    code = "REPRO501"
+    name = "all-mismatch"
+    summary = "__all__ names something the module does not define, or repeats an entry"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Cross-check ``__all__`` entries against module-level bindings."""
+        assignment = _find_all_assignment(ctx.tree)
+        if assignment is None:
+            return
+        value = assignment.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return  # computed __all__ (concatenation etc.) is out of scope
+        entries = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                yield self.finding(
+                    ctx, element, "__all__ entries must be string literals"
+                )
+                continue
+            entries.append((element, element.value))
+
+        seen: Set[str] = set()
+        defined, has_star = _collect_module_names(ctx.tree)
+        defined.add("__version__")  # dunder assignments are collected anyway
+        for element, name in entries:
+            if name in seen:
+                yield self.finding(ctx, element, f"duplicate __all__ entry {name!r}")
+                continue
+            seen.add(name)
+            if has_star:
+                continue
+            if name not in defined and not name.startswith("__"):
+                yield self.finding(
+                    ctx,
+                    element,
+                    f"__all__ lists {name!r} but the module never defines or imports it",
+                )

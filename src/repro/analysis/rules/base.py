@@ -1,0 +1,114 @@
+"""Rule protocol and registry for the :mod:`repro.analysis` linter.
+
+A rule is a small class with identifying metadata and a ``check``
+method that walks one file's AST and yields findings.  Rules register
+themselves at import time via :func:`register`; the engine and CLI look
+them up through :func:`all_rules` / :func:`resolve_rule`.
+
+Adding a rule
+-------------
+1. Subclass :class:`Rule`, set ``code`` (``REPROxxx``), ``name``
+   (kebab-case; this is what pragmas and ``--select`` use) and
+   ``summary``; implement ``check``.
+2. Decorate the class with ``@register``.
+3. Import the module from :mod:`repro.analysis.rules` so registration
+   runs, and add a fixture case to ``tests/test_repro_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Type
+
+from ..findings import Finding
+
+__all__ = ["FileContext", "Rule", "register", "all_rules", "resolve_rule", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains as a dotted string, else None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    display_path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    module: Optional[str]
+
+    def in_package(self, dotted_prefix: str) -> bool:
+        """Whether this file's resolved module sits under ``dotted_prefix``."""
+        if self.module is None:
+            return False
+        return self.module == dotted_prefix or self.module.startswith(dotted_prefix + ".")
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-indexed physical source line (empty string off the end)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules; subclasses override :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; the base implementation yields none."""
+        return iter(())
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding for ``node`` under this rule."""
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_class`` to the global registry."""
+    rule = rule_class()
+    if not rule.code or not rule.name:
+        raise ValueError(f"rule {rule_class.__name__} must define code and name")
+    for key in (rule.code, rule.name):
+        if key in _REGISTRY:
+            raise ValueError(f"duplicate rule identifier {key!r}")
+    _REGISTRY[rule.code] = rule
+    _REGISTRY[rule.name] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    unique = {id(rule): rule for rule in _REGISTRY.values()}
+    return sorted(unique.values(), key=lambda rule: rule.code)
+
+
+def resolve_rule(identifier: str) -> Optional[Rule]:
+    """Look a rule up by code (``REPRO101``) or name (``no-stdlib-random``)."""
+    return _REGISTRY.get(identifier)

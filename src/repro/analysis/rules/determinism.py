@@ -1,0 +1,156 @@
+"""Determinism rules: every random draw and timestamp must be reproducible.
+
+Bit-identical parallel sweeps (PR 2) and the failure-free fault-layer
+equivalence (PR 1) both assume that *all* randomness flows through
+seeded :class:`numpy.random.Generator` objects threaded as parameters,
+and that no result depends on wall-clock time.  These rules make the
+assumption machine-checked:
+
+* ``no-stdlib-random`` — the :mod:`random` module is process-global and
+  unseeded by default; importing it anywhere in the simulation is an
+  error.
+* ``numpy-global-rng`` — legacy ``np.random.*`` free functions
+  (``seed``, ``rand``, ``normal``, ...) mutate the hidden global
+  ``RandomState``; only the explicit ``Generator`` construction API
+  (``default_rng``, ``SeedSequence``, bit generators) is allowed.
+* ``wall-clock-call`` — ``time.time()`` / ``datetime.now()`` family
+  calls make results depend on when the run happened.  Monotonic timers
+  (``time.perf_counter``) remain allowed: they measure durations for
+  perf instrumentation and never feed back into results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import FileContext, Rule, dotted_name, register
+
+__all__ = ["NoStdlibRandom", "NumpyGlobalRng", "WallClockCall"]
+
+#: ``np.random`` attributes that construct explicit, seedable generators
+#: rather than touching the hidden module-level ``RandomState``.
+_GENERATOR_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Wall-clock entry points whose return value depends on the current time.
+_WALL_CLOCK = frozenset({"time.time", "time.time_ns", "time.ctime", "time.localtime"})
+_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class NoStdlibRandom(Rule):
+    """Forbid the process-global :mod:`random` module entirely."""
+
+    code = "REPRO101"
+    name = "no-stdlib-random"
+    summary = "stdlib `random` is global, unseeded state; use numpy Generator parameters"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``import random`` / ``from random import ...`` statements."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib `random` relies on hidden global state; thread a "
+                            "seeded numpy.random.Generator parameter instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "importing from stdlib `random` breaks seeded reproducibility; "
+                        "use a numpy.random.Generator parameter",
+                    )
+
+
+@register
+class NumpyGlobalRng(Rule):
+    """Forbid legacy ``np.random.*`` global-state calls."""
+
+    code = "REPRO102"
+    name = "numpy-global-rng"
+    summary = "legacy np.random.* free functions mutate the hidden global RandomState"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``np.random.<legacy>`` attribute references and imports."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _GENERATOR_API
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{dotted}` uses numpy's hidden global RandomState; construct "
+                        "an explicit generator with np.random.default_rng(seed) and "
+                        "thread it as a parameter",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name != "*" and alias.name not in _GENERATOR_API:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`from numpy.random import {alias.name}` pulls in the "
+                            "legacy global-state API; import default_rng instead",
+                        )
+
+
+@register
+class WallClockCall(Rule):
+    """Forbid wall-clock reads whose value depends on when the run happened."""
+
+    code = "REPRO103"
+    name = "wall-clock-call"
+    summary = "time.time()/datetime.now() make outputs depend on wall-clock time"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``time.time()``-family and ``datetime.now()``-family calls."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{dotted}()` reads the wall clock; results must not depend on "
+                    "when the run happened (time.perf_counter is fine for durations)",
+                )
+                continue
+            parts = dotted.split(".")
+            if parts[-1] in _DATETIME_METHODS and (
+                "datetime" in parts[:-1] or parts[0] in ("datetime", "date")
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{dotted}()` reads the wall clock; pass timestamps in "
+                    "explicitly so runs stay reproducible",
+                )

@@ -1,0 +1,116 @@
+"""Numerical-safety rules: float equality, mutable defaults, bare except.
+
+* ``float-equality`` — ``==`` / ``!=`` against a float literal is almost
+  always wrong on computed values (use ``math.isclose`` /
+  ``np.isclose`` or the snapping helpers in :mod:`repro._validation`).
+  The ``repro._validation`` module itself is exempt: its tolerance
+  helpers compare *snapped* values by design.
+* ``mutable-default-arg`` — a ``list``/``dict``/``set`` default is
+  evaluated once at definition time and shared across calls; use
+  ``None`` and construct inside the body.
+* ``no-bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides real failures; catch a concrete exception
+  type (or at minimum ``Exception``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import FileContext, Rule, register
+
+__all__ = ["FloatEquality", "MutableDefaultArg", "NoBareExcept"]
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEquality(Rule):
+    """Flag exact ``==`` / ``!=`` comparisons against float literals."""
+
+    code = "REPRO301"
+    name = "float-equality"
+    summary = "exact float ==/!= on computed values; use isclose or tolerance helpers"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag Compare nodes mixing Eq/NotEq with a float-literal operand."""
+        if ctx.module == "repro._validation":
+            return  # the tolerance helpers compare snapped values by design
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact float comparison; use math.isclose/np.isclose or the "
+                        "repro._validation snapping helpers (pragma if the operand "
+                        "is a user-set constant, not a computed value)",
+                    )
+                    break
+
+
+@register
+class MutableDefaultArg(Rule):
+    """Flag mutable default argument values."""
+
+    code = "REPRO302"
+    name = "mutable-default-arg"
+    summary = "list/dict/set defaults are shared across calls"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag list/dict/set literals (or constructor calls) as defaults."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default in `{node.name}(...)` is evaluated once and "
+                        "shared across calls; default to None and build it in the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "bytearray")
+        )
+
+
+@register
+class NoBareExcept(Rule):
+    """Flag bare ``except:`` handlers."""
+
+    code = "REPRO303"
+    name = "no-bare-except"
+    summary = "bare except swallows KeyboardInterrupt/SystemExit and hides bugs"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ExceptHandler nodes with no exception type."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` catches KeyboardInterrupt/SystemExit too; name "
+                    "the exception type (at minimum `except Exception:`)",
+                )

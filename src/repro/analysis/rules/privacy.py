@@ -1,0 +1,69 @@
+"""Privacy-provenance rule: DP noise must originate in :mod:`repro.privacy`.
+
+Theorem 4's epsilon-DP guarantee is an accounting argument: every noisy
+release is produced by a mechanism object that registers its epsilon
+spend with the :class:`~repro.privacy.PrivacyAccountant`.  A stray
+``rng.laplace(...)`` in solver or experiment code would perturb data
+*without* appearing in the accountant's ledger, silently invalidating
+the reported privacy budget.  This rule flags any noise-distribution
+draw outside the ``repro.privacy`` package, where the mechanisms
+themselves legitimately sample.
+
+Non-DP uses of these distributions (e.g. exponential inter-arrival
+times in the asynchronous event simulator) are expected to carry a
+``# repro-lint: disable=noise-outside-privacy`` pragma with a one-line
+justification explaining why the draw is not a privacy release.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import FileContext, Rule, dotted_name, register
+
+__all__ = ["NoiseOutsidePrivacy"]
+
+#: Distribution methods used by DP mechanisms (Laplace, Gaussian,
+#: exponential/Gumbel tricks for the exponential mechanism).
+_NOISE_METHODS = frozenset(
+    {
+        "laplace",
+        "normal",
+        "standard_normal",
+        "multivariate_normal",
+        "exponential",
+        "standard_exponential",
+        "gumbel",
+        "lognormal",
+    }
+)
+
+
+@register
+class NoiseOutsidePrivacy(Rule):
+    """Flag noise-distribution draws outside the ``repro.privacy`` package."""
+
+    code = "REPRO201"
+    name = "noise-outside-privacy"
+    summary = "noise draws outside repro.privacy bypass the DP accountant"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``<rng>.laplace/normal/exponential/...`` calls."""
+        if ctx.in_package("repro.privacy"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _NOISE_METHODS:
+                continue
+            dotted = dotted_name(func) or f"<expr>.{func.attr}"
+            yield self.finding(
+                ctx,
+                node,
+                f"`{dotted}(...)` draws {func.attr} noise outside repro.privacy; "
+                "DP noise must come from a repro.privacy mechanism so the "
+                "accountant sees it (non-DP draws need a pragma + justification)",
+            )

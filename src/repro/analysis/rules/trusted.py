@@ -1,0 +1,132 @@
+"""Trusted-path hygiene: no-validation fast paths need a validating caller.
+
+PR 2 introduced documented no-validation entry points — calls that pass
+``validate=False`` (e.g. the fractional-knapsack trusted path and
+``residual_caps``) on the contract that *the caller* validated the
+arrays at the API boundary.  This rule closes the loop statically: any
+function that invokes a ``validate=False`` entry point must either
+
+* itself call a :mod:`repro._validation` helper (``as_float_array``,
+  ``as_binary_array``, ``check_*``, ``require``, ...) or an obvious
+  validator (``validate*`` / ``_validate*`` / ``*._check_*``) somewhere
+  in its enclosing function chain, or
+* carry an explicit ``# repro-lint: disable=unvalidated-trusted-call``
+  pragma with a one-line justification.
+
+The check is scope-aware: a nested closure inherits its enclosing
+function's validation (the Algorithm 1 oracles validate once in
+``solve_subproblem`` and trust the arrays for the whole dual ascent).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from ..findings import Finding
+from .base import FileContext, Rule, dotted_name, register
+
+__all__ = ["UnvalidatedTrustedCall"]
+
+#: Helper names exported by ``repro._validation`` (plus the private
+#: ``ProblemInstance._check_sbs`` convention) that count as validating.
+_VALIDATION_HELPERS = frozenset(
+    {
+        "as_float_array",
+        "as_binary_array",
+        "as_probability_array",
+        "check_positive_int",
+        "check_nonnegative_float",
+        "check_in_interval",
+        "require",
+    }
+)
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_validation_call(node: ast.Call) -> bool:
+    func = node.func
+    name: Optional[str] = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+        dotted = dotted_name(func)
+        if dotted is not None and "_validation." in dotted:
+            return True
+    if name is None:
+        return False
+    if name in _VALIDATION_HELPERS:
+        return True
+    return name.startswith(("validate", "_validate", "_check_"))
+
+
+@register
+class UnvalidatedTrustedCall(Rule):
+    """Flag ``validate=False`` calls whose enclosing scope never validates."""
+
+    code = "REPRO401"
+    name = "unvalidated-trusted-call"
+    summary = "validate=False fast path without a validating caller in scope"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag trusted-path calls with no validation in the scope chain."""
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+
+        validated_scopes = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_validation_call(node):
+                scope = self._enclosing_function(node, parents)
+                validated_scopes.add(id(scope))  # scope is None at module level
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not any(
+                keyword.arg == "validate"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+                for keyword in node.keywords
+            ):
+                continue
+            if _is_validation_call(node):
+                continue  # the validator's own pass-through branch
+            if any(
+                id(scope) in validated_scopes
+                for scope in self._scope_chain(node, parents)
+            ):
+                continue
+            target = dotted_name(node.func) or "<call>"
+            yield self.finding(
+                ctx,
+                node,
+                f"`{target}(..., validate=False)` skips input validation but no "
+                "repro._validation helper runs in the enclosing scope; validate at "
+                "the boundary or add a pragma with a justification",
+            )
+
+    @staticmethod
+    def _enclosing_function(
+        node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[ast.AST]:
+        current = parents.get(node)
+        while current is not None and not isinstance(current, _FunctionNode):
+            current = parents.get(current)
+        return current
+
+    @classmethod
+    def _scope_chain(
+        cls, node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> List[Optional[ast.AST]]:
+        """Enclosing functions from innermost outward, ending at module (None)."""
+        chain: List[Optional[ast.AST]] = []
+        current: Optional[ast.AST] = cls._enclosing_function(node, parents)
+        while current is not None:
+            chain.append(current)
+            current = cls._enclosing_function(current, parents)
+        chain.append(None)
+        return chain

@@ -10,7 +10,6 @@ popular items instead of diversifying.
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 

@@ -33,7 +33,7 @@ shape as the optimizing schemes, so costs are directly comparable.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 

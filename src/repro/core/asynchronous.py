@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .._validation import check_nonnegative_float, check_positive_int, rng_from
+from .._validation import check_nonnegative_float, rng_from
 from ..exceptions import ValidationError
 from ..network.eventsim import EventScheduler
 from ..privacy.factory import MechanismConfig, build_mechanism
@@ -165,6 +165,7 @@ def solve_asynchronous(
     def delay(mean: float) -> float:
         if mean <= 0:
             return 0.0
+        # repro-lint: disable=noise-outside-privacy -- message-delay jitter for the event sim, not a DP release
         return float(generator.exponential(mean))
 
     def node_crashed(sbs: int) -> bool:

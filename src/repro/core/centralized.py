@@ -21,11 +21,10 @@ matches :func:`solve_exact` on small instances).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from ..exceptions import ValidationError
 from ..solvers.branch_and_bound import solve_mixed_binary_lp
 from ..solvers.lp import solve_lp
 from .cost import total_cost

@@ -10,7 +10,7 @@ report convergence speed.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

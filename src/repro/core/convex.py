@@ -23,12 +23,12 @@ test suite, along with a cross-check against ``scipy.optimize``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from .._validation import as_binary_array, as_float_array, check_nonnegative_float
-from ..exceptions import SolverError, ValidationError
+from ..exceptions import ValidationError
 from ..solvers.projection import project_capped_simplex
 from .cost import bs_serving_cost, sbs_serving_cost
 from .problem import ProblemInstance

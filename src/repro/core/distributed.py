@@ -40,7 +40,7 @@ from ..network.faults import FaultConfig, FaultyChannel
 from ..network.messaging import Channel, Message, MessageKind
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.factory import MechanismConfig, build_mechanism
-from ..privacy.mechanism import LaplacePrivacyMechanism, LPPMConfig
+from ..privacy.mechanism import LaplacePrivacyMechanism
 from .convergence import CostHistory, PhaseRecord
 from .cost import total_cost
 from .problem import ProblemInstance

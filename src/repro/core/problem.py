@@ -17,7 +17,7 @@ arrays (savings weights, per-SBS reach) are computed once and cached.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 

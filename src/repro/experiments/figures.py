@@ -24,7 +24,7 @@ Paper reference values (captions and prose of Section V):
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

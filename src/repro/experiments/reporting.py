@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
 
 from .runner import SweepResult, average_gap
 

@@ -23,7 +23,6 @@ from ..core.centralized import solve_centralized
 from ..core.distributed import DistributedConfig, solve_distributed
 from ..core.problem import ProblemInstance
 from ..core.solution import Solution
-from ..exceptions import ValidationError
 from ..network.faults import FaultConfig
 from ..privacy.mechanism import LPPMConfig
 

@@ -14,7 +14,6 @@ import dataclasses
 import time
 from typing import List, Optional
 
-import numpy as np
 
 from ..core.centralized import solve_centralized
 from ..core.distributed import DistributedConfig, solve_distributed

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Tuple
 
 from .._validation import check_nonnegative_float
 from ..exceptions import ValidationError

@@ -26,7 +26,7 @@ orchestrator via :meth:`FaultyChannel.set_time`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -70,6 +70,7 @@ class LinkFaultProfile:
     @property
     def is_quiet(self) -> bool:
         """True when this profile never perturbs a delivery."""
+        # repro-lint: disable=float-equality -- rates are user-set constants; exact 0.0 means "feature off"
         return self.drop == self.duplicate == self.delay == self.reorder == 0.0
 
 

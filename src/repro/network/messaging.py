@@ -25,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Tuple
 
 import numpy as np
 

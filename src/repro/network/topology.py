@@ -19,7 +19,7 @@ SBS transmission parameter ``d[n, u] = 1`` and draws the BS parameter
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -75,7 +75,7 @@ class Timer:
     def __enter__(self) -> "Timer":
         return self.start()
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self.stop()
         return False
 

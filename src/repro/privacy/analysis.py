@@ -18,7 +18,7 @@ inverse FFT), with a vectorized Monte Carlo estimator as cross-check.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

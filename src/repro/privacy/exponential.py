@@ -21,7 +21,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from .._validation import rng_from
+from .._validation import ArrayLike, rng_from
 from ..core.problem import ProblemInstance
 from ..exceptions import PrivacyError, ValidationError
 
@@ -29,7 +29,7 @@ __all__ = ["exponential_mechanism", "private_cache_selection"]
 
 
 def exponential_mechanism(
-    scores,
+    scores: ArrayLike,
     epsilon: float,
     sensitivity: float = 1.0,
     *,

@@ -25,7 +25,7 @@ MechanismConfig = Union[LPPMConfig, GaussianPPMConfig]
 def build_mechanism(
     config: MechanismConfig,
     rng: Union[int, np.random.Generator, None] = None,
-):
+) -> Union[LaplacePrivacyMechanism, GaussianPrivacyMechanism]:
     """Instantiate the mechanism matching a config dataclass."""
     if isinstance(config, LPPMConfig):
         return LaplacePrivacyMechanism(config, rng=rng)

@@ -28,8 +28,9 @@ from typing import Union
 import numpy as np
 from scipy import special
 
-from .._validation import rng_from
+from .._validation import ArrayLike, rng_from
 from ..exceptions import PrivacyError
+from .laplace import SampleShape
 from .mechanism import PerturbationRecord
 
 __all__ = ["BoundedGaussian", "GaussianPPMConfig", "GaussianPrivacyMechanism", "gaussian_sigma"]
@@ -59,7 +60,7 @@ class BoundedGaussian:
     Laplace; zero-width intervals are degenerate point masses.
     """
 
-    def __init__(self, sigma: float, lower, upper) -> None:
+    def __init__(self, sigma: float, lower: ArrayLike, upper: ArrayLike) -> None:
         if sigma <= 0:
             raise PrivacyError(f"sigma must be positive, got {sigma}")
         lower = np.asarray(lower, dtype=np.float64)
@@ -87,7 +88,7 @@ class BoundedGaussian:
     def sigma(self) -> float:
         return self._sigma
 
-    def pdf(self, r) -> np.ndarray:
+    def pdf(self, r: ArrayLike) -> np.ndarray:
         """Truncated-Gaussian density (zero outside the interval)."""
         r = np.asarray(r, dtype=np.float64)
         base = np.exp(-0.5 * (r / self._sigma) ** 2) / (
@@ -97,7 +98,7 @@ class BoundedGaussian:
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(inside, base / np.where(self._mass > 0, self._mass, 1.0), 0.0)
 
-    def cdf(self, r) -> np.ndarray:
+    def cdf(self, r: ArrayLike) -> np.ndarray:
         """Cumulative distribution function on the truncated support."""
         r = np.asarray(r, dtype=np.float64)
         clipped = np.clip(r, self._lower, self._upper)
@@ -110,7 +111,7 @@ class BoundedGaussian:
             )
         return np.where(r < self._lower, 0.0, np.where(r >= self._upper, 1.0, value))
 
-    def ppf(self, q) -> np.ndarray:
+    def ppf(self, q: ArrayLike) -> np.ndarray:
         """Inverse cdf via the error function; basis of :meth:`sample`."""
         q = np.asarray(q, dtype=np.float64)
         if np.any((q < 0) | (q > 1)):
@@ -120,7 +121,9 @@ class BoundedGaussian:
         value = np.clip(value, self._lower, self._upper)
         return np.where(self._degenerate, self._lower, value)
 
-    def sample(self, size=None, rng: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+    def sample(
+        self, size: SampleShape = None, rng: Union[int, np.random.Generator, None] = None
+    ) -> np.ndarray:
         """Draw samples by inverse-cdf transform."""
         generator = rng_from(rng)
         shape = self._lower.shape if size is None else size

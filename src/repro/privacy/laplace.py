@@ -19,17 +19,20 @@ unbounded distribution, kept for baselines and tests.
 from __future__ import annotations
 
 import dataclasses
-from typing import Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .._validation import rng_from, trapezoid
+from .._validation import ArrayLike, rng_from, trapezoid
 from ..exceptions import PrivacyError
 
 __all__ = ["Laplace", "BoundedLaplace", "bounded_laplace_normalizer"]
 
+#: Sample-shape argument accepted by the ``sample`` methods.
+SampleShape = Optional[Union[int, Tuple[int, ...]]]
 
-def bounded_laplace_normalizer(beta: float, lower, upper) -> np.ndarray:
+
+def bounded_laplace_normalizer(beta: float, lower: ArrayLike, upper: ArrayLike) -> np.ndarray:
     """The normalization constant ``alpha(beta)`` of Eq. 28.
 
     ``alpha = integral_{lower}^{upper} (1/(2 beta)) exp(-|r|/beta) dr``,
@@ -62,12 +65,12 @@ class Laplace:
         if self.beta <= 0:
             raise PrivacyError(f"beta must be positive, got {self.beta}")
 
-    def pdf(self, r) -> np.ndarray:
+    def pdf(self, r: ArrayLike) -> np.ndarray:
         """Laplace density ``exp(-|r|/beta) / (2 beta)``."""
         r = np.asarray(r, dtype=np.float64)
         return np.exp(-np.abs(r) / self.beta) / (2.0 * self.beta)
 
-    def cdf(self, r) -> np.ndarray:
+    def cdf(self, r: ArrayLike) -> np.ndarray:
         """Cumulative distribution function."""
         r = np.asarray(r, dtype=np.float64)
         return np.where(
@@ -76,10 +79,12 @@ class Laplace:
             1.0 - 0.5 * np.exp(-r / self.beta),
         )
 
-    def sample(self, size=None, rng: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+    def sample(
+        self, size: SampleShape = None, rng: Union[int, np.random.Generator, None] = None
+    ) -> np.ndarray:
         """Draw samples from the distribution."""
         generator = rng_from(rng)
-        return generator.laplace(loc=0.0, scale=self.beta, size=size)
+        return generator.laplace(loc=0.0, scale=self.beta, size=size)  # type: ignore
 
     def mean(self) -> float:
         """The distribution's mean (zero)."""
@@ -99,7 +104,7 @@ class BoundedLaplace:
     (no routing means nothing to perturb).
     """
 
-    def __init__(self, beta: float, lower, upper) -> None:
+    def __init__(self, beta: float, lower: ArrayLike, upper: ArrayLike) -> None:
         if beta <= 0:
             raise PrivacyError(f"beta must be positive, got {beta}")
         lower = np.asarray(lower, dtype=np.float64)
@@ -131,7 +136,7 @@ class BoundedLaplace:
         return self._alpha
 
     # ------------------------------------------------------------------
-    def pdf(self, r) -> np.ndarray:
+    def pdf(self, r: ArrayLike) -> np.ndarray:
         """Density of Eq. 28 (zero outside the interval)."""
         r = np.asarray(r, dtype=np.float64)
         base = np.exp(-np.abs(r) / self._beta) / (2.0 * self._beta)
@@ -140,7 +145,7 @@ class BoundedLaplace:
             density = np.where(inside, base / self._alpha, 0.0)
         return density
 
-    def cdf(self, r) -> np.ndarray:
+    def cdf(self, r: ArrayLike) -> np.ndarray:
         """Cumulative distribution function on the truncated support."""
         r = np.asarray(r, dtype=np.float64)
         clipped = np.clip(r, self._lower, self._upper)
@@ -149,7 +154,7 @@ class BoundedLaplace:
             value = np.where(self._degenerate, np.where(r >= self._lower, 1.0, 0.0), partial / np.where(self._alpha > 0, self._alpha, 1.0))
         return np.where(r < self._lower, 0.0, np.where(r >= self._upper, 1.0, value))
 
-    def ppf(self, q) -> np.ndarray:
+    def ppf(self, q: ArrayLike) -> np.ndarray:
         """Inverse cdf; the basis of :meth:`sample`.
 
         Works by inverting the unnormalized Laplace cdf on the interval:
@@ -176,7 +181,9 @@ class BoundedLaplace:
         value = np.clip(value, self._lower, self._upper)
         return np.where(self._degenerate, self._lower, value)
 
-    def sample(self, size=None, rng: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+    def sample(
+        self, size: SampleShape = None, rng: Union[int, np.random.Generator, None] = None
+    ) -> np.ndarray:
         """Draw samples via inverse-cdf; shape follows the broadcast bounds."""
         generator = rng_from(rng)
         shape = self._lower.shape if size is None else size

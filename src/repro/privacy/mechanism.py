@@ -23,11 +23,11 @@ privacy comes from (Section IV-B).  Key properties encoded here:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
-from .._validation import check_in_interval, rng_from
+from .._validation import rng_from
 from ..exceptions import PrivacyError
 from .laplace import BoundedLaplace
 from .sensitivity import beta_for_epsilon

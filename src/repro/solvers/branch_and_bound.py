@@ -22,8 +22,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._validation import ArrayLike
 from ..exceptions import InfeasibleError, SolverError, ValidationError
-from .lp import solve_lp
+from .lp import LPResult, solve_lp
 
 __all__ = ["MILPResult", "solve_mixed_binary_lp"]
 
@@ -41,13 +42,13 @@ class MILPResult:
 
 
 def _solve_node(
-    c,
-    a_ub,
-    b_ub,
-    upper,
+    c: np.ndarray,
+    a_ub: Optional[ArrayLike],
+    b_ub: Optional[ArrayLike],
+    upper: np.ndarray,
     fixings: Tuple[Tuple[int, float], ...],
     backend: str,
-):
+) -> LPResult:
     """Solve the LP relaxation with the given variable fixings."""
     n = len(c)
     if fixings:
@@ -63,11 +64,11 @@ def _solve_node(
 
 
 def solve_mixed_binary_lp(
-    c,
-    a_ub,
-    b_ub,
+    c: ArrayLike,
+    a_ub: Optional[ArrayLike],
+    b_ub: Optional[ArrayLike],
     binary_indices: Sequence[int],
-    upper=None,
+    upper: Optional[ArrayLike] = None,
     *,
     backend: str = "auto",
     max_nodes: int = 10_000,

@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from .. import perf
+from .._validation import ArrayLike
 from ..exceptions import ValidationError
 
 __all__ = ["KnapsackResult", "solve_fractional_knapsack", "maximize_fractional_knapsack"]
@@ -50,7 +51,12 @@ class _Checked:
     budget: float
 
 
-def _validate(costs, weights, caps, budget) -> _Checked:
+def _validate(
+    costs: ArrayLike,
+    weights: ArrayLike,
+    caps: Optional[ArrayLike],
+    budget: float,
+) -> _Checked:
     costs = np.asarray(costs, dtype=np.float64).ravel()
     weights = np.asarray(weights, dtype=np.float64).ravel()
     if caps is None:
@@ -75,8 +81,8 @@ def _validate(costs, weights, caps, budget) -> _Checked:
 
 
 def solve_fractional_knapsack(
-    costs,
-    weights,
+    costs: ArrayLike,
+    weights: ArrayLike,
     budget: float,
     caps: Optional[np.ndarray] = None,
     *,
@@ -127,8 +133,8 @@ def solve_fractional_knapsack(
 
 
 def maximize_fractional_knapsack(
-    values,
-    weights,
+    values: ArrayLike,
+    weights: ArrayLike,
     budget: float,
     caps: Optional[np.ndarray] = None,
 ) -> KnapsackResult:

@@ -22,7 +22,7 @@ and the test suite cross-checks them on random instances.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from ..exceptions import InfeasibleError, SolverError, UnboundedError, Validatio
 from .simplex import simplex_solve
 
 __all__ = ["LPResult", "solve_lp"]
+
+#: Constraint-matrix input: dense array-like or scipy sparse matrix.
+MatrixLike = Any
 
 _BACKENDS = ("simplex", "scipy", "auto")
 
@@ -49,12 +52,12 @@ class LPResult:
 
 
 def solve_lp(
-    c,
-    a_ub=None,
-    b_ub=None,
-    a_eq=None,
-    b_eq=None,
-    upper=None,
+    c: MatrixLike,
+    a_ub: Optional[MatrixLike] = None,
+    b_ub: Optional[MatrixLike] = None,
+    a_eq: Optional[MatrixLike] = None,
+    b_eq: Optional[MatrixLike] = None,
+    upper: Optional[MatrixLike] = None,
     *,
     backend: str = "auto",
 ) -> LPResult:
@@ -88,7 +91,14 @@ def solve_lp(
     return _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, upper)
 
 
-def _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, upper) -> LPResult:
+def _solve_with_scipy(
+    c: np.ndarray,
+    a_ub: Optional[MatrixLike],
+    b_ub: Optional[MatrixLike],
+    a_eq: Optional[MatrixLike],
+    b_eq: Optional[MatrixLike],
+    upper: Optional[MatrixLike],
+) -> LPResult:
     from scipy.optimize import linprog
 
     n = c.size

@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from .._validation import ArrayLike
 from ..exceptions import ValidationError
 
 __all__ = [
@@ -27,7 +28,7 @@ def project_nonnegative(point: np.ndarray) -> np.ndarray:
     return np.maximum(np.asarray(point, dtype=np.float64), 0.0)
 
 
-def project_box(point: np.ndarray, low, high) -> np.ndarray:
+def project_box(point: np.ndarray, low: ArrayLike, high: ArrayLike) -> np.ndarray:
     """Projection onto the box ``{z : low <= z <= high}`` (elementwise)."""
     point = np.asarray(point, dtype=np.float64)
     low = np.broadcast_to(np.asarray(low, dtype=np.float64), point.shape)

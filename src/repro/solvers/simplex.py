@@ -21,9 +21,11 @@ test suite.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
+
+from .._validation import ArrayLike
 
 from ..exceptions import InfeasibleError, SolverError, UnboundedError, ValidationError
 
@@ -41,12 +43,18 @@ class SimplexResult:
     iterations: int
 
 
-def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, upper):
+def _to_standard_form(
+    c: ArrayLike,
+    a_ub: Optional[ArrayLike],
+    b_ub: Optional[ArrayLike],
+    a_eq: Optional[ArrayLike],
+    b_eq: Optional[ArrayLike],
+    upper: Optional[ArrayLike],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Return (c, A, b) for ``min c@z s.t. A z = b, z >= 0``."""
     c = np.asarray(c, dtype=np.float64).ravel()
     n = c.size
     rows = []
-    rhs = []
     if a_ub is not None:
         a_ub = np.asarray(a_ub, dtype=np.float64)
         b_ub = np.asarray(b_ub, dtype=np.float64).ravel()
@@ -138,12 +146,12 @@ def _run_simplex(tableau: np.ndarray, basis: np.ndarray, num_cols: int, max_iter
 
 
 def simplex_solve(
-    c,
-    a_ub=None,
-    b_ub=None,
-    a_eq=None,
-    b_eq=None,
-    upper=None,
+    c: ArrayLike,
+    a_ub: Optional[ArrayLike] = None,
+    b_ub: Optional[ArrayLike] = None,
+    a_eq: Optional[ArrayLike] = None,
+    b_eq: Optional[ArrayLike] = None,
+    upper: Optional[ArrayLike] = None,
     *,
     max_iter: int = 50_000,
 ) -> SimplexResult:

@@ -9,11 +9,11 @@ levels (bigger crowds request more), useful for ablations.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
-from .._validation import as_float_array, check_positive_int, rng_from
+from .._validation import as_float_array, rng_from
 from ..exceptions import ValidationError
 
 __all__ = ["assign_requests", "assign_requests_weighted"]

@@ -20,7 +20,7 @@ remain comparable.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Union
+from typing import List, Union
 
 import numpy as np
 
@@ -71,6 +71,7 @@ def evolve_demand(
 
     # Mean-revert towards the anchor, then shock per file.
     evolved = config.decay * demand + (1.0 - config.decay) * anchor
+    # repro-lint: disable=noise-outside-privacy -- synthetic workload drift, not a DP release
     shocks = generator.lognormal(mean=0.0, sigma=config.drift, size=demand.shape[1])
     evolved = evolved * shocks[np.newaxis, :]
 

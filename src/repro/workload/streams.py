@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Iterator, List, Tuple, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 

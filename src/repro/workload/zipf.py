@@ -51,6 +51,7 @@ def zipf_counts(
     counts = popularity / popularity[0] * float(head_count)
     if jitter > 0:
         generator = rng_from(rng)
+        # repro-lint: disable=noise-outside-privacy -- popularity jitter for synthetic traces, not a DP release
         noise = generator.lognormal(mean=0.0, sigma=jitter, size=num_items)
         counts = counts * noise
         # Keep the head pinned and the ordering recognisably heavy-tailed.

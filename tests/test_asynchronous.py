@@ -1,6 +1,5 @@
 """Tests for the event scheduler and the asynchronous optimizer."""
 
-import numpy as np
 import pytest
 
 from repro.core.asynchronous import AsyncConfig, solve_asynchronous

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import PrivacyError, ValidationError
-from repro.privacy.audit import AuditResult, audit_mechanism, estimate_epsilon
+from repro.privacy.audit import audit_mechanism, estimate_epsilon
 from repro.privacy.gaussian import GaussianPPMConfig, GaussianPrivacyMechanism
 from repro.privacy.mechanism import LaplacePrivacyMechanism, LPPMConfig
 

@@ -6,9 +6,7 @@ import pytest
 from repro.baselines.greedy import popularity_caching, solve_greedy
 from repro.baselines.lrfu_scheme import LRFUSchemeConfig, solve_lrfu
 from repro.baselines.routing_policies import greedy_routing, proportional_routing
-from repro.core.cost import total_cost
 from repro.core.distributed import solve_distributed
-from repro.core.solution import Solution
 from repro.exceptions import ValidationError
 
 

@@ -2,12 +2,10 @@
 
 import numpy as np
 import pytest
-from scipy import optimize
 
 from repro.core.convex import CongestionCostModel, solve_convex_routing
 from repro.core.cost import LinearCostModel
 from repro.core.routing import optimal_routing_for_sbs, residual_caps
-from repro.exceptions import ValidationError
 
 
 class TestCongestionCostModel:

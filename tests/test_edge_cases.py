@@ -1,6 +1,5 @@
 """Edge-case and failure-injection tests across the stack."""
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -14,7 +13,7 @@ from repro.core.distributed import (
 )
 from repro.core.problem import ProblemInstance
 from repro.core.solution import Solution
-from repro.exceptions import ProtocolError, ValidationError
+from repro.exceptions import ProtocolError
 from repro.experiments.runner import run_sweep
 from repro.network.messaging import Channel, Message, MessageKind
 

@@ -11,7 +11,6 @@ import pytest
 from repro.attacks.reconstruction import run_eavesdropper_experiment
 from repro.core.centralized import solve_centralized, solve_exact
 from repro.core.distributed import DistributedConfig, solve_distributed
-from repro.core.solution import Solution
 from repro.experiments.config import ScenarioConfig, build_problem
 from repro.experiments.schemes import run_lppm, run_lrfu, run_optimum
 from repro.privacy.mechanism import LPPMConfig

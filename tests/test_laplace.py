@@ -162,7 +162,6 @@ class TestBoundedLaplace:
         ratio, bounded the same way)."""
         beta = 2.0
         delta_input = 1.0
-        d1 = BoundedLaplace(beta, 0.0, 1.0)
         # A shifted mechanism output corresponds to the density evaluated
         # at r vs r - delta_input.
         grid = np.linspace(0.0, 1.0, 51)

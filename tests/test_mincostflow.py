@@ -70,7 +70,7 @@ class TestSimpleFlows:
         network = FlowNetwork(4)
         network.add_arc(0, 1, 1.0, 1.0)
         network.add_arc(0, 2, 1.0, 2.0)
-        middle = network.add_arc(1, 2, 1.0, -2.0)
+        network.add_arc(1, 2, 1.0, -2.0)
         network.add_arc(1, 3, 1.0, 3.0)
         network.add_arc(2, 3, 1.0, 1.0)
         result = min_cost_flow(network, 0, 3)

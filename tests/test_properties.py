@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.cost import total_cost
 from repro.core.problem import ProblemInstance
-from repro.core.routing import optimal_routing_for_cache, optimal_routing_for_sbs, residual_caps
+from repro.core.routing import optimal_routing_for_cache, residual_caps
 from repro.core.solution import Solution
 from repro.core.subproblem import solve_subproblem
 from repro.privacy.laplace import BoundedLaplace

@@ -4,7 +4,6 @@ import importlib
 import inspect
 import pkgutil
 
-import numpy as np
 import pytest
 
 import repro

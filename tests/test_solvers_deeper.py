@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from scipy.optimize import linprog
 
-from repro.exceptions import InfeasibleError, ValidationError
+from repro.exceptions import ValidationError
 from repro.solvers.branch_and_bound import solve_mixed_binary_lp
 from repro.solvers.fractional_knapsack import solve_fractional_knapsack
 from repro.solvers.projection import project_capped_simplex

@@ -143,3 +143,182 @@ class TestRngFrom:
 
     def test_none_gives_generator(self):
         assert isinstance(rng_from(None), np.random.Generator)
+
+
+class TestAsFloatArrayEdges:
+    """Edge cases: exotic dtypes, degenerate shapes, mixed non-finite."""
+
+    def test_rejects_string_dtype(self):
+        with pytest.raises(ValidationError, match="not convertible"):
+            as_float_array(np.array(["a", "b"]), "x")
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(ValidationError, match="not convertible"):
+            as_float_array(np.array([object(), object()]), "x")
+
+    def test_rejects_complex_dtype(self):
+        with pytest.raises(ValidationError, match="real-valued"):
+            as_float_array(np.array([1 + 2j]), "x")
+
+    def test_rejects_complex_list(self):
+        with pytest.raises(ValidationError, match="real-valued"):
+            as_float_array([1 + 0j], "x")
+
+    def test_accepts_integer_dtype_and_upcasts(self):
+        out = as_float_array(np.array([1, 2], dtype=np.int32), "x")
+        assert out.dtype == np.float64
+
+    def test_zero_dim_scalar(self):
+        out = as_float_array(3.5, "x")
+        assert out.shape == () and out == 3.5
+
+    def test_empty_array_passes_elementwise_checks(self):
+        out = as_float_array([], "x", nonnegative=True, positive=True)
+        assert out.size == 0
+
+    def test_shape_and_ndim_together(self):
+        out = as_float_array([[1.0, 2.0]], "x", shape=(1, 2), ndim=2)
+        assert out.shape == (1, 2)
+
+    def test_ndim_checked_after_shape(self):
+        with pytest.raises(ValidationError, match="shape"):
+            as_float_array([1.0, 2.0], "x", shape=(3,), ndim=1)
+
+    def test_negative_zero_is_nonnegative(self):
+        out = as_float_array([-0.0], "x", nonnegative=True)
+        assert out[0] == 0.0
+
+    def test_negative_zero_not_positive(self):
+        with pytest.raises(ValidationError, match="strictly positive"):
+            as_float_array([-0.0], "x", positive=True)
+
+    def test_mixed_nan_and_inf(self):
+        with pytest.raises(ValidationError, match="finite"):
+            as_float_array([1.0, np.nan, np.inf], "x")
+
+    def test_nan_rejected_even_when_infinite_allowed_checks_positive(self):
+        # finite=False skips the finiteness gate entirely; NaN then fails
+        # the sign check (NaN comparisons are False).
+        with pytest.raises(ValidationError, match="nonnegative"):
+            as_float_array([np.nan], "x", finite=False, nonnegative=True)
+
+
+class TestBinaryToleranceBoundaries:
+    """``as_binary_array`` snapping at and around ``tol``."""
+
+    def test_exactly_tol_below_one_snaps(self):
+        out = as_binary_array([1.0 - 1e-9], "x")
+        assert out[0] == 1.0
+
+    def test_exactly_tol_above_zero_snaps(self):
+        out = as_binary_array([1e-9], "x")
+        assert out[0] == 0.0
+
+    def test_just_beyond_tol_rejected(self):
+        with pytest.raises(ValidationError, match="binary"):
+            as_binary_array([2e-9], "x")
+
+    def test_negative_within_tol_snaps_to_zero(self):
+        out = as_binary_array([-1e-9], "x")
+        assert out[0] == 0.0
+
+    def test_above_one_within_tol_snaps(self):
+        # 1.0 + 1e-9 rounds to a float just *beyond* tol; stay inside it.
+        out = as_binary_array([1.0 + 9e-10], "x")
+        assert out[0] == 1.0
+
+    def test_custom_tol_widens_snapping(self):
+        out = as_binary_array([0.01, 0.99], "x", tol=0.05)
+        assert list(out) == [0.0, 1.0]
+
+    def test_half_always_rejected(self):
+        with pytest.raises(ValidationError, match="binary"):
+            as_binary_array([0.5], "x")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            as_binary_array([np.nan], "x")
+
+    def test_shape_enforced_before_snapping(self):
+        with pytest.raises(ValidationError, match="shape"):
+            as_binary_array([0.0, 1.0], "x", shape=(3,))
+
+    def test_snapped_result_is_exact(self):
+        out = as_binary_array([1.0 - 5e-10, 5e-10], "x")
+        assert np.all((out == 0.0) | (out == 1.0))
+
+
+class TestProbabilityToleranceBoundaries:
+    """``as_probability_array`` clipping at and around ``tol``."""
+
+    def test_exactly_tol_overshoot_clips(self):
+        out = as_probability_array([1.0 + 1e-9, -1e-9], "x")
+        assert out[0] == 1.0 and out[1] == 0.0
+
+    def test_just_beyond_tol_rejected(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            as_probability_array([1.0 + 2e-9], "x")
+
+    def test_just_below_zero_beyond_tol_rejected(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            as_probability_array([-2e-9], "x")
+
+    def test_interior_values_untouched(self):
+        out = as_probability_array([0.25, 0.75], "x")
+        assert list(out) == [0.25, 0.75]
+
+    def test_custom_tol(self):
+        out = as_probability_array([1.05], "x", tol=0.1)
+        assert out[0] == 1.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            as_probability_array([np.nan], "x")
+
+
+class TestScalarCheckEdges:
+    def test_positive_int_rejects_numpy_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            check_positive_int(np.float64(3.0), "n")
+
+    def test_positive_int_accepts_numpy_int64_max(self):
+        value = int(np.iinfo(np.int64).max)
+        assert check_positive_int(np.int64(value), "n") == value
+
+    def test_nonnegative_float_rejects_inf(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_nonnegative_float(np.inf, "x")
+
+    def test_nonnegative_float_rejects_string(self):
+        with pytest.raises(ValidationError, match="number"):
+            check_nonnegative_float("fast", "x")
+
+    def test_nonnegative_float_accepts_zero(self):
+        assert check_nonnegative_float(0, "x") == 0.0
+
+    def test_in_interval_closed_boundaries_accepted(self):
+        assert check_in_interval(0.0, "p", low=0.0, high=1.0) == 0.0
+        assert check_in_interval(1.0, "p", low=0.0, high=1.0) == 1.0
+
+    def test_in_interval_both_open_boundaries_rejected(self):
+        for value in (0.0, 1.0):
+            with pytest.raises(ValidationError, match=r"\(0.0, 1.0\)"):
+                check_in_interval(value, "p", low=0.0, high=1.0, low_open=True, high_open=True)
+
+    def test_in_interval_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_in_interval(np.nan, "p", low=0.0, high=1.0)
+
+    def test_in_interval_rejects_none(self):
+        with pytest.raises(ValidationError, match="number"):
+            check_in_interval(None, "p", low=0.0, high=1.0)
+
+    def test_require_passes_condition_through(self):
+        require(True, "never raised")
+        with pytest.raises(ValidationError, match="custom message"):
+            require(False, "custom message")
+
+    def test_rng_from_same_seed_same_stream(self):
+        a, b = rng_from(123), rng_from(123)
+        assert a is not b
+        assert a.random() == b.random()
