@@ -1,0 +1,86 @@
+"""Overhead of the repro.obs tracing hooks.
+
+The observability layer promises that an inactive recorder costs
+nothing measurable: every hook in the solver core is one module-global
+``None`` check.  This benchmark pins that promise twice over:
+
+* micro — the per-call cost of a no-op :func:`repro.obs.emit` is
+  nanoseconds, bounded loosely enough to stay green on shared CI;
+* macro — a full Algorithm 1 run with tracing off is indistinguishable
+  from the same run streaming a JSONL trace, because a run emits only a
+  few hundred events against tens of subproblem solves.
+"""
+
+import time
+
+from repro import obs
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.experiments.config import ScenarioConfig, build_problem
+
+from _helpers import save_result
+
+CONFIG = DistributedConfig(accuracy=1e-4, max_iterations=6)
+SCENARIO = ScenarioConfig(num_groups=20, num_links=30)
+
+
+def test_noop_emit_is_nanoseconds(benchmark):
+    """A disabled emit call is a dict-free early return."""
+    assert not obs.enabled()
+    calls = 200_000
+
+    def burst():
+        for _ in range(calls):
+            obs.emit("protocol", event="retry", sbs=0, iteration=0)
+
+    benchmark.pedantic(burst, rounds=3, iterations=1)
+    start = time.perf_counter()
+    burst()
+    per_call = (time.perf_counter() - start) / calls
+    # Generous bound: even a slow shared runner does a no-op call in
+    # well under 5 microseconds; an active hook would blow far past it.
+    assert per_call < 5e-6
+    benchmark.extra_info["noop_emit_ns"] = per_call * 1e9
+    save_result(
+        "trace_overhead_micro", f"no-op emit: {per_call * 1e9:.0f} ns/call"
+    )
+
+
+def test_tracing_off_within_noise_of_tracing_on(benchmark, tmp_path):
+    """Solver wall-time: tracing off vs streaming a full JSONL trace."""
+    problem = build_problem(SCENARIO)
+
+    def timed_run(trace_path=None):
+        start = time.perf_counter()
+        if trace_path is None:
+            result = solve_distributed(problem, CONFIG, rng=1)
+        else:
+            with obs.recording(trace_path):
+                result = solve_distributed(problem, CONFIG, rng=1)
+        return time.perf_counter() - start, result
+
+    # Warm-up (imports, caches), then interleave measurements so drift
+    # hits both modes equally.
+    timed_run()
+    off, on = [], []
+    for index in range(5):
+        off.append(timed_run()[0])
+        on.append(timed_run(tmp_path / f"run-{index}.jsonl")[0])
+    best_off, best_on = min(off), min(on)
+
+    def report():
+        return best_off, best_on
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    ratio = best_on / best_off
+    lines = [
+        f"tracing off: {best_off * 1e3:.1f} ms (best of {len(off)})",
+        f"tracing on:  {best_on * 1e3:.1f} ms (best of {len(on)})",
+        f"on/off ratio: {ratio:.3f}",
+    ]
+    save_result("trace_overhead_macro", "\n".join(lines))
+    benchmark.extra_info.update(
+        {"off_ms": best_off * 1e3, "on_ms": best_on * 1e3, "ratio": ratio}
+    )
+    # Even with the writer streaming every event, the solver dominates;
+    # the bound is deliberately loose so scheduler noise cannot trip it.
+    assert ratio < 2.0

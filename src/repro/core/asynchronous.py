@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_nonnegative_float, rng_from
 from ..exceptions import ValidationError
 from ..network.eventsim import EventScheduler
@@ -137,6 +138,18 @@ def solve_asynchronous(
     config = config or AsyncConfig()
     generator = rng_from(rng)
     scheduler = EventScheduler()
+    if obs.enabled():
+        obs.emit(
+            "run_start",
+            run="async",
+            num_sbs=problem.num_sbs,
+            duration=config.duration,
+            mean_update_interval=config.mean_update_interval,
+            mean_message_delay=config.mean_message_delay,
+            damping=config.damping,
+            drop_probability=config.drop_probability,
+            private=privacy is not None,
+        )
 
     num_groups, num_files = problem.num_groups, problem.num_files
     reports = np.zeros(problem.shape)          # BS's view
@@ -186,9 +199,11 @@ def solve_asynchronous(
         nonlocal epsilon_spent
         if link_drops():
             dropped[0] += 1
+            obs.emit("protocol", event="drop", kind="upload", sbs=sbs, time=scheduler.now)
             return
         reports[sbs] = block
         trajectory.append((scheduler.now, total_cost(problem, reports)))
+        obs.emit("async_update", time=scheduler.now, sbs=sbs, cost=trajectory[-1][1])
         aggregate = reports.sum(axis=0)
         sent_at = scheduler.now
         for receiver in problem.sbs_indices():
@@ -204,6 +219,9 @@ def solve_asynchronous(
             # Lost on the wire, or arrived at a node that is down: a
             # crashed SBS keeps only the view it had before the crash.
             dropped[0] += 1
+            obs.emit(
+                "protocol", event="drop", kind="aggregate", sbs=sbs, time=scheduler.now
+            )
             return
         # Keep only the freshest view (messages can arrive out of order).
         if sent_at >= local_aggregate_time[sbs]:
@@ -216,6 +234,7 @@ def solve_asynchronous(
             # Down: do no work, but keep the clock alive so the SBS
             # resumes updating once its crash window ends.
             skipped[0] += 1
+            obs.emit("protocol", event="crash_skip", sbs=sbs, time=scheduler.now)
             scheduler.schedule(
                 delay(config.mean_update_interval), lambda s=sbs: sbs_wakeup(s)
             )
@@ -231,6 +250,12 @@ def solve_asynchronous(
         if mechanisms[sbs] is not None:
             report = mechanisms[sbs].perturb(report)
             epsilon_spent += mechanisms[sbs].config.epsilon
+            obs.emit(
+                "privacy",
+                party=f"sbs-{sbs}",
+                epsilon=float(mechanisms[sbs].config.epsilon),
+                time=scheduler.now,
+            )
         damped = config.damping * report + (1.0 - config.damping) * last_report[sbs]
         last_report[sbs] = damped
         updates[sbs] += 1
@@ -247,7 +272,7 @@ def solve_asynchronous(
     scheduler.run_until(config.duration, max_events=1_000_000)
 
     solution = Solution(caching=caches.copy(), routing=reports.copy())
-    return AsyncResult(
+    result = AsyncResult(
         solution=solution,
         cost=total_cost(problem, reports),
         cost_trajectory=trajectory,
@@ -258,3 +283,15 @@ def solve_asynchronous(
         messages_dropped=dropped[0],
         wakeups_skipped=skipped[0],
     )
+    if obs.enabled():
+        obs.emit(
+            "run_end",
+            final_cost=float(result.cost),
+            iterations=sum(updates.values()),
+            total_epsilon=(epsilon_spent if privacy is not None else None),
+            events_processed=result.events_processed,
+            messages_dropped=result.messages_dropped,
+            wakeups_skipped=result.wakeups_skipped,
+            mean_staleness=result.mean_staleness,
+        )
+    return result

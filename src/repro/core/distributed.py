@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from .. import perf
+from .. import obs, perf
 from .._validation import check_in_interval, check_positive_int, rng_from
 from ..exceptions import ProtocolError, ProtocolTimeout, ValidationError
 from ..network.faults import FaultConfig, FaultyChannel
@@ -420,6 +420,9 @@ class SBSAgent:
         self.last_report = np.zeros((problem.num_groups, problem.num_files))
         self._last_multipliers = None  # last dual iterate (warm start / checkpoints)
         self._has_solved = False
+        # Trace extras of the most recent solve (populated only while a
+        # repro.obs recorder is active; None otherwise).
+        self.last_solve_stats: Optional[Dict[str, float]] = None
         # Fault-tolerance state (inert on the reliable, failure-free path).
         self.resilient = False
         self.stale_aggregate_phases = 0
@@ -516,16 +519,36 @@ class SBSAgent:
         self._has_solved = True
         self.caching = result.caching
         self.true_routing = result.routing
+        if obs.enabled():
+            self.last_solve_stats = {
+                "dual_gap": float(result.cost - result.best_dual),
+                "mu_norm": (
+                    0.0
+                    if result.multipliers is None
+                    else float(np.linalg.norm(result.multipliers))
+                ),
+                "dual_iterations": float(result.iterations),
+            }
         report = result.routing
         noise_l1 = 0.0
         if self._mechanism is not None:
             report = self._mechanism.perturb(report)
             noise_l1 = float(np.abs(result.routing - report).sum())
             if self._accountant is not None:
+                label = f"iter-{iteration}-phase-{phase}"
                 self._accountant.record(
                     party=self.name,
                     epsilon=self._mechanism.config.epsilon,
-                    label=f"iter-{iteration}-phase-{phase}",
+                    label=label,
+                )
+                obs.emit(
+                    "privacy",
+                    iteration=iteration,
+                    phase=phase,
+                    party=self.name,
+                    epsilon=float(self._mechanism.config.epsilon),
+                    label=label,
+                    noise_l1=noise_l1,
                 )
         self.last_report = report
         return report, noise_l1
@@ -590,6 +613,7 @@ class SBSAgent:
         if self._crashed:
             return
         self._crashed = True
+        self.last_solve_stats = None
         shape = (self._problem.num_groups, self._problem.num_files)
         self.caching = np.zeros(self._problem.num_files)
         self.true_routing = np.zeros(shape)
@@ -617,6 +641,13 @@ class SBSAgent:
         self._crashed = False
         self.recoveries += 1
         checkpoint = store.load(self.name)
+        obs.emit(
+            "protocol",
+            event="recover",
+            sbs=self.index,
+            restored=checkpoint is not None,
+            checkpoint_iteration=(None if checkpoint is None else checkpoint.iteration),
+        )
         if checkpoint is None:
             return
         self._last_multipliers = (
@@ -704,6 +735,74 @@ class DistributedOptimizer:
             )
             agent.resilient = faults is not None
             self.sbss.append(agent)
+        # Per-sweep trace aggregates (populated only while tracing).
+        self._sweep_gaps: List[float] = []
+        self._sweep_norms: List[float] = []
+
+    # -- trace hooks ---------------------------------------------------
+    def _phase_solve_elapsed(self) -> Optional[float]:
+        """Accumulated subproblem solve time, when both gauges are on.
+
+        Returns ``None`` unless tracing is active *and* a
+        :mod:`repro.perf` registry is collecting — per-phase
+        ``solve_seconds`` come from the registry's
+        ``algorithm1.phase_solve`` timer, the instrument PR 2 installed.
+        """
+        if not obs.enabled():
+            return None
+        registry = perf.active_registry()
+        if registry is None:
+            return None
+        return registry.timings.get("algorithm1.phase_solve", 0.0)
+
+    def _trace_phase(
+        self, record: PhaseRecord, agent: SBSAgent, solve_before: Optional[float]
+    ) -> None:
+        """Emit one ``phase`` event mirroring ``record`` (tracing only)."""
+        if not obs.enabled():
+            return
+        fields: Dict[str, object] = {
+            "iteration": record.iteration,
+            "phase": record.phase,
+            "sbs": record.sbs,
+            "cost": record.cost,
+            "noise_l1": record.noise_l1,
+            "retries": record.retries,
+            "stale": record.stale,
+        }
+        stats = agent.last_solve_stats
+        if stats is not None:
+            fields["dual_gap"] = stats["dual_gap"]
+            fields["mu_norm"] = stats["mu_norm"]
+            self._sweep_gaps.append(stats["dual_gap"])
+            self._sweep_norms.append(stats["mu_norm"])
+        solve_after = self._phase_solve_elapsed()
+        if solve_before is not None and solve_after is not None:
+            fields["solve_seconds"] = solve_after - solve_before
+        obs.emit("phase", **fields)
+
+    def _trace_iteration(
+        self,
+        iteration: int,
+        cost: float,
+        relative_change: Optional[float] = None,
+        *,
+        restoration: bool = False,
+    ) -> None:
+        """Emit one ``iteration`` event with the sweep's aggregates."""
+        if not obs.enabled():
+            return
+        fields: Dict[str, object] = {"iteration": iteration, "cost": float(cost)}
+        if relative_change is not None:
+            fields["relative_change"] = float(relative_change)
+        if restoration:
+            fields["restoration"] = True
+        if self._sweep_gaps:
+            fields["dual_gap_max"] = max(self._sweep_gaps)
+        if self._sweep_norms:
+            fields["mu_norm_max"] = max(self._sweep_norms)
+            fields["mu_norm_mean"] = sum(self._sweep_norms) / len(self._sweep_norms)
+        obs.emit("iteration", **fields)
 
     # ------------------------------------------------------------------
     def run(self) -> DistributedResult:
@@ -713,6 +812,22 @@ class DistributedOptimizer:
         previous_cost = history.initial_cost
         converged = False
         iterations = 0
+        if obs.enabled():
+            obs.emit(
+                "run_start",
+                run="algorithm1",
+                num_sbs=problem.num_sbs,
+                num_groups=problem.num_groups,
+                num_files=problem.num_files,
+                mode=config.mode,
+                coordination=config.coordination,
+                accuracy=config.accuracy,
+                max_iterations=config.max_iterations,
+                private=self.accountant is not None,
+                resilient=self.faults is not None,
+                warm_start=config.warm_start,
+                initial_cost=float(history.initial_cost),
+            )
 
         # Initial broadcast: the all-zero aggregate every SBS starts from
         # (the paper's y_{-n}(tau=0) = 0 initialisation).
@@ -728,6 +843,7 @@ class DistributedOptimizer:
                 else None
             )
             perf.count("algorithm1.iterations")
+            self._sweep_gaps, self._sweep_norms = [], []
             with perf.timed("algorithm1.sweep"):
                 if resilient:
                     self.channel.set_time(iteration)
@@ -740,6 +856,8 @@ class DistributedOptimizer:
             history.close_iteration(cost)
             iterations = iteration + 1
             denominator = abs(cost) if cost != 0 else 1.0
+            relative_change = abs(previous_cost - cost) / denominator
+            self._trace_iteration(iteration, cost, relative_change)
             # In prices mode the early sweeps run with a loose slack and
             # immature prices; a stable cost there says nothing about
             # optimality, so hold off the convergence test until the
@@ -749,11 +867,7 @@ class DistributedOptimizer:
             # iteration certify convergence.
             slack_settled = (not with_prices) or slack < 0.02
             clean_iteration = (not resilient) or history.stale_phase_count(iteration) == 0
-            if (
-                slack_settled
-                and clean_iteration
-                and abs(previous_cost - cost) / denominator <= config.accuracy
-            ):
+            if slack_settled and clean_iteration and relative_change <= config.accuracy:
                 converged = True
                 break
             previous_cost = cost
@@ -762,19 +876,22 @@ class DistributedOptimizer:
             # Feasibility restoration: one zero-slack sweep with frozen
             # prices removes any residual over-service left by the
             # transient slack.
+            self._sweep_gaps, self._sweep_norms = [], []
             if resilient:
                 self.channel.set_time(iterations)
                 self._resilient_sweep(iterations, history, slack=0.0, price_step=None)
             else:
                 self._gauss_seidel_sweep(iterations, history, slack=0.0, price_step=None)
-            history.close_iteration(self.base_station.system_cost())
+            restoration_cost = self.base_station.system_cost()
+            history.close_iteration(restoration_cost)
+            self._trace_iteration(iterations, restoration_cost, restoration=True)
 
         unperturbed = np.stack([agent.true_routing for agent in self.sbss])
         solution = Solution(
             caching=np.stack([agent.caching for agent in self.sbss]),
             routing=self.base_station.reports.copy(),
         )
-        return DistributedResult(
+        result = DistributedResult(
             solution=solution,
             cost=history.final_cost,
             iterations=iterations,
@@ -785,6 +902,20 @@ class DistributedOptimizer:
             unperturbed_cost=total_cost(problem, unperturbed),
             accountant=self.accountant,
         )
+        if obs.enabled():
+            obs.emit(
+                "run_end",
+                final_cost=float(result.cost),
+                iterations=result.iterations,
+                converged=result.converged,
+                total_epsilon=result.total_epsilon,
+                stale_phases=result.stale_phases,
+                total_retries=result.total_retries,
+                phases=len(history.phases),
+                unperturbed_cost=result.unperturbed_cost,
+                channel=dataclasses.asdict(self.channel.stats),
+            )
+        return result
 
     # ------------------------------------------------------------------
     def _gauss_seidel_sweep(
@@ -806,20 +937,21 @@ class DistributedOptimizer:
         """
         for phase, index in enumerate(self._order):
             agent = self.sbss[index]
+            solve_before = self._phase_solve_elapsed()
             noise_l1 = agent.run_phase(iteration, phase, cap_slack=slack)
             self.base_station.collect_upload(agent.index)
             if price_step is not None:
                 self.base_station.update_prices(price_step)
             self.base_station.broadcast_aggregate(iteration, phase)
-            history.record_phase(
-                PhaseRecord(
-                    iteration=iteration,
-                    phase=phase,
-                    sbs=agent.index,
-                    cost=self.base_station.system_cost(),
-                    noise_l1=noise_l1,
-                )
+            record = PhaseRecord(
+                iteration=iteration,
+                phase=phase,
+                sbs=agent.index,
+                cost=self.base_station.system_cost(),
+                noise_l1=noise_l1,
             )
+            history.record_phase(record)
+            self._trace_phase(record, agent, solve_before)
 
     def _resilient_sweep(
         self,
@@ -842,17 +974,25 @@ class DistributedOptimizer:
             agent = self.sbss[index]
             if not channel.node_is_up(agent.name):
                 agent.crash()
-                history.record_phase(
-                    PhaseRecord(
-                        iteration=iteration,
-                        phase=phase,
-                        sbs=agent.index,
-                        cost=self.base_station.system_cost(),
-                        stale=True,
-                    )
+                obs.emit(
+                    "protocol",
+                    event="crash_skip",
+                    sbs=agent.index,
+                    iteration=iteration,
+                    phase=phase,
                 )
+                record = PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=agent.index,
+                    cost=self.base_station.system_cost(),
+                    stale=True,
+                )
+                history.record_phase(record)
+                self._trace_phase(record, agent, solve_before=None)
                 continue
             agent.recover(self.checkpoints)
+            solve_before = self._phase_solve_elapsed()
             report, noise_l1 = agent.compute_phase(iteration, phase, cap_slack=slack)
             retries = self._upload_with_retries(agent, report, iteration, phase)
             if retries is None:
@@ -860,33 +1000,41 @@ class DistributedOptimizer:
                 # folded report; roll the SBS's own view back so its
                 # y_{-n} bookkeeping matches what the BS actually holds.
                 agent.rollback_report()
-                history.record_phase(
-                    PhaseRecord(
-                        iteration=iteration,
-                        phase=phase,
-                        sbs=agent.index,
-                        cost=self.base_station.system_cost(),
-                        noise_l1=noise_l1,
-                        retries=self.config.max_retries,
-                        stale=True,
-                    )
+                obs.emit(
+                    "protocol",
+                    event="degrade",
+                    sbs=agent.index,
+                    iteration=iteration,
+                    phase=phase,
+                    retries=self.config.max_retries,
                 )
+                record = PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=agent.index,
+                    cost=self.base_station.system_cost(),
+                    noise_l1=noise_l1,
+                    retries=self.config.max_retries,
+                    stale=True,
+                )
+                history.record_phase(record)
+                self._trace_phase(record, agent, solve_before)
                 continue
             agent.commit_report()
             agent.save_checkpoint(self.checkpoints, iteration)
             if price_step is not None:
                 self.base_station.update_prices(price_step)
             self.base_station.broadcast_aggregate(iteration, phase)
-            history.record_phase(
-                PhaseRecord(
-                    iteration=iteration,
-                    phase=phase,
-                    sbs=agent.index,
-                    cost=self.base_station.system_cost(),
-                    noise_l1=noise_l1,
-                    retries=retries,
-                )
+            record = PhaseRecord(
+                iteration=iteration,
+                phase=phase,
+                sbs=agent.index,
+                cost=self.base_station.system_cost(),
+                noise_l1=noise_l1,
+                retries=retries,
             )
+            history.record_phase(record)
+            self._trace_phase(record, agent, solve_before)
 
     def _upload_with_retries(
         self, agent: SBSAgent, report: np.ndarray, iteration: int, phase: int
@@ -908,6 +1056,15 @@ class DistributedOptimizer:
         for attempt in range(self.config.max_retries + 1):
             if attempt:
                 self.channel.stats.retransmissions += 1
+                obs.emit(
+                    "protocol",
+                    event="retry",
+                    sbs=agent.index,
+                    iteration=iteration,
+                    phase=phase,
+                    attempt=attempt,
+                    seq=seq,
+                )
                 self.channel.advance(backoff)
                 backoff = min(2 * backoff, self.config.retry_backoff_cap)
             agent.send_upload(report, iteration, phase, seq=seq)
@@ -936,10 +1093,12 @@ class DistributedOptimizer:
     ) -> None:
         """All SBSs best-respond to the same (stale) aggregate, with damping."""
         uploads: Dict[int, float] = {}
+        solve_before = self._phase_solve_elapsed()
         for index in self._order:
             agent = self.sbss[index]
             noise_l1 = agent.run_phase(iteration, phase=0, cap_slack=slack)
             uploads[agent.index] = noise_l1
+        solve_after = self._phase_solve_elapsed()
         for phase, agent in enumerate(self.sbss):
             previous = self.base_station.reports[agent.index].copy()
             block = self.base_station.collect_upload(agent.index)
@@ -947,14 +1106,23 @@ class DistributedOptimizer:
                 damped = self.config.damping * block + (1.0 - self.config.damping) * previous
                 self.base_station.reports[agent.index] = damped
                 agent.last_report = damped
-            history.record_phase(
-                PhaseRecord(
-                    iteration=iteration,
-                    phase=phase,
-                    sbs=agent.index,
-                    cost=self.base_station.system_cost(),
-                    noise_l1=uploads[agent.index],
-                )
+            record = PhaseRecord(
+                iteration=iteration,
+                phase=phase,
+                sbs=agent.index,
+                cost=self.base_station.system_cost(),
+                noise_l1=uploads[agent.index],
+            )
+            history.record_phase(record)
+            self._trace_phase(record, agent, solve_before=None)
+        if solve_before is not None and solve_after is not None:
+            # Jacobi solves all subproblems before folding, so the solve
+            # time is attributable to the sweep, not any single phase.
+            obs.emit(
+                "protocol",
+                event="jacobi_solve",
+                iteration=iteration,
+                solve_seconds=solve_after - solve_before,
             )
         if price_step is not None:
             self.base_station.update_prices(price_step)

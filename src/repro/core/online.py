@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_nonnegative_float, check_positive_int, rng_from
 from ..exceptions import ValidationError
 from ..privacy.factory import MechanismConfig
@@ -128,6 +129,16 @@ def simulate_online(
         raise ValidationError("demand_slots must be nonempty")
     config = config or OnlineConfig()
     generator = rng_from(rng)
+    if obs.enabled():
+        obs.emit(
+            "run_start",
+            run="online",
+            slots=len(demand_slots),
+            reoptimize_every=config.reoptimize_every,
+            switch_cost=config.switch_cost,
+            adaptive=adaptive,
+            private=config.privacy is not None,
+        )
 
     records: List[SlotRecord] = []
     epsilon_spent = 0.0
@@ -160,13 +171,29 @@ def simulate_online(
             routing = optimal_routing_for_cache(problem, new_caching)
         changes = _cache_changes(caching, new_caching) if reoptimize else 0
         caching = new_caching
-        records.append(
-            SlotRecord(
-                slot=slot,
-                serving_cost=total_cost(problem, routing),
-                switch_cost=config.switch_cost * changes,
-                cache_changes=changes,
-                reoptimized=reoptimize,
-            )
+        record = SlotRecord(
+            slot=slot,
+            serving_cost=total_cost(problem, routing),
+            switch_cost=config.switch_cost * changes,
+            cache_changes=changes,
+            reoptimized=reoptimize,
         )
-    return OnlineResult(records=records, epsilon_spent=epsilon_spent)
+        records.append(record)
+        obs.emit(
+            "slot",
+            slot=slot,
+            serving_cost=record.serving_cost,
+            switch_cost=record.switch_cost,
+            cache_changes=record.cache_changes,
+            reoptimized=record.reoptimized,
+        )
+    result = OnlineResult(records=records, epsilon_spent=epsilon_spent)
+    if obs.enabled():
+        obs.emit(
+            "run_end",
+            final_cost=result.total_cost(),
+            iterations=len(records),
+            total_epsilon=(epsilon_spent if config.privacy is not None else None),
+            total_switches=result.total_switches(),
+        )
+    return result

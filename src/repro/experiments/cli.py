@@ -14,9 +14,11 @@ diagnostic targets::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
+from .. import obs
 from .figures import (
     figure2_trace,
     figure3_privacy_budget,
@@ -131,26 +133,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="evaluate sweep cells in N parallel processes "
         "(bit-identical to the serial run; figure targets only)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the target's solver runs as a JSONL trace at PATH "
+        "(inspect with repro-trace summary/validate/diff)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
-    if args.target == "convergence":
-        print(_run_convergence(args.fast))
-        return 0
-    if args.target == "attack":
-        print(_run_attack(args.fast))
-        return 0
-    if args.target == "validate":
-        from .validation import validate_reproduction
+    recording = (
+        obs.recording(args.trace) if args.trace else contextlib.nullcontext()
+    )
+    with recording:
+        if args.target == "convergence":
+            print(_run_convergence(args.fast))
+            return 0
+        if args.target == "attack":
+            print(_run_attack(args.fast))
+            return 0
+        if args.target == "validate":
+            from .validation import validate_reproduction
 
-        report = validate_reproduction()
-        print(report.render())
-        return 0 if report.passed else 1
-    names = list(_FIGURES) if args.target == "all" else [args.target]
-    for name in names:
-        print(f"=== {name} ===")
-        print(_run_figure(name, args.fast, args.workers))
-        print()
+            report = validate_reproduction()
+            print(report.render())
+            return 0 if report.passed else 1
+        names = list(_FIGURES) if args.target == "all" else [args.target]
+        for name in names:
+            print(f"=== {name} ===")
+            print(_run_figure(name, args.fast, args.workers))
+            print()
     return 0
 
 

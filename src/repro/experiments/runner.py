@@ -35,6 +35,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.distributed import DistributedConfig
 from ..exceptions import ValidationError
 from ..network.faults import FaultConfig
@@ -144,6 +145,20 @@ def _evaluate_cell(task: _CellTask) -> float:
     raise ValidationError(f"unknown sweep scheme {task.scheme!r}")
 
 
+def _evaluate_cell_traced(task: _CellTask) -> Tuple[float, List[obs.Event]]:
+    """Run one cell under a buffering recorder; return (cost, events).
+
+    Runs in the worker process (or inline for ``workers=1``): the cell's
+    event stream is captured locally and replayed by the parent in
+    submission order, so the merged sweep trace is byte-identical no
+    matter how cells were scheduled across processes.
+    """
+    recorder = obs.ListRecorder()
+    with obs.recording(recorder):
+        cost = _evaluate_cell(task)
+    return cost, recorder.events
+
+
 def _evaluate_cells(
     tasks: Sequence[_CellTask], *, workers: int, dedup: bool
 ) -> List[float]:
@@ -169,12 +184,47 @@ def _evaluate_cells(
         slot_of_task.append(slot)
         if key is not None:
             slot_of_key[key] = slot
-    if workers <= 1:
+    if obs.enabled():
+        if workers <= 1:
+            pairs = [_evaluate_cell_traced(task) for task in distinct]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pairs = list(pool.map(_evaluate_cell_traced, distinct))
+        results = [_replay_cell(slot, task, pair) for slot, (task, pair) in
+                   enumerate(zip(distinct, pairs))]
+    elif workers <= 1:
         results = [_evaluate_cell(task) for task in distinct]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(_evaluate_cell, distinct))
     return [results[slot] for slot in slot_of_task]
+
+
+def _replay_cell(slot: int, task: _CellTask, pair: Tuple[float, List[obs.Event]]) -> float:
+    """Replay one captured cell stream into the parent's recorder.
+
+    Events are tagged with a stable ``cell`` id (the distinct-cell slot,
+    a pure function of the task list) so ``TraceReader.cells()`` can
+    regroup them; the scheduling knobs (``workers``) never appear in the
+    trace, keeping serial and parallel sweeps byte-identical.
+    """
+    cost, events = pair
+    cell = f"cell-{slot}"
+    obs.emit(
+        "cell_start",
+        cell=cell,
+        scheme=task.scheme,
+        seed=task.scenario.seed,
+        rng=task.rng,
+        epsilon=task.epsilon,
+    )
+    recorder = obs.active_recorder()
+    if recorder is not None:
+        for event in events:
+            tagged = dict(event)
+            tagged["cell"] = cell
+            recorder.record(tagged)
+    return cost
 
 
 def run_sweep(
@@ -250,7 +300,19 @@ def run_sweep(
                         faults=None,
                     )
                 )
+    if obs.enabled():
+        obs.emit(
+            "sweep_start",
+            name=name,
+            x_label=x_label,
+            x_values=[float(x) for x in x_values],
+            schemes=list(schemes),
+            seeds=[int(seed) for seed in seeds],
+            dedup=dedup,
+        )
     costs = _evaluate_cells(tasks, workers=workers, dedup=dedup)
+    if obs.enabled():
+        obs.emit("sweep_end", name=name, cells=len(tasks))
     cells_per_x = len(seeds) * len(schemes)
     points: List[SweepPoint] = []
     for i, x in enumerate(x_values):

@@ -30,6 +30,7 @@ from typing import List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_in_interval
 from ..exceptions import ValidationError
 from .messaging import Channel, Message, MessageKind
@@ -247,6 +248,15 @@ class FaultyChannel(Channel):
                 or schedule.is_partitioned(message.sender, name, self.iteration)
             ):
                 self.stats.dropped += 1
+                obs.emit(
+                    "protocol",
+                    event="drop",
+                    reason="partition",
+                    kind=message.kind.value,
+                    sender=message.sender,
+                    recipient=name,
+                    tick=self._tick,
+                )
                 continue
             self._deliver_one(name, message, profile)
 
@@ -256,6 +266,15 @@ class FaultyChannel(Channel):
             return
         if self._rng.random() < profile.drop:
             self.stats.dropped += 1
+            obs.emit(
+                "protocol",
+                event="drop",
+                reason="loss",
+                kind=message.kind.value,
+                sender=message.sender,
+                recipient=name,
+                tick=self._tick,
+            )
             return
         if self._rng.random() < profile.delay:
             ticks = 1 + int(self._rng.integers(profile.max_delay_ticks))

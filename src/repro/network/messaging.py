@@ -91,11 +91,29 @@ class ChannelStats:
     # Retransmissions issued by the ARQ layer (each is also counted in
     # ``messages_sent`` when it hits the wire).
     retransmissions: int = 0
+    # Wire traffic carrying an already-seen sequence number: ARQ resends
+    # and repeated cumulative acks.  Counted in ``messages_sent`` /
+    # ``bytes_sent`` (they do cross the wire) but kept out of the
+    # per-kind payload ledgers, which tally each distinct payload once.
+    retransmitted_messages: int = 0
+    retransmitted_bytes: int = 0
 
-    def record(self, message: Message) -> None:
-        """Fold one sent message into the counters."""
+    def record(self, message: Message, *, retransmission: bool = False) -> None:
+        """Fold one sent message into the counters.
+
+        ``messages_sent`` / ``bytes_sent`` are *wire* totals and grow on
+        every send.  The ``by_kind`` / ``bytes_by_kind`` ledgers measure
+        *delivered payload*, so a retried upload (same sequence number
+        sent again) lands in ``retransmitted_*`` instead of inflating
+        its kind's ledger; the invariant is
+        ``bytes_sent == sum(bytes_by_kind.values()) + retransmitted_bytes``.
+        """
         self.messages_sent += 1
         self.bytes_sent += message.nbytes()
+        if retransmission:
+            self.retransmitted_messages += 1
+            self.retransmitted_bytes += message.nbytes()
+            return
         key = message.kind.value
         self.by_kind[key] = self.by_kind.get(key, 0) + 1
         self.bytes_by_kind[key] = self.bytes_by_kind.get(key, 0) + message.nbytes()
@@ -115,6 +133,9 @@ class Channel:
         self._queues: Dict[str, Deque[Message]] = {}
         self._taps: List[Callable[[Message], None]] = []
         self.stats = ChannelStats()
+        # Highest sequence number seen per (sender, recipient, kind)
+        # conversation; a sequenced message at or below it is a re-send.
+        self._highest_seq: Dict[Tuple[str, str, str], int] = {}
 
     def register(self, node_name: str) -> None:
         """Register a node so it can receive broadcasts."""
@@ -143,7 +164,14 @@ class Channel:
             if message.recipient not in self._queues:
                 raise ProtocolError(f"unknown recipient {message.recipient!r}")
             recipients = [message.recipient]
-        self.stats.record(message)
+        retransmission = False
+        if message.seq > 0:
+            conversation = (message.sender, message.recipient, message.kind.value)
+            if message.seq <= self._highest_seq.get(conversation, 0):
+                retransmission = True
+            else:
+                self._highest_seq[conversation] = message.seq
+        self.stats.record(message, retransmission=retransmission)
         for observer in self._taps:
             observer(message)
         self._deliver(message, recipients)

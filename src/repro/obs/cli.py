@@ -1,0 +1,141 @@
+"""Command-line entry point: ``repro-trace <subcommand> <trace.jsonl>``.
+
+Three subcommands over JSONL run traces written by
+:class:`repro.obs.TraceWriter`::
+
+    repro-trace summary run.jsonl            # reconstruct curve + ledger
+    repro-trace validate run.jsonl           # structural + semantic checks
+    repro-trace diff a.jsonl b.jsonl         # compare two traces
+    repro-trace diff a.jsonl b.jsonl --tolerance 1e-9
+
+``summary`` prints, per run, the convergence curve, the per-party
+epsilon ledger and the protocol counters reconstructed from the event
+stream, next to the solver-reported outcome.  ``validate`` exits
+nonzero when the trace is malformed or the reconstruction disagrees
+with the report — the CI trace-smoke job gates on it.  ``diff`` exits
+nonzero when the two traces differ beyond the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..exceptions import ValidationError
+from .trace import TraceReader, diff_traces, summarize_trace, validate_events
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> TraceReader:
+    try:
+        return TraceReader(path)
+    except OSError as error:
+        raise SystemExit(f"repro-trace: cannot read {path}: {error}")
+    except ValidationError as error:
+        raise SystemExit(f"repro-trace: {error}")
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    reader = _load(args.trace)
+    summaries = summarize_trace(reader.events)
+    if not summaries:
+        print("no runs recorded in trace")
+        return 1
+    if args.json:
+        payload = [
+            {
+                "run": summary.run,
+                "iterations": summary.iterations,
+                "converged": summary.converged,
+                "final_cost": summary.final_cost,
+                "reported_final_cost": summary.reported_final_cost,
+                "convergence_curve": summary.convergence_curve,
+                "epsilon_by_party": summary.epsilon_by_party,
+                "total_epsilon": summary.total_epsilon,
+                "reported_total_epsilon": summary.reported_total_epsilon,
+                "releases": summary.releases,
+                "phases": summary.phases,
+                "retries": summary.retries,
+                "stale_phases": summary.stale_phases,
+                "protocol_counts": summary.protocol_counts,
+                "dual_gap_final": summary.dual_gap_final,
+            }
+            for summary in summaries
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for summary in summaries:
+            print(summary.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    reader = _load(args.trace)
+    issues = validate_events(reader.events)
+    if issues:
+        for issue in issues:
+            print(f"INVALID: {issue}")
+        print(f"{len(issues)} issue(s) found in {args.trace}")
+        return 1
+    print(
+        f"OK: {args.trace} — {len(reader.events)} events, "
+        "reconstruction matches the reported outcome"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    left = _load(args.trace)
+    right = _load(args.other)
+    differences = diff_traces(left.events, right.events, tolerance=args.tolerance)
+    if differences:
+        for difference in differences:
+            print(f"DIFF: {difference}")
+        return 1
+    print("traces agree")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Inspect JSONL run traces of the distributed caching solvers.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summary = subparsers.add_parser(
+        "summary", help="reconstruct the convergence curve and epsilon ledger"
+    )
+    summary.add_argument("trace", help="path to a JSONL trace")
+    summary.add_argument("--json", action="store_true", help="machine-readable output")
+    summary.set_defaults(handler=_cmd_summary)
+
+    validate = subparsers.add_parser(
+        "validate", help="check structure and cross-check against the reported outcome"
+    )
+    validate.add_argument("trace", help="path to a JSONL trace")
+    validate.set_defaults(handler=_cmd_validate)
+
+    diff = subparsers.add_parser("diff", help="compare two traces run by run")
+    diff.add_argument("trace", help="baseline trace")
+    diff.add_argument("other", help="candidate trace")
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="maximum |cost delta| still considered equal (default: exact)",
+    )
+    diff.set_defaults(handler=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    result: int = args.handler(args)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Event schema of the run-trace subsystem.
+
+A trace is a JSONL stream: one JSON object per line, each carrying a
+``type`` field naming its event class and a writer-assigned ``seq``
+monotone sequence number.  The schema is deliberately flat (no nested
+event envelopes) so traces can be grepped, streamed and diffed with
+ordinary line tools; the only nesting is *logical* — ``run_start`` /
+``run_end`` pairs bracket one solver execution, and a sweep trace
+contains one such bracket per evaluated cell, tagged with a ``cell``
+identifier.
+
+Event types
+-----------
+
+``trace_start``
+    Writer header: ``version`` of this schema.
+``run_start`` / ``run_end``
+    Bracket one solver run.  ``run`` names the solver
+    (``"algorithm1"``, ``"async"``, ``"online"``); ``run_end`` carries
+    the solver-reported ``final_cost`` / ``iterations`` (and, when
+    private, ``total_epsilon``) that :mod:`repro.obs.trace` cross-checks
+    against the values *reconstructed* from the per-step events.
+``phase``
+    One Gauss-Seidel / Jacobi phase: ``iteration``, ``phase``, ``sbs``,
+    post-phase system ``cost``, LPPM ``noise_l1``, ARQ ``retries``,
+    ``stale`` degradation flag, and — when tracing extras are available
+    — the subproblem ``dual_gap`` (local primal objective minus best
+    dual bound), the multiplier norm ``mu_norm`` and, if a
+    :mod:`repro.perf` registry is active, the wall-clock
+    ``solve_seconds`` of the subproblem solve.  Timing fields are
+    wall-clock and therefore excluded from determinism comparisons.
+``iteration``
+    End of a full sweep: ``iteration`` index, system ``cost``,
+    ``dual_gap_max`` / ``mu_norm_max`` / ``mu_norm_mean`` aggregated
+    over the iteration's solves, and ``restoration=True`` on the
+    zero-slack feasibility sweep of price coordination.
+``privacy``
+    One bounded-Laplace release: ``party``, booked ``epsilon``, the
+    accountant ``label`` and the realized ``noise_l1``.
+``protocol``
+    Fault-layer and ARQ outcomes; ``event`` is one of ``retry``,
+    ``degrade``, ``crash_skip``, ``recover``, ``drop``.
+``async_update``
+    The BS folded one asynchronous upload: simulated ``time``, ``sbs``,
+    post-fold ``cost`` and the acted-upon aggregate ``staleness``.
+``slot``
+    One online time slot: ``slot``, ``serving_cost``, ``switch_cost``,
+    ``cache_changes``, ``reoptimized``.
+``sweep_start`` / ``sweep_end`` / ``cell_start``
+    Sweep-runner brackets; ``cell_start`` announces one distinct sweep
+    cell (``cell`` tag, ``scheme``, ``rng``, ``epsilon``) whose solver
+    events follow, each tagged with the same ``cell`` value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = ["TRACE_VERSION", "EVENT_TYPES", "REQUIRED_FIELDS"]
+
+#: Schema version stamped into every ``trace_start`` header.
+TRACE_VERSION = 1
+
+#: Required fields per event type, enforced by ``repro-trace validate``.
+#: Every event additionally carries ``type`` and (once written) ``seq``.
+REQUIRED_FIELDS: Dict[str, FrozenSet[str]] = {
+    "trace_start": frozenset({"version"}),
+    "run_start": frozenset({"run"}),
+    "run_end": frozenset({"final_cost", "iterations"}),
+    "phase": frozenset({"iteration", "phase", "sbs", "cost"}),
+    "iteration": frozenset({"iteration", "cost"}),
+    "privacy": frozenset({"party", "epsilon"}),
+    "protocol": frozenset({"event"}),
+    "async_update": frozenset({"time", "sbs", "cost"}),
+    "slot": frozenset({"slot", "serving_cost"}),
+    "sweep_start": frozenset({"name"}),
+    "sweep_end": frozenset({"name"}),
+    "cell_start": frozenset({"cell", "scheme"}),
+}
+
+#: The known event types (keys of :data:`REQUIRED_FIELDS`).
+EVENT_TYPES: FrozenSet[str] = frozenset(REQUIRED_FIELDS)

@@ -1,0 +1,202 @@
+"""Trace recorders and the module-global emission hook.
+
+The solver core calls :func:`emit` at well-defined protocol points
+(phase completed, privacy release booked, retry issued, ...).  Like the
+:mod:`repro.perf` registry, emission is *opt-in*: with no recorder
+active every :func:`emit` call is a single attribute check and an
+immediate return, so the hot path stays within measurement noise when
+tracing is off (``benchmarks/test_trace_overhead.py`` pins this).
+
+Recorders:
+
+* :class:`NullRecorder` — explicit no-op sink (the conceptual default;
+  in practice "no recorder active" short-circuits even earlier);
+* :class:`ListRecorder` — buffers events in memory.  Used by the
+  parallel sweep engine to capture a worker cell's stream and replay it
+  into the parent's writer deterministically;
+* :class:`TraceWriter` — appends one JSON object per line to a file,
+  assigning the monotone ``seq`` numbers ``repro-trace validate``
+  checks.
+
+Events never carry wall-clock timestamps: ordering is by ``seq`` and by
+the solver's own logical time (iteration / phase / simulated time), so
+two runs with the same seed produce byte-identical traces.  The only
+wall-clock fields are explicit ``*_seconds`` durations sourced from the
+perf registry, emitted only when one is active.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from .events import TRACE_VERSION
+
+__all__ = [
+    "TraceRecorder",
+    "NullRecorder",
+    "ListRecorder",
+    "TraceWriter",
+    "activate",
+    "deactivate",
+    "active_recorder",
+    "recording",
+    "enabled",
+    "emit",
+]
+
+#: One trace event: a flat JSON-serializable mapping with a ``type`` key.
+Event = Dict[str, Any]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays to plain Python for JSON encoding."""
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class TraceRecorder:
+    """Interface every recorder implements: accept one event at a time."""
+
+    def record(self, event: Event) -> None:
+        """Consume one event (subclasses override)."""
+        raise NotImplementedError
+
+
+class NullRecorder(TraceRecorder):
+    """Sink that drops every event — tracing structurally off."""
+
+    def record(self, event: Event) -> None:
+        """Discard the event."""
+
+
+class ListRecorder(TraceRecorder):
+    """Buffer events in memory, in emission order, without ``seq`` numbers.
+
+    The parallel sweep engine runs one of these inside each worker
+    process and replays the buffered stream into the parent's
+    :class:`TraceWriter`, so the merged trace is identical no matter how
+    cells were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def record(self, event: Event) -> None:
+        """Append a sanitized copy of the event to the buffer."""
+        self.events.append({key: _jsonable(value) for key, value in event.items()})
+
+
+class TraceWriter(TraceRecorder):
+    """Append events as JSONL to a file, assigning monotone ``seq`` numbers.
+
+    Usable as a context manager; the ``trace_start`` header (schema
+    version) is written on construction.  Keys are serialized sorted so
+    a trace's bytes are a pure function of the event stream.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        self._owns_handle = isinstance(target, (str, Path))
+        if isinstance(target, (str, Path)):
+            self.path: Optional[Path] = Path(target)
+            self._handle: IO[str] = open(self.path, "w", encoding="utf-8")
+        else:
+            self.path = None
+            self._handle = target
+        self._seq = 0
+        self.events_written = 0
+        self.record({"type": "trace_start", "version": TRACE_VERSION})
+
+    def record(self, event: Event) -> None:
+        """Assign the next ``seq`` and write the event as one JSON line."""
+        payload = {key: _jsonable(value) for key, value in event.items()}
+        payload["seq"] = self._seq
+        self._seq += 1
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and, when this writer opened the file, close it."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        """Enter: the writer itself."""
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Exit: close the underlying file."""
+        self.close()
+
+
+_recorder: Optional[TraceRecorder] = None
+
+
+def activate(recorder: TraceRecorder) -> TraceRecorder:
+    """Install ``recorder`` as the process-wide event sink."""
+    global _recorder
+    _recorder = recorder
+    return recorder
+
+
+def deactivate() -> None:
+    """Stop recording; :func:`emit` reverts to a no-op."""
+    global _recorder
+    _recorder = None
+
+
+def active_recorder() -> Optional[TraceRecorder]:
+    """The currently active recorder, or ``None`` when tracing is off."""
+    return _recorder
+
+
+def enabled() -> bool:
+    """Whether a recorder is active (hooks gate optional work on this)."""
+    return _recorder is not None
+
+
+@contextmanager
+def recording(
+    target: Union[str, Path, IO[str], TraceRecorder],
+) -> Iterator[TraceRecorder]:
+    """Activate a recorder for the body, restoring the previous one after.
+
+    ``target`` may be an existing recorder or a path/file, in which case
+    a :class:`TraceWriter` is created (and closed on exit).
+    """
+    global _recorder
+    owned: Optional[TraceWriter] = None
+    if isinstance(target, TraceRecorder):
+        recorder: TraceRecorder = target
+    else:
+        owned = TraceWriter(target)
+        recorder = owned
+    previous = _recorder
+    _recorder = recorder
+    try:
+        yield recorder
+    finally:
+        _recorder = previous
+        if owned is not None:
+            owned.close()
+
+
+def emit(type_: str, **fields: Any) -> None:
+    """Record one event on the active recorder; no-op when tracing is off."""
+    if _recorder is None:
+        return
+    event: Event = {"type": type_}
+    event.update(fields)
+    _recorder.record(event)

@@ -116,7 +116,16 @@ class BoundedLaplace:
         self._lower = lower.astype(np.float64, copy=True)
         self._upper = upper.astype(np.float64, copy=True)
         self._alpha = bounded_laplace_normalizer(beta, self._lower, self._upper)
-        self._degenerate = self._upper - self._lower <= 0
+        # Degenerate cells collapse to a point mass at ``lower``: either
+        # the interval itself has zero width (the mechanism's ``y = 0``
+        # cells, where ``I = [0, 0]``), or the normalizer underflowed to
+        # zero because the interval sits so deep in the Laplace tail that
+        # every double inside it rounds to density zero.  In that limit
+        # the conditional distribution concentrates at the interval's
+        # lower end, so treating both cases identically keeps pdf / cdf /
+        # ppf / mean finite and inside the support instead of dividing by
+        # the vanished ``alpha``.
+        self._degenerate = (self._upper - self._lower <= 0) | (self._alpha <= 0)
 
     @property
     def beta(self) -> float:
@@ -166,8 +175,8 @@ class BoundedLaplace:
             raise PrivacyError("quantiles must lie in [0, 1]")
         g_lower = np.where(
             self._lower < 0,
-            0.5 * np.exp(self._lower / self._beta),
-            1.0 - 0.5 * np.exp(-self._lower / self._beta),
+            0.5 * np.exp(np.minimum(self._lower, 0.0) / self._beta),
+            1.0 - 0.5 * np.exp(-np.maximum(self._lower, 0.0) / self._beta),
         )
         target = g_lower + q * self._alpha
         target = np.clip(target, 1e-300, 1.0 - 1e-16)
@@ -219,9 +228,10 @@ class BoundedLaplace:
         out = np.zeros(lower.shape)
         flat_lower, flat_upper = lower.ravel(), upper.ravel()
         flat_out = out.ravel()
+        flat_degenerate = np.atleast_1d(self._degenerate).ravel()
         for i in range(flat_lower.size):
             a, b = flat_lower[i], flat_upper[i]
-            if b - a <= 0:
+            if flat_degenerate[i]:
                 flat_out[i] = a**power
                 continue
             grid = np.linspace(a, b, resolution)

@@ -122,6 +122,48 @@ class TestBoundedLaplace:
         np.testing.assert_allclose(samples, 0.3)
         assert float(dist.mean()) == pytest.approx(0.3)
 
+    def test_zero_width_at_origin_is_point_mass(self):
+        """The mechanism's y = 0 cells give I = [0, 0]; everything is finite."""
+        dist = BoundedLaplace(0.5, 0.0, 0.0)
+        assert float(dist.sample(rng=0)) == 0.0
+        assert float(dist.mean()) == 0.0
+        assert float(dist.variance()) == 0.0
+        assert float(dist.cdf(0.0)) == 1.0
+        assert float(dist.ppf(0.5)) == 0.0
+
+    def test_tail_interval_with_underflowed_normalizer(self):
+        """Regression: alpha underflow must not leak NaN or escape the support.
+
+        For a narrow interval deep in the Laplace tail every double in it
+        rounds to density zero, so the closed-form normalizer underflows
+        to exactly 0.  Before the guard, pdf returned NaN (0/0), mean
+        returned 0.0 — *outside* the interval — and ppf walked to the
+        upper bound.  The distribution must collapse to a point mass at
+        the lower bound instead (the analytic limit: the conditional
+        density concentrates at the interval's near end).
+        """
+        dist = BoundedLaplace(0.01, 8.0, 8.1)
+        assert float(dist.alpha) == 0.0  # the underflow actually happens
+        assert float(dist.pdf(8.05)) == 0.0 and np.isfinite(dist.pdf(8.05))
+        assert float(dist.mean()) == 8.0
+        assert float(dist.variance()) == 0.0
+        samples = dist.sample(size=16, rng=0)
+        assert np.all(np.isfinite(samples))
+        np.testing.assert_allclose(samples, 8.0)
+        np.testing.assert_allclose(dist.cdf([7.9, 8.0, 8.05, 8.2]), [0, 1, 1, 1])
+
+    def test_mixed_vector_with_underflowed_cells(self):
+        """Healthy, zero-width and underflowed cells coexist in one vector."""
+        lower = np.array([0.0, 0.0, 700.0])
+        upper = np.array([0.3, 0.0, 700.5])
+        dist = BoundedLaplace(0.5, lower, upper)
+        samples = dist.sample(rng=1)
+        mean = dist.mean()
+        for values in (samples, mean):
+            assert np.all(np.isfinite(values))
+            assert np.all(values >= lower) and np.all(values <= upper)
+        assert samples[1] == 0.0 and samples[2] == 700.0
+
     def test_vectorized_bounds(self):
         upper = np.array([0.0, 0.2, 0.5])
         dist = BoundedLaplace(0.5, np.zeros(3), upper)

@@ -1,5 +1,7 @@
 """Tests for the message-passing substrate."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -212,3 +214,90 @@ class TestTapsAndStats:
 
     def test_default_seq_is_unsequenced(self):
         assert make_message().seq == 0
+
+
+class TestRetransmissionAccounting:
+    """ARQ re-sends hit the wire totals but not the payload ledgers."""
+
+    def _sequenced(self, seq, payload=None):
+        return Message(
+            kind=MessageKind.POLICY_UPLOAD,
+            sender="sbs-0",
+            recipient="bs",
+            payload=np.ones((2, 2)) if payload is None else payload,
+            iteration=0,
+            phase=0,
+            seq=seq,
+        )
+
+    def test_retried_upload_not_double_counted_in_payload_ledger(self):
+        """Regression: a retried upload used to inflate bytes_by_kind."""
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        channel.send(self._sequenced(seq=1))
+        channel.send(self._sequenced(seq=1))  # ARQ retry, same payload
+        channel.send(self._sequenced(seq=1))  # second retry
+        stats = channel.stats
+        assert stats.messages_sent == 3            # wire traffic
+        assert stats.bytes_sent == 96
+        assert stats.by_kind == {"policy_upload": 1}       # distinct payloads
+        assert stats.bytes_by_kind == {"policy_upload": 32}
+        assert stats.retransmitted_messages == 2
+        assert stats.retransmitted_bytes == 64
+
+    def test_wire_ledger_invariant(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        for seq in (1, 1, 2, 3, 3, 3):
+            channel.send(self._sequenced(seq))
+        stats = channel.stats
+        assert stats.bytes_sent == (
+            sum(stats.bytes_by_kind.values()) + stats.retransmitted_bytes
+        )
+        assert stats.by_kind == {"policy_upload": 3}
+        assert stats.retransmitted_messages == 3
+
+    def test_conversations_are_tracked_independently(self):
+        """Seq spaces are per (sender, recipient, kind), not global."""
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        channel.register("sbs-1")
+        channel.send(self._sequenced(seq=2))
+        other = Message(
+            kind=MessageKind.POLICY_UPLOAD,
+            sender="sbs-1",
+            recipient="bs",
+            payload=np.ones((2, 2)),
+            iteration=0,
+            phase=0,
+            seq=1,  # lower seq, but a different sender: not a re-send
+        )
+        channel.send(other)
+        ack0 = Message(
+            kind=MessageKind.ACK,
+            sender="bs",
+            recipient="sbs-0",
+            payload=np.array([2.0]),
+            iteration=0,
+            phase=0,
+            seq=2,
+        )
+        ack1 = dataclasses.replace(ack0, recipient="sbs-1", seq=1)
+        channel.send(ack0)
+        channel.send(ack1)  # lower seq, but a different recipient
+        assert channel.stats.retransmitted_messages == 0
+        assert channel.stats.by_kind == {"policy_upload": 2, "ack": 2}
+
+    def test_unsequenced_traffic_never_classified_as_retransmission(self):
+        """The failure-free protocol (seq=0 everywhere) is unaffected."""
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        for _ in range(5):
+            channel.send(make_message())
+        assert channel.stats.retransmitted_messages == 0
+        assert channel.stats.by_kind == {"policy_upload": 5}
+        assert sum(channel.stats.bytes_by_kind.values()) == channel.stats.bytes_sent

@@ -3,11 +3,13 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.distributed import DistributedConfig
 from repro.exceptions import ValidationError
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import _CellTask, _evaluate_cells, run_sweep
 from repro.network.faults import FaultConfig, FaultSchedule, LinkFaultProfile
+from repro.obs import TraceReader, validate_events
 
 TINY = ScenarioConfig(num_groups=8, num_links=10)
 CONFIG = DistributedConfig(accuracy=1e-3, max_iterations=2)
@@ -74,6 +76,45 @@ class TestBitIdentity:
         assert not np.allclose(lppm, optimum)
         # Optimum and LRFU ignore epsilon, so their series are flat.
         assert result.series("optimum")[0] == result.series("optimum")[1]
+
+
+class TestTraceDeterminism:
+    """Sweep traces are a pure function of the task list, not the scheduling."""
+
+    def _traced_sweep(self, path, **kwargs):
+        with obs.recording(path):
+            result = _sweep(**kwargs)
+        return result
+
+    def test_parallel_trace_is_byte_identical_to_serial(self, tmp_path):
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        serial = self._traced_sweep(serial_path, workers=1)
+        parallel = self._traced_sweep(parallel_path, workers=4)
+        assert serial == parallel
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    def test_sweep_trace_validates_and_groups_by_cell(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        self._traced_sweep(path, workers=2)
+        reader = TraceReader(path)
+        assert validate_events(reader.events) == []
+        cells = reader.cells()
+        # 2 x-values x 2 seeds x 3 schemes = 12 tasks; optimum and lrfu
+        # dedup across the epsilon axis, lppm cells stay distinct.
+        assert len(cells) == 8
+        starts = [e for e in reader.events if e["type"] == "cell_start"]
+        assert {e["scheme"] for e in starts} == {"optimum", "lppm", "lrfu"}
+
+    def test_trace_carries_no_scheduling_fields(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        self._traced_sweep(path, workers=3)
+        assert "workers" not in path.read_text()
+
+    def test_dedup_off_traces_every_cell(self, tmp_path):
+        path = tmp_path / "nodedup.jsonl"
+        self._traced_sweep(path, workers=2, dedup=False)
+        assert len(TraceReader(path).cells()) == 12
 
 
 class TestDeduplication:

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.attacks",
     "repro.experiments",
     "repro.perf",
+    "repro.obs",
 ]
 
 
