@@ -11,6 +11,10 @@ Algorithm 1 and writes machine-readable records for CI trend tracking:
   epsilon sweep: the legacy serial engine (no dedup, validating solver),
   the optimized serial engine, and the process-parallel engine, with an
   exact serial-vs-parallel cross-check.
+* ``BENCH_metrics_overhead.json`` — telemetry-layer numbers: the cost of
+  the disabled ``obs.emit`` no-op, the macro overhead of a fully metered
+  run (trace + metrics) vs a bare run, and a live-vs-offline snapshot
+  byte-identity cross-check.
 
 Usage::
 
@@ -18,9 +22,11 @@ Usage::
         [--out-dir DIR]
 
 ``--smoke`` shrinks the scenario so the harness finishes in seconds (the
-CI perf-smoke job runs this on every push).  The exit code is nonzero
-whenever any cross-check diverges, so CI fails loudly if the fast paths
-ever stop being exact.
+CI perf-smoke job runs this on every push).  Records land at the repo
+root by default so the committed copies double as regression baselines
+for ``repro-report regress``.  The exit code is nonzero whenever any
+cross-check diverges, so CI fails loudly if the fast paths ever stop
+being exact.
 
 Note on speedup interpretation: the parallel numbers depend on the
 machine's core count — on a single-core runner ``parallel_seconds`` can
@@ -45,7 +51,7 @@ if str(SRC) not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro import perf  # noqa: E402
+from repro import obs, perf  # noqa: E402
 from repro.core.distributed import DistributedConfig, solve_distributed  # noqa: E402
 from repro.core.subproblem import (  # noqa: E402
     SubproblemConfig,
@@ -212,6 +218,63 @@ def bench_sweeps(smoke: bool, workers: int) -> tuple:
     return record, identical and identical_vs_legacy
 
 
+def bench_metrics_overhead(smoke: bool) -> tuple:
+    """Telemetry benchmark: disabled-emit cost and metered-run overhead.
+
+    Returns ``(record, ok)`` where ``ok`` is False when the live metrics
+    snapshot is not byte-identical to the one derived offline from the
+    trace the same run wrote.
+    """
+    import tempfile
+
+    scenario = (
+        ScenarioConfig() if not smoke else ScenarioConfig(num_groups=12, num_links=16)
+    )
+    problem = build_problem(scenario, rng=7)
+    config = DistributedConfig(accuracy=1e-3, max_iterations=4 if smoke else 8)
+
+    # Micro: the disabled fast path — one emit with no recorder active.
+    calls = 200_000 if smoke else 1_000_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        obs.emit("iteration", iteration=0, cost=0.0)
+    noop_per_call = (time.perf_counter() - t0) / calls
+
+    # Macro: bare run vs fully metered run (trace on disk + metrics).
+    repeats = 2 if smoke else 3
+    t_bare = _time_repeated(lambda: solve_distributed(problem, config, rng=0), repeats)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "bench.jsonl"
+
+        def metered() -> None:
+            with obs.metering(trace=str(trace_path)):
+                solve_distributed(problem, config, rng=0)
+
+        t_metered = _time_repeated(metered, repeats)
+        with obs.metering(trace=str(trace_path)) as registry:
+            solve_distributed(problem, config, rng=0)
+        live_json = registry.to_json()
+        offline_json = obs.derive_metrics(str(trace_path)).to_json()
+        events = sum(1 for _ in trace_path.open()) - 1  # minus trace_start
+
+    identical = live_json == offline_json
+    record = {
+        "benchmark": "metrics_overhead",
+        "smoke": smoke,
+        "machine": _machine_record(),
+        "noop_emit": {"calls": calls, "seconds_per_call": noop_per_call},
+        "metered_run": {
+            "bare_seconds": t_bare,
+            "metered_seconds": t_metered,
+            "overhead_ratio": t_metered / t_bare if t_bare > 0 else float("inf"),
+            "events": events,
+        },
+        "live_offline_identical": identical,
+    }
+    return record, identical
+
+
 def main(argv=None) -> int:
     """Run both benchmarks; write JSON records; nonzero exit on divergence."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -224,8 +287,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out-dir",
         type=Path,
-        default=REPO_ROOT / "benchmarks" / "results",
-        help="directory receiving BENCH_*.json",
+        default=REPO_ROOT,
+        help="directory receiving BENCH_*.json (default: the repo root, "
+        "where the committed baselines live)",
     )
     args = parser.parse_args(argv)
     if args.workers < 1:
@@ -254,6 +318,18 @@ def main(argv=None) -> int:
         f"({sweep_record['speedup_vs_legacy']:.2f}x vs legacy), "
         f"parallel[{args.workers}] {sweep_record['parallel_seconds']:.2f} s "
         f"(identical={sweep_record['identical_serial_parallel']}) -> {path}"
+    )
+
+    metrics_record, metrics_ok = bench_metrics_overhead(args.smoke)
+    ok &= metrics_ok
+    path = args.out_dir / "BENCH_metrics_overhead.json"
+    path.write_text(json.dumps(metrics_record, indent=2) + "\n")
+    noop = metrics_record["noop_emit"]["seconds_per_call"]
+    metered = metrics_record["metered_run"]
+    print(
+        f"metrics: no-op emit {noop * 1e9:.0f} ns, metered run "
+        f"{metered['overhead_ratio']:.2f}x bare "
+        f"(live==offline: {metrics_record['live_offline_identical']}) -> {path}"
     )
 
     if not ok:

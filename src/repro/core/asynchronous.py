@@ -195,7 +195,7 @@ def solve_asynchronous(
             return False
         return bool(generator.random() < config.drop_probability)
 
-    def bs_receive_upload(sbs: int, block: np.ndarray) -> None:
+    def bs_receive_upload(sbs: int, block: np.ndarray, staleness: float) -> None:
         nonlocal epsilon_spent
         if link_drops():
             dropped[0] += 1
@@ -203,7 +203,13 @@ def solve_asynchronous(
             return
         reports[sbs] = block
         trajectory.append((scheduler.now, total_cost(problem, reports)))
-        obs.emit("async_update", time=scheduler.now, sbs=sbs, cost=trajectory[-1][1])
+        obs.emit(
+            "async_update",
+            time=scheduler.now,
+            sbs=sbs,
+            cost=trajectory[-1][1],
+            staleness=staleness,
+        )
         aggregate = reports.sum(axis=0)
         sent_at = scheduler.now
         for receiver in problem.sbs_indices():
@@ -239,7 +245,11 @@ def solve_asynchronous(
                 delay(config.mean_update_interval), lambda s=sbs: sbs_wakeup(s)
             )
             return
-        staleness_samples.append(scheduler.now - local_aggregate_time[sbs])
+        # The acted-upon staleness travels with the upload so the
+        # async_update event reports the view age this report was based
+        # on (simulated time: deterministic, byte-identity safe).
+        staleness = scheduler.now - local_aggregate_time[sbs]
+        staleness_samples.append(staleness)
         aggregate_others = np.clip(local_aggregate[sbs] - last_report[sbs], 0.0, None)
         result = solve_subproblem(
             problem, sbs, aggregate_others, config.subproblem
@@ -261,7 +271,7 @@ def solve_asynchronous(
         updates[sbs] += 1
         scheduler.schedule(
             delay(config.mean_message_delay),
-            lambda s=sbs, b=damped.copy(): bs_receive_upload(s, b),
+            lambda s=sbs, b=damped.copy(), st=staleness: bs_receive_upload(s, b, st),
         )
         scheduler.schedule(delay(config.mean_update_interval), lambda s=sbs: sbs_wakeup(s))
 

@@ -29,6 +29,7 @@ paper's stated future work — is provided via ``mode="jacobi"``.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -501,6 +502,10 @@ class SBSAgent:
         perf.count("algorithm1.phases")
         aggregate, prices = self.read_latest_aggregate()
         aggregate_others = np.clip(aggregate - self.last_report, 0.0, None)
+        # Inline wall-clock timing: tracing alone (no perf registry)
+        # records per-phase solve durations, gated on the recorder's
+        # timings flag so deterministic traces stay byte-identical.
+        solve_started = time.perf_counter() if obs.timings_enabled() else None
         with perf.timed("algorithm1.phase_solve"):
             result = solve_subproblem(
                 self._problem,
@@ -529,6 +534,10 @@ class SBSAgent:
                 ),
                 "dual_iterations": float(result.iterations),
             }
+            if solve_started is not None:
+                self.last_solve_stats["solve_seconds"] = (
+                    time.perf_counter() - solve_started
+                )
         report = result.routing
         noise_l1 = 0.0
         if self._mechanism is not None:
@@ -740,25 +749,14 @@ class DistributedOptimizer:
         self._sweep_norms: List[float] = []
 
     # -- trace hooks ---------------------------------------------------
-    def _phase_solve_elapsed(self) -> Optional[float]:
-        """Accumulated subproblem solve time, when both gauges are on.
+    def _trace_phase(self, record: PhaseRecord, agent: SBSAgent) -> None:
+        """Emit one ``phase`` event mirroring ``record`` (tracing only).
 
-        Returns ``None`` unless tracing is active *and* a
-        :mod:`repro.perf` registry is collecting — per-phase
-        ``solve_seconds`` come from the registry's
-        ``algorithm1.phase_solve`` timer, the instrument PR 2 installed.
+        Per-phase ``solve_seconds`` are measured inline by
+        :meth:`SBSAgent.compute_phase` whenever the active recorder has
+        timings on — tracing alone records phase timings; no
+        :mod:`repro.perf` registry is required.
         """
-        if not obs.enabled():
-            return None
-        registry = perf.active_registry()
-        if registry is None:
-            return None
-        return registry.timings.get("algorithm1.phase_solve", 0.0)
-
-    def _trace_phase(
-        self, record: PhaseRecord, agent: SBSAgent, solve_before: Optional[float]
-    ) -> None:
-        """Emit one ``phase`` event mirroring ``record`` (tracing only)."""
         if not obs.enabled():
             return
         fields: Dict[str, object] = {
@@ -776,9 +774,8 @@ class DistributedOptimizer:
             fields["mu_norm"] = stats["mu_norm"]
             self._sweep_gaps.append(stats["dual_gap"])
             self._sweep_norms.append(stats["mu_norm"])
-        solve_after = self._phase_solve_elapsed()
-        if solve_before is not None and solve_after is not None:
-            fields["solve_seconds"] = solve_after - solve_before
+            if "solve_seconds" in stats:
+                fields["solve_seconds"] = stats["solve_seconds"]
         obs.emit("phase", **fields)
 
     def _trace_iteration(
@@ -937,7 +934,6 @@ class DistributedOptimizer:
         """
         for phase, index in enumerate(self._order):
             agent = self.sbss[index]
-            solve_before = self._phase_solve_elapsed()
             noise_l1 = agent.run_phase(iteration, phase, cap_slack=slack)
             self.base_station.collect_upload(agent.index)
             if price_step is not None:
@@ -951,7 +947,7 @@ class DistributedOptimizer:
                 noise_l1=noise_l1,
             )
             history.record_phase(record)
-            self._trace_phase(record, agent, solve_before)
+            self._trace_phase(record, agent)
 
     def _resilient_sweep(
         self,
@@ -989,10 +985,9 @@ class DistributedOptimizer:
                     stale=True,
                 )
                 history.record_phase(record)
-                self._trace_phase(record, agent, solve_before=None)
+                self._trace_phase(record, agent)
                 continue
             agent.recover(self.checkpoints)
-            solve_before = self._phase_solve_elapsed()
             report, noise_l1 = agent.compute_phase(iteration, phase, cap_slack=slack)
             retries = self._upload_with_retries(agent, report, iteration, phase)
             if retries is None:
@@ -1018,7 +1013,7 @@ class DistributedOptimizer:
                     stale=True,
                 )
                 history.record_phase(record)
-                self._trace_phase(record, agent, solve_before)
+                self._trace_phase(record, agent)
                 continue
             agent.commit_report()
             agent.save_checkpoint(self.checkpoints, iteration)
@@ -1034,7 +1029,7 @@ class DistributedOptimizer:
                 retries=retries,
             )
             history.record_phase(record)
-            self._trace_phase(record, agent, solve_before)
+            self._trace_phase(record, agent)
 
     def _upload_with_retries(
         self, agent: SBSAgent, report: np.ndarray, iteration: int, phase: int
@@ -1091,14 +1086,18 @@ class DistributedOptimizer:
         slack: float = 0.0,
         price_step: Optional[float] = None,
     ) -> None:
-        """All SBSs best-respond to the same (stale) aggregate, with damping."""
+        """All SBSs best-respond to the same (stale) aggregate, with damping.
+
+        Each SBS's subproblem solve is timed inside
+        :meth:`SBSAgent.compute_phase`, so the per-phase events carry
+        per-SBS ``solve_seconds`` here too (the solves all happen before
+        the fold loop, but each duration is attributable to its SBS).
+        """
         uploads: Dict[int, float] = {}
-        solve_before = self._phase_solve_elapsed()
         for index in self._order:
             agent = self.sbss[index]
             noise_l1 = agent.run_phase(iteration, phase=0, cap_slack=slack)
             uploads[agent.index] = noise_l1
-        solve_after = self._phase_solve_elapsed()
         for phase, agent in enumerate(self.sbss):
             previous = self.base_station.reports[agent.index].copy()
             block = self.base_station.collect_upload(agent.index)
@@ -1114,16 +1113,7 @@ class DistributedOptimizer:
                 noise_l1=uploads[agent.index],
             )
             history.record_phase(record)
-            self._trace_phase(record, agent, solve_before=None)
-        if solve_before is not None and solve_after is not None:
-            # Jacobi solves all subproblems before folding, so the solve
-            # time is attributable to the sweep, not any single phase.
-            obs.emit(
-                "protocol",
-                event="jacobi_solve",
-                iteration=iteration,
-                solve_seconds=solve_after - solve_before,
-            )
+            self._trace_phase(record, agent)
         if price_step is not None:
             self.base_station.update_prices(price_step)
         self.base_station.broadcast_aggregate(iteration, phase=len(self.sbss))

@@ -140,30 +140,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record the target's solver runs as a JSONL trace at PATH "
         "(inspect with repro-trace summary/validate/diff)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="aggregate the target's runs into a labeled metrics snapshot "
+        "and write it as JSON at PATH (inspect with repro-report)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
-    recording = (
-        obs.recording(args.trace) if args.trace else contextlib.nullcontext()
-    )
-    with recording:
-        if args.target == "convergence":
-            print(_run_convergence(args.fast))
-            return 0
-        if args.target == "attack":
-            print(_run_attack(args.fast))
-            return 0
-        if args.target == "validate":
-            from .validation import validate_reproduction
+    recording: contextlib.AbstractContextManager[object]
+    if args.metrics_out:
+        recording = obs.metering(trace=args.trace)
+    elif args.trace:
+        recording = obs.recording(args.trace)
+    else:
+        recording = contextlib.nullcontext()
+    with recording as registry:
+        code = _run_target(args)
+    if args.metrics_out:
+        assert isinstance(registry, obs.MetricsRegistry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_json())
+    return code
 
-            report = validate_reproduction()
-            print(report.render())
-            return 0 if report.passed else 1
-        names = list(_FIGURES) if args.target == "all" else [args.target]
-        for name in names:
-            print(f"=== {name} ===")
-            print(_run_figure(name, args.fast, args.workers))
-            print()
+
+def _run_target(args: argparse.Namespace) -> int:
+    """Execute the selected target and return its exit code."""
+    if args.target == "convergence":
+        print(_run_convergence(args.fast))
+        return 0
+    if args.target == "attack":
+        print(_run_attack(args.fast))
+        return 0
+    if args.target == "validate":
+        from .validation import validate_reproduction
+
+        report = validate_reproduction()
+        print(report.render())
+        return 0 if report.passed else 1
+    names = list(_FIGURES) if args.target == "all" else [args.target]
+    for name in names:
+        print(f"=== {name} ===")
+        print(_run_figure(name, args.fast, args.workers))
+        print()
     return 0
 
 

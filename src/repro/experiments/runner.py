@@ -30,6 +30,7 @@ The default (``workers=1``) keeps the historical serial behaviour.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -145,16 +146,20 @@ def _evaluate_cell(task: _CellTask) -> float:
     raise ValidationError(f"unknown sweep scheme {task.scheme!r}")
 
 
-def _evaluate_cell_traced(task: _CellTask) -> Tuple[float, List[obs.Event]]:
+def _evaluate_cell_traced(
+    task: _CellTask, timings: bool = True
+) -> Tuple[float, List[obs.Event]]:
     """Run one cell under a buffering recorder; return (cost, events).
 
     Runs in the worker process (or inline for ``workers=1``): the cell's
     event stream is captured locally and replayed by the parent in
     submission order, so the merged sweep trace is byte-identical no
-    matter how cells were scheduled across processes.
+    matter how cells were scheduled across processes.  ``timings``
+    mirrors the parent recorder's timings flag into the worker (module
+    globals do not travel to pool processes reliably).
     """
     recorder = obs.ListRecorder()
-    with obs.recording(recorder):
+    with obs.recording(recorder, timings=timings):
         cost = _evaluate_cell(task)
     return cost, recorder.events
 
@@ -185,11 +190,14 @@ def _evaluate_cells(
         if key is not None:
             slot_of_key[key] = slot
     if obs.enabled():
+        traced = functools.partial(
+            _evaluate_cell_traced, timings=obs.timings_enabled()
+        )
         if workers <= 1:
-            pairs = [_evaluate_cell_traced(task) for task in distinct]
+            pairs = [traced(task) for task in distinct]
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                pairs = list(pool.map(_evaluate_cell_traced, distinct))
+                pairs = list(pool.map(traced, distinct))
         results = [_replay_cell(slot, task, pair) for slot, (task, pair) in
                    enumerate(zip(distinct, pairs))]
     elif workers <= 1:

@@ -24,11 +24,14 @@ optimized performance (``benchmarks/test_trace_overhead.py``).  See
 docs/observability.md for the event schema and recorder API.
 """
 
+from .derive import MetricsDeriver, MetricsRecorder, derive_metrics, metering
 from .events import EVENT_TYPES, REQUIRED_FIELDS, TRACE_VERSION
+from .metrics import Counter, Gauge, Histogram, MetricFamily, MetricsRegistry
 from .recorder import (
     Event,
     ListRecorder,
     NullRecorder,
+    TeeRecorder,
     TraceRecorder,
     TraceWriter,
     activate,
@@ -37,7 +40,9 @@ from .recorder import (
     emit,
     enabled,
     recording,
+    timings_enabled,
 )
+from .report import compare_snapshots, render_dashboard
 from .trace import (
     RunSegment,
     RunSummary,
@@ -55,6 +60,7 @@ __all__ = [
     "Event",
     "ListRecorder",
     "NullRecorder",
+    "TeeRecorder",
     "TraceRecorder",
     "TraceWriter",
     "activate",
@@ -63,6 +69,18 @@ __all__ = [
     "emit",
     "enabled",
     "recording",
+    "timings_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsDeriver",
+    "MetricsRecorder",
+    "derive_metrics",
+    "metering",
+    "compare_snapshots",
+    "render_dashboard",
     "RunSegment",
     "RunSummary",
     "TraceReader",

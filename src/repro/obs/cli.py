@@ -4,6 +4,7 @@ Three subcommands over JSONL run traces written by
 :class:`repro.obs.TraceWriter`::
 
     repro-trace summary run.jsonl            # reconstruct curve + ledger
+    repro-trace summary run.jsonl --format json   # machine-readable
     repro-trace validate run.jsonl           # structural + semantic checks
     repro-trace diff a.jsonl b.jsonl         # compare two traces
     repro-trace diff a.jsonl b.jsonl --tolerance 1e-9
@@ -44,7 +45,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     if not summaries:
         print("no runs recorded in trace")
         return 1
-    if args.json:
+    if args.json or args.format == "json":
         payload = [
             {
                 "run": summary.run,
@@ -111,7 +112,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "summary", help="reconstruct the convergence curve and epsilon ledger"
     )
     summary.add_argument("trace", help="path to a JSONL trace")
-    summary.add_argument("--json", action="store_true", help="machine-readable output")
+    summary.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output encoding (default: text)",
+    )
+    summary.add_argument(
+        "--json",
+        action="store_true",
+        help="alias for --format json (kept for compatibility)",
+    )
     summary.set_defaults(handler=_cmd_summary)
 
     validate = subparsers.add_parser(

@@ -1,0 +1,426 @@
+"""Typed, labeled metrics with deterministic snapshots and exposition.
+
+The trace layer (PR 4) records *events*; this module aggregates them
+into *metrics* — the counters, gauges and histograms a dashboard or a
+regression gate consumes.  Three instrument kinds, mirroring the
+Prometheus data model:
+
+* :class:`Counter` — monotone sum (phases run, bytes sent, epsilon
+  spent);
+* :class:`Gauge` — last-written value (final cost, max duality gap);
+* :class:`Histogram` — cumulative bucket counts plus sum/count (epsilon
+  per release, per-phase solve seconds, async staleness).
+
+Instruments are registered on a :class:`MetricsRegistry` and carry a
+fixed set of label *names*; concrete time series are materialized with
+:meth:`MetricFamily.labels`.  Everything is deterministic by
+construction:
+
+* snapshots sort families by name and series by label values;
+* label values are stringified through one canonical function
+  (:func:`label_value`), so ``numpy`` scalars, bools and ints always
+  render the same;
+* :meth:`MetricsRegistry.to_json` serializes with sorted keys — two
+  registries that observed the same event stream produce byte-identical
+  exports (``tests/test_obs_metrics.py`` pins this against the offline
+  derivation path of :mod:`repro.obs.derive`).
+
+Registries :meth:`~MetricsRegistry.merge` associatively (counters and
+histograms add, gauges take the incoming value), which is how per-cell
+sweep rollups combine deterministically no matter how many workers
+evaluated the cells.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "label_value",
+]
+
+#: Default histogram bucket upper bounds (Prometheus-style, ``+Inf``
+#: implicit).  Spans micro-durations through large epsilon/cost scales.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+)
+
+#: Hard ceiling on distinct label-value combinations per family.  High
+#: enough for any real sweep (cells x schemes), low enough to catch a
+#: label mistakenly carrying an unbounded value (cost, timestamp).
+MAX_SERIES_PER_FAMILY = 1000
+
+LabelValues = Tuple[str, ...]
+
+
+def label_value(value: Any) -> str:
+    """Canonical string form of one label value.
+
+    Booleans render ``true``/``false`` (never ``True``), integral floats
+    drop the trailing ``.0``, and everything else goes through ``str``.
+    One choke point means live emission and offline JSON round-trips
+    (where ``5`` may come back as ``5`` or ``5.0``) agree.
+    """
+    if not isinstance(value, (str, bool, int, float)) and hasattr(value, "item"):
+        value = value.item()  # numpy scalar -> plain Python
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer() and math.isfinite(value):
+        return str(int(value))
+    return str(value)
+
+
+def _format_number(value: float) -> str:
+    """Shortest exact decimal form of a float (ints without ``.0``)."""
+    as_float = float(value)
+    if as_float.is_integer() and math.isfinite(as_float):
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class Counter:
+    """One monotone series: a sum that can only grow."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the running sum."""
+        amount = float(amount)
+        if amount < 0:
+            raise ValidationError(f"counters only go up; got increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """One last-write-wins series: the most recent observation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+class Histogram:
+    """One cumulative-bucket series: counts per upper bound plus sum.
+
+    ``buckets`` are the finite upper bounds in increasing order; an
+    implicit ``+Inf`` bucket catches the rest.  An observation lands in
+    the first bucket whose bound is ``>= value`` (Prometheus ``le``
+    semantics, boundary inclusive).
+    """
+
+    __slots__ = ("buckets", "counts", "inf_count", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValidationError("histograms need at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValidationError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self.counts = [0 for _ in bounds]
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.inf_count += 1
+
+
+class MetricFamily:
+    """All series of one named metric, keyed by their label values.
+
+    Created via the registry's :meth:`~MetricsRegistry.counter` /
+    :meth:`~MetricsRegistry.gauge` / :meth:`~MetricsRegistry.histogram`;
+    :meth:`labels` returns (creating on first use) the series for one
+    concrete label-value combination.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self.series: Dict[LabelValues, Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        """The series for one label-value combination (created lazily)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValidationError(
+                f"metric {self.name!r} takes labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(label_value(labels[name]) for name in self.label_names)
+        child = self.series.get(key)
+        if child is None:
+            if len(self.series) >= MAX_SERIES_PER_FAMILY:
+                raise ValidationError(
+                    f"metric {self.name!r} exceeded {MAX_SERIES_PER_FAMILY} "
+                    "label combinations — a label is probably carrying an "
+                    "unbounded value"
+                )
+            if self.kind == "counter":
+                child = Counter()
+            elif self.kind == "gauge":
+                child = Gauge()
+            else:
+                child = Histogram(self.buckets or DEFAULT_BUCKETS)
+            self.series[key] = child
+        return child
+
+    def snapshot(self) -> Dict[str, Any]:
+        """This family as a plain, deterministic dict."""
+        rows: List[Dict[str, Any]] = []
+        for key in sorted(self.series):
+            child = self.series[key]
+            row: Dict[str, Any] = {
+                "labels": {name: value for name, value in zip(self.label_names, key)}
+            }
+            if self.kind == "histogram":
+                row["buckets"] = [
+                    [bound, count] for bound, count in zip(child.buckets, child.counts)
+                ]
+                row["inf"] = child.inf_count
+                row["sum"] = child.sum
+                row["count"] = child.count
+            else:
+                row["value"] = child.value
+            rows.append(row)
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "series": rows,
+        }
+        return payload
+
+
+class MetricsRegistry:
+    """A namespace of metric families with deterministic export.
+
+    Registration is idempotent for an identical signature (same kind,
+    labels and buckets) and a :class:`~repro.exceptions.ValidationError`
+    for a conflicting one, so independent call sites can share a family
+    safely.
+    """
+
+    #: Version stamped into snapshots; bump on incompatible layout changes.
+    SNAPSHOT_VERSION = 1
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def __iter__(self) -> Iterator[MetricFamily]:
+        """Iterate families in name order."""
+        return iter(sorted(self._families.values(), key=lambda f: f.name))
+
+    def family(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or ``None``."""
+        return self._families.get(name)
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        if len(set(label_names)) != len(label_names):
+            raise ValidationError(f"metric {name!r} repeats a label name: {label_names}")
+        bucket_bounds = tuple(float(b) for b in buckets) if buckets is not None else None
+        existing = self._families.get(name)
+        if existing is not None:
+            if (
+                existing.kind != kind
+                or existing.label_names != label_names
+                or (kind == "histogram" and existing.buckets != (bucket_bounds or DEFAULT_BUCKETS))
+            ):
+                raise ValidationError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        if kind == "histogram":
+            family = MetricFamily(
+                name, kind, help_text, label_names, bucket_bounds or DEFAULT_BUCKETS
+            )
+        else:
+            family = MetricFamily(name, kind, help_text, label_names)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str, labels: Sequence[str] = ()) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, "counter", help_text, labels)
+
+    def gauge(self, name: str, help_text: str, labels: Sequence[str] = ()) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        """Register (or fetch) a histogram family."""
+        return self._register(name, "histogram", help_text, labels, buckets)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as one deterministic nested dict."""
+        return {
+            "metrics_version": self.SNAPSHOT_VERSION,
+            "families": {
+                name: self._families[name].snapshot() for name in sorted(self._families)
+            },
+        }
+
+    def to_json(self, *, deterministic_only: bool = False) -> str:
+        """Snapshot as canonical JSON (sorted keys, 2-space indent).
+
+        ``deterministic_only`` drops every family whose name contains
+        ``seconds`` — the wall-clock histograms that legitimately differ
+        between runs — leaving an export suitable for byte-exact
+        baseline comparison.
+        """
+        payload = self.snapshot()
+        if deterministic_only:
+            payload["families"] = {
+                name: family
+                for name, family in payload["families"].items()
+                if "seconds" not in name
+            }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def to_prometheus(self) -> str:
+        """Snapshot in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self:
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family.series):
+                child = family.series[key]
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for bound, count in zip(child.buckets, child.counts):
+                        cumulative += count
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_number(bound)
+                        lines.append(
+                            f"{family.name}_bucket{_render_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = "+Inf"
+                    lines.append(
+                        f"{family.name}_bucket{_render_labels(bucket_labels)} "
+                        f"{cumulative + child.inf_count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} "
+                        f"{_format_number(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)} {child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} "
+                        f"{_format_number(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry in place; returns ``self``.
+
+        Counters and histograms add; gauges take the incoming value
+        (the merge argument is the *later* observation).  Families and
+        series missing on either side are carried over unchanged.
+        Conflicting registrations (same name, different kind/labels)
+        raise.
+        """
+        for theirs in other:
+            mine = self._register(
+                theirs.name, theirs.kind, theirs.help, theirs.label_names, theirs.buckets
+            )
+            for key, child in theirs.series.items():
+                target = mine.labels(**dict(zip(mine.label_names, key)))
+                if theirs.kind == "counter":
+                    target.inc(child.value)
+                elif theirs.kind == "gauge":
+                    target.set(child.value)
+                else:
+                    if target.buckets != child.buckets:
+                        raise ValidationError(
+                            f"cannot merge {theirs.name!r}: bucket bounds differ"
+                        )
+                    for index, count in enumerate(child.counts):
+                        target.counts[index] += count
+                    target.inf_count += child.inf_count
+                    target.sum += child.sum
+                    target.count += child.count
+        return self
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    """``{a="x",b="y"}`` (sorted), or the empty string without labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(labels[name])}"' for name in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    """Escape a label value for the Prometheus text format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

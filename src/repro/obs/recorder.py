@@ -16,13 +16,18 @@ Recorders:
   into the parent's writer deterministically;
 * :class:`TraceWriter` — appends one JSON object per line to a file,
   assigning the monotone ``seq`` numbers ``repro-trace validate``
-  checks.
+  checks;
+* :class:`TeeRecorder` — fans each event out to several recorders (one
+  emission, many consumers: a trace file *and* a live metrics deriver).
 
 Events never carry wall-clock timestamps: ordering is by ``seq`` and by
 the solver's own logical time (iteration / phase / simulated time), so
-two runs with the same seed produce byte-identical traces.  The only
-wall-clock fields are explicit ``*_seconds`` durations sourced from the
-perf registry, emitted only when one is active.
+two runs with the same seed produce byte-identical traces *when
+timings are off*.  The only wall-clock fields are explicit
+``*_seconds`` durations, measured inline by the solvers whenever a
+recorder is active with ``timings=True`` (the default for
+:func:`recording`); pass ``timings=False`` for strictly deterministic,
+byte-comparable traces.
 """
 
 from __future__ import annotations
@@ -41,11 +46,13 @@ __all__ = [
     "NullRecorder",
     "ListRecorder",
     "TraceWriter",
+    "TeeRecorder",
     "activate",
     "deactivate",
     "active_recorder",
     "recording",
     "enabled",
+    "timings_enabled",
     "emit",
 ]
 
@@ -141,13 +148,38 @@ class TraceWriter(TraceRecorder):
         self.close()
 
 
+class TeeRecorder(TraceRecorder):
+    """Fan each event out to several recorders, in construction order.
+
+    Lets one emission feed independent consumers — typically a
+    :class:`TraceWriter` (the durable record) next to a live metrics
+    deriver (:class:`repro.obs.derive.MetricsRecorder`) — guaranteeing
+    both saw the identical stream.
+    """
+
+    def __init__(self, *recorders: TraceRecorder) -> None:
+        self.recorders: List[TraceRecorder] = list(recorders)
+
+    def record(self, event: Event) -> None:
+        """Deliver the event to every downstream recorder."""
+        for recorder in self.recorders:
+            recorder.record(event)
+
+
 _recorder: Optional[TraceRecorder] = None
+_timings: bool = True
 
 
-def activate(recorder: TraceRecorder) -> TraceRecorder:
-    """Install ``recorder`` as the process-wide event sink."""
-    global _recorder
+def activate(recorder: TraceRecorder, *, timings: bool = True) -> TraceRecorder:
+    """Install ``recorder`` as the process-wide event sink.
+
+    ``timings`` controls whether solvers measure wall-clock
+    ``solve_seconds`` while this recorder is active (see
+    :func:`timings_enabled`).
+    """
+    global _recorder, _timings
     _recorder = recorder
+    _timings = timings
     return recorder
 
 
@@ -167,16 +199,31 @@ def enabled() -> bool:
     return _recorder is not None
 
 
+def timings_enabled() -> bool:
+    """Whether solvers should measure wall-clock phase timings.
+
+    True only while a recorder is active *and* it was installed with
+    ``timings=True`` — so a plain run pays nothing, and a
+    ``timings=False`` recording stays byte-deterministic.
+    """
+    return _recorder is not None and _timings
+
+
 @contextmanager
 def recording(
     target: Union[str, Path, IO[str], TraceRecorder],
+    *,
+    timings: bool = True,
 ) -> Iterator[TraceRecorder]:
     """Activate a recorder for the body, restoring the previous one after.
 
     ``target`` may be an existing recorder or a path/file, in which case
-    a :class:`TraceWriter` is created (and closed on exit).
+    a :class:`TraceWriter` is created (and closed on exit).  With
+    ``timings=True`` (the default) traced solvers measure per-phase
+    wall-clock ``solve_seconds`` inline; pass ``timings=False`` when
+    the trace must be byte-identical across runs.
     """
-    global _recorder
+    global _recorder, _timings
     owned: Optional[TraceWriter] = None
     if isinstance(target, TraceRecorder):
         recorder: TraceRecorder = target
@@ -184,11 +231,14 @@ def recording(
         owned = TraceWriter(target)
         recorder = owned
     previous = _recorder
+    previous_timings = _timings
     _recorder = recorder
+    _timings = timings
     try:
         yield recorder
     finally:
         _recorder = previous
+        _timings = previous_timings
         if owned is not None:
             owned.close()
 

@@ -79,3 +79,37 @@ class TestCLI:
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["fig7"])
+
+    def test_metrics_out_writes_snapshot(self, tmp_path):
+        import json
+
+        from repro.obs import derive_metrics
+
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "convergence",
+                    "--fast",
+                    "--trace",
+                    str(trace),
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["metrics_version"] == 1
+        assert "repro_run_final_cost" in snapshot["families"]
+        # The live export re-derives byte-identically from the trace.
+        assert metrics.read_text() == derive_metrics(str(trace)).to_json()
+
+    def test_metrics_out_without_trace(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(["convergence", "--fast", "--metrics-out", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert "repro_runs_total" in snapshot["families"]

@@ -27,12 +27,14 @@ from repro.obs import (
 CONFIG = DistributedConfig(accuracy=1e-3, max_iterations=4)
 
 
-def traced_run(tmp_path, name="run.jsonl", *, problem=None, rng=1, **kwargs):
+def traced_run(
+    tmp_path, name="run.jsonl", *, problem=None, rng=1, timings=True, **kwargs
+):
     """Run Algorithm 1 under a TraceWriter; return (result, events)."""
     if problem is None:
         problem = random_problem(np.random.default_rng(0))
     path = tmp_path / name
-    with obs.recording(path):
+    with obs.recording(path, timings=timings):
         result = solve_distributed(problem, kwargs.pop("config", CONFIG), rng=rng, **kwargs)
     return result, TraceReader(path).events
 
@@ -226,9 +228,11 @@ class TestDistributedTrace:
         )
 
     def test_same_run_gives_byte_identical_traces(self, tmp_path):
+        # timings=False strips the wall-clock solve_seconds fields —
+        # with them, two runs of the same seed differ byte-wise.
         problem = random_problem(np.random.default_rng(3))
-        traced_run(tmp_path, "a.jsonl", problem=problem, rng=5)
-        traced_run(tmp_path, "b.jsonl", problem=problem, rng=5)
+        traced_run(tmp_path, "a.jsonl", problem=problem, rng=5, timings=False)
+        traced_run(tmp_path, "b.jsonl", problem=problem, rng=5, timings=False)
         assert (tmp_path / "a.jsonl").read_bytes() == (tmp_path / "b.jsonl").read_bytes()
 
 

@@ -36,6 +36,17 @@ class TestSummary:
         assert payload[0]["run"] == "algorithm1"
         assert payload[0]["final_cost"] == payload[0]["reported_final_cost"]
 
+    def test_format_json_matches_legacy_flag(self, trace_path, capsys):
+        assert main(["summary", "--format", "json", str(trace_path)]) == 0
+        via_format = capsys.readouterr().out
+        assert main(["summary", "--json", str(trace_path)]) == 0
+        assert capsys.readouterr().out == via_format
+        assert json.loads(via_format)[0]["run"] == "algorithm1"
+
+    def test_format_text_is_default(self, trace_path, capsys):
+        assert main(["summary", "--format", "text", str(trace_path)]) == 0
+        assert "run: algorithm1" in capsys.readouterr().out
+
     def test_empty_trace_fails(self, tmp_path, capsys):
         path = tmp_path / "empty.jsonl"
         path.write_text('{"type": "trace_start", "version": 1, "seq": 0}\n')

@@ -81,16 +81,17 @@ class TestBitIdentity:
 class TestTraceDeterminism:
     """Sweep traces are a pure function of the task list, not the scheduling."""
 
-    def _traced_sweep(self, path, **kwargs):
-        with obs.recording(path):
+    def _traced_sweep(self, path, *, timings=True, **kwargs):
+        with obs.recording(path, timings=timings):
             result = _sweep(**kwargs)
         return result
 
     def test_parallel_trace_is_byte_identical_to_serial(self, tmp_path):
+        # timings=False: wall-clock solve_seconds would differ per run.
         serial_path = tmp_path / "serial.jsonl"
         parallel_path = tmp_path / "parallel.jsonl"
-        serial = self._traced_sweep(serial_path, workers=1)
-        parallel = self._traced_sweep(parallel_path, workers=4)
+        serial = self._traced_sweep(serial_path, workers=1, timings=False)
+        parallel = self._traced_sweep(parallel_path, workers=4, timings=False)
         assert serial == parallel
         assert serial_path.read_bytes() == parallel_path.read_bytes()
 

@@ -1,0 +1,122 @@
+"""Tests for the plain-text figure rendering in experiments/reporting.py."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.experiments.metrics import compute_metrics
+from repro.experiments.reporting import (
+    ascii_chart,
+    format_headline_gaps,
+    format_series,
+    format_sweep_chart,
+    format_sweep_table,
+)
+from repro.experiments.runner import SweepPoint, SweepResult
+
+
+def _sweep_result(include_lrfu=True):
+    schemes = ("optimum", "lppm") + (("lrfu",) if include_lrfu else ())
+    points = []
+    for x, base in ((0.1, 100.0), (1.0, 90.0), (10.0, 85.0)):
+        costs = {"optimum": base, "lppm": base * 1.1}
+        if include_lrfu:
+            costs["lrfu"] = base * 1.3
+        points.append(
+            SweepPoint(x=x, costs=costs, stds={s: 0.0 for s in costs})
+        )
+    return SweepResult(
+        name="fig-test", x_label="epsilon", points=tuple(points), schemes=schemes
+    )
+
+
+class TestFormatSeries:
+    def test_renders_with_precision(self):
+        assert format_series("views", [1.25, 2.0], precision=1) == "views: [1.2, 2.0]"
+
+    def test_zero_precision(self):
+        assert format_series("v", [10.6], precision=0) == "v: [11]"
+
+
+class TestFormatSweepTable:
+    def test_contains_every_point_and_scheme(self):
+        table = format_sweep_table(_sweep_result())
+        lines = table.splitlines()
+        assert lines[0].split() == ["epsilon", "optimum", "lppm", "lrfu"]
+        assert len(lines) == 2 + 3  # header, rule, one row per x
+        assert "0.1" in lines[2] and "100.0" in lines[2]
+
+    def test_columns_align(self):
+        lines = format_sweep_table(_sweep_result()).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestFormatHeadlineGaps:
+    def test_reports_gaps_vs_optimum_and_lrfu(self):
+        text = format_headline_gaps(_sweep_result())
+        assert "LPPM over optimum : +10.0%" in text
+        assert "LRFU over optimum : +30.0%" in text
+        assert "by point" in text
+
+    def test_without_lrfu(self):
+        text = format_headline_gaps(_sweep_result(include_lrfu=False))
+        assert "LRFU" not in text
+        assert "LPPM over optimum" in text
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert ascii_chart([]) == "(empty series)"
+
+    def test_flat_series_renders_half_width(self):
+        lines = ascii_chart([5.0, 5.0], width=40).splitlines()
+        assert all(line.count("#") == 20 for line in lines)
+
+    def test_monotone_series_monotone_bars(self):
+        lines = ascii_chart([1.0, 2.0, 3.0], width=30).splitlines()
+        widths = [line.count("#") for line in lines]
+        assert widths == sorted(widths)
+        assert widths[-1] == 30
+
+    def test_label_format(self):
+        chart = ascii_chart([1234.5], label_format="{:.1f}")
+        assert chart.startswith("1234.5 |")
+
+
+class TestFormatSweepChart:
+    def test_renders_per_x_bars(self):
+        chart = format_sweep_chart(_sweep_result(), "lppm")
+        lines = chart.splitlines()
+        assert lines[0] == "[fig-test] lppm vs epsilon"
+        assert len(lines) == 4
+        assert all("|" in line for line in lines[1:])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            format_sweep_chart(_sweep_result(), "nonesuch")
+
+
+class TestSolutionMetricsIntegration:
+    """Edge coverage for experiments/metrics.py beyond the validation tests."""
+
+    def test_per_sbs_savings_shape_and_fairness(self, tiny_problem):
+        result = solve_distributed(tiny_problem, DistributedConfig(max_iterations=5))
+        metrics = compute_metrics(tiny_problem, result.solution)
+        assert len(metrics.per_sbs_savings) == tiny_problem.num_sbs
+        assert all(s >= 0.0 for s in metrics.per_sbs_savings)
+        assert 0.0 < metrics.savings_fairness <= 1.0
+
+    def test_mean_utilization_matches_tuple(self, tiny_problem):
+        result = solve_distributed(tiny_problem, DistributedConfig(max_iterations=5))
+        metrics = compute_metrics(tiny_problem, result.solution)
+        assert metrics.mean_utilization == pytest.approx(
+            float(np.mean(metrics.bandwidth_utilization))
+        )
+
+    def test_as_dict_is_all_floats(self, tiny_problem):
+        result = solve_distributed(tiny_problem, DistributedConfig(max_iterations=5))
+        payload = compute_metrics(tiny_problem, result.solution).as_dict()
+        assert all(isinstance(value, float) for value in payload.values())
+        assert payload["cost"] + payload["savings"] == pytest.approx(
+            tiny_problem.max_cost()
+        )
