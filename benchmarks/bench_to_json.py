@@ -15,6 +15,10 @@ Algorithm 1 and writes machine-readable records for CI trend tracking:
   the disabled ``obs.emit`` no-op, the macro overhead of a fully metered
   run (trace + metrics) vs a bare run, and a live-vs-offline snapshot
   byte-identity cross-check.
+* ``BENCH_runtime.json`` — socket-transport numbers on the 3-SBS smoke
+  instance: ``solve_over_sockets`` wall time vs the in-process
+  simulator, a trace bit-identity cross-check, and the retransmission /
+  stale-phase / proxy ledger of one fixed-seed chaos run.
 
 Usage::
 
@@ -275,8 +279,93 @@ def bench_metrics_overhead(smoke: bool) -> tuple:
     return record, identical
 
 
+def bench_runtime(smoke: bool) -> tuple:
+    """Socket-runtime benchmark: transport overhead plus a chaos ledger.
+
+    Returns ``(record, ok)`` where ``ok`` is False when the fault-free
+    socket run is not bit-identical to the in-process simulation or the
+    fixed-seed chaos run fails to converge.  Wall times and fault counts
+    are informational (timing- and machine-dependent); the booleans are
+    the regression gate.
+    """
+    import filecmp
+    import tempfile
+
+    from repro.network.faults import FaultConfig
+    from repro.runtime import RuntimeConfig, solve_over_sockets
+    from repro.runtime.smoke import chaos_plan, smoke_problem
+
+    problem = smoke_problem()
+    config = DistributedConfig(max_iterations=8)
+    repeats = 2 if smoke else 3
+
+    t_inprocess = _time_repeated(
+        lambda: solve_distributed(problem, config, faults=FaultConfig()), repeats
+    )
+    t_socket = _time_repeated(
+        lambda: solve_over_sockets(problem, config, runtime=RuntimeConfig()), repeats
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket_trace = Path(tmp) / "socket.jsonl"
+        sim_trace = Path(tmp) / "inprocess.jsonl"
+        with obs.recording(str(socket_trace), timings=False):
+            socket_result, _ = solve_over_sockets(
+                problem, config, runtime=RuntimeConfig()
+            )
+        with obs.recording(str(sim_trace), timings=False):
+            sim_result = solve_distributed(problem, config, faults=FaultConfig())
+        identical = filecmp.cmp(socket_trace, sim_trace, shallow=False) and (
+            np.array_equal(
+                socket_result.solution.caching, sim_result.solution.caching
+            )
+            and np.array_equal(
+                socket_result.solution.routing, sim_result.solution.routing
+            )
+        )
+
+    chaos_seed = 3
+    runtime = RuntimeConfig(
+        faults=chaos_plan(chaos_seed), ack_timeout=0.1, phase_deadline=10.0
+    )
+    t0 = time.perf_counter()
+    chaos_result, chaos_report = solve_over_sockets(problem, config, runtime=runtime)
+    chaos_wall = time.perf_counter() - t0
+
+    record = {
+        "benchmark": "socket_runtime",
+        "smoke": smoke,
+        "machine": _machine_record(),
+        "scenario": {
+            "num_sbs": problem.num_sbs,
+            "num_groups": problem.num_groups,
+            "num_files": problem.num_files,
+        },
+        "faultfree": {
+            "inprocess_seconds": t_inprocess,
+            "socket_seconds": t_socket,
+            "overhead_ratio": (
+                t_socket / t_inprocess if t_inprocess > 0 else float("inf")
+            ),
+            "identical": identical,
+        },
+        "chaos": {
+            "seed": chaos_seed,
+            "wall_seconds": chaos_wall,
+            "converged": chaos_result.converged,
+            "iterations": chaos_result.iterations,
+            "retransmissions": chaos_report.retransmissions,
+            "stale_phases": chaos_report.stale_phases,
+            "deadline_expired": chaos_report.deadline_expired,
+            "corrupted": chaos_report.corrupted,
+            "proxy": chaos_report.proxy,
+        },
+    }
+    return record, identical and chaos_result.converged
+
+
 def main(argv=None) -> int:
-    """Run both benchmarks; write JSON records; nonzero exit on divergence."""
+    """Run the benchmarks; write JSON records; nonzero exit on divergence."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true", help="tiny scenario for CI (seconds, not minutes)"
@@ -291,14 +380,39 @@ def main(argv=None) -> int:
         help="directory receiving BENCH_*.json (default: the repo root, "
         "where the committed baselines live)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=("algorithm1", "sweeps", "metrics", "runtime"),
+        metavar="NAME",
+        help="run only the named section(s); repeatable (default: all)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
+    def wanted(name: str) -> bool:
+        return args.only is None or name in args.only
+
     ok = True
+    if wanted("algorithm1"):
+        ok &= _run_algorithm1(args)
+    if wanted("sweeps"):
+        ok &= _run_sweeps(args)
+    if wanted("metrics"):
+        ok &= _run_metrics(args)
+    if wanted("runtime"):
+        ok &= _run_runtime_bench(args)
+
+    if not ok:
+        print("FAIL: fast/parallel results diverged from the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_algorithm1(args) -> bool:
     algo_record, algo_ok = bench_algorithm1(args.smoke)
-    ok &= algo_ok
     path = args.out_dir / "BENCH_algorithm1.json"
     path.write_text(json.dumps(algo_record, indent=2) + "\n")
     sub = algo_record["solve_subproblem"]
@@ -307,9 +421,11 @@ def main(argv=None) -> int:
         f"fast {sub['fast_seconds'] * 1e3:.1f} ms "
         f"({sub['speedup']:.2f}x, identical={sub['identical']}) -> {path}"
     )
+    return bool(algo_ok)
 
+
+def _run_sweeps(args) -> bool:
     sweep_record, sweep_ok = bench_sweeps(args.smoke, args.workers)
-    ok &= sweep_ok
     path = args.out_dir / "BENCH_sweeps.json"
     path.write_text(json.dumps(sweep_record, indent=2) + "\n")
     print(
@@ -319,9 +435,11 @@ def main(argv=None) -> int:
         f"parallel[{args.workers}] {sweep_record['parallel_seconds']:.2f} s "
         f"(identical={sweep_record['identical_serial_parallel']}) -> {path}"
     )
+    return bool(sweep_ok)
 
+
+def _run_metrics(args) -> bool:
     metrics_record, metrics_ok = bench_metrics_overhead(args.smoke)
-    ok &= metrics_ok
     path = args.out_dir / "BENCH_metrics_overhead.json"
     path.write_text(json.dumps(metrics_record, indent=2) + "\n")
     noop = metrics_record["noop_emit"]["seconds_per_call"]
@@ -331,11 +449,25 @@ def main(argv=None) -> int:
         f"{metered['overhead_ratio']:.2f}x bare "
         f"(live==offline: {metrics_record['live_offline_identical']}) -> {path}"
     )
+    return bool(metrics_ok)
 
-    if not ok:
-        print("FAIL: fast/parallel results diverged from the reference", file=sys.stderr)
-        return 1
-    return 0
+
+def _run_runtime_bench(args) -> bool:
+    runtime_record, runtime_ok = bench_runtime(args.smoke)
+    path = args.out_dir / "BENCH_runtime.json"
+    path.write_text(json.dumps(runtime_record, indent=2) + "\n")
+    faultfree = runtime_record["faultfree"]
+    chaos = runtime_record["chaos"]
+    print(
+        f"runtime: in-process {faultfree['inprocess_seconds']:.2f} s, "
+        f"socket {faultfree['socket_seconds']:.2f} s "
+        f"({faultfree['overhead_ratio']:.2f}x, "
+        f"identical={faultfree['identical']}); chaos[seed={chaos['seed']}] "
+        f"retransmissions={chaos['retransmissions']} "
+        f"stale={chaos['stale_phases']} "
+        f"(converged={chaos['converged']}) -> {path}"
+    )
+    return bool(runtime_ok)
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
@@ -56,8 +56,43 @@ __all__ = [
     "Checkpoint",
     "CheckpointStore",
     "DistributedOptimizer",
+    "TransportEndpoint",
     "solve_distributed",
 ]
+
+
+class TransportEndpoint(Protocol):
+    """What the BS/SBS agents require of their message substrate.
+
+    This is the transport abstraction seam: the in-process
+    :class:`~repro.network.messaging.Channel` (and its fault-injecting
+    subclass) satisfy it directly, and the socket runtime of
+    :mod:`repro.runtime` satisfies it with a per-node local mailbox that
+    the client event loop fills from TCP frames.  Agents only ever
+    register themselves, send messages and drain their own mailbox —
+    everything else (clocks, fault schedules, sockets) belongs to the
+    orchestrator driving them.
+    """
+
+    def register(self, node_name: str) -> None:
+        """Register ``node_name`` so it can receive (broadcast) messages."""
+        ...
+
+    def send(self, message: Message) -> None:
+        """Deliver one message (``recipient="*"`` broadcasts)."""
+        ...
+
+    def receive(self, node_name: str) -> Message:
+        """Pop the oldest pending message for ``node_name``."""
+        ...
+
+    def pending(self, node_name: str) -> int:
+        """Number of undelivered messages for ``node_name``."""
+        ...
+
+    def drain(self, node_name: str) -> List[Message]:
+        """Receive every pending message for ``node_name``."""
+        ...
 
 
 @dataclasses.dataclass(frozen=True)
@@ -384,6 +419,18 @@ class BaseStationAgent:
                 )
             )
         return folded
+
+    def has_folded(self, index: int, seq: int) -> bool:
+        """Whether an upload with sequence ``seq`` from SBS ``index`` was folded.
+
+        Acks are cumulative, so any folded sequence number at or above
+        ``seq`` means that upload's payload is part of the aggregate.
+        This is the BS-side half of the exclusive delivered-vs-stale
+        decision: a phase whose upload was folded is *delivered* even if
+        every acknowledgement back to the SBS was lost.
+        """
+        self._problem._check_sbs(index)
+        return self._folded_seq.get(index, 0) >= seq
 
     def system_cost(self) -> float:
         """Network cost evaluated at the reported policies."""
@@ -1070,6 +1117,15 @@ class DistributedOptimizer:
         self.channel.advance(self.config.retry_backoff_cap)
         self.base_station.absorb_uploads()
         if agent.await_ack(seq):
+            return self.config.max_retries
+        # Exclusive deadline check: an upload that was folded exactly at
+        # the retry-budget boundary (delivered, but every ack back was
+        # lost or still in flight) is *delivered*, full stop.  Without
+        # this check the phase would be double-booked — the BS aggregate
+        # already contains the fresh report, yet the phase would also be
+        # recorded stale and the SBS rolled back, leaving its y_{-n}
+        # bookkeeping out of sync with what the BS actually holds.
+        if self.base_station.has_folded(agent.index, seq):
             return self.config.max_retries
         if self.config.on_timeout == "raise":
             raise ProtocolTimeout(

@@ -44,3 +44,14 @@ class ProtocolTimeout(ProtocolError):
     the run was configured to fail hard (``on_timeout="raise"``) instead
     of degrading gracefully.
     """
+
+
+class FrameError(ProtocolError):
+    """A message payload or wire frame is malformed.
+
+    Raised by the message layer for zero-length or oversized payloads
+    and by the socket wire codec (:mod:`repro.runtime.wire`) for frames
+    with a bad magic, version, length or checksum — the receive path
+    treats such frames as corrupt and discards them rather than folding
+    garbage into the aggregate.
+    """

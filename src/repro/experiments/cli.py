@@ -7,6 +7,7 @@ diagnostic targets::
     repro-experiments fig6 --fast       # quick smoke run
     repro-experiments all               # every figure
     repro-experiments convergence       # Algorithm 1 vs centralized
+    repro-experiments convergence --transport socket   # over repro.runtime
     repro-experiments attack            # the eavesdropper experiment
     repro-experiments validate          # quick end-to-end sanity chain
 """
@@ -60,7 +61,7 @@ def _run_figure(name: str, fast: bool, workers: int = 1) -> str:
     )
 
 
-def _run_convergence(fast: bool) -> str:
+def _run_convergence(fast: bool, transport: str = "sim") -> str:
     from ..core.centralized import solve_centralized
     from ..core.distributed import DistributedConfig, solve_distributed
     from .config import build_problem
@@ -69,19 +70,30 @@ def _run_convergence(fast: bool) -> str:
     config = DistributedConfig(
         accuracy=1e-3 if fast else 1e-6, max_iterations=6 if fast else 15
     )
-    result = solve_distributed(problem, config)
+    lines = []
+    if transport == "socket":
+        from ..runtime import RuntimeConfig, solve_over_sockets
+
+        result, report = solve_over_sockets(problem, config, runtime=RuntimeConfig())
+        lines.append(
+            f"socket runtime: {report.num_clients} SBS clients ({report.mode}), "
+            f"wall {report.wall_seconds:.2f}s, "
+            f"retransmissions={report.retransmissions}, "
+            f"stale={report.stale_phases}"
+        )
+    else:
+        result = solve_distributed(problem, config)
     reference = solve_centralized(problem)
     gap = result.cost / reference.cost - 1.0
-    return "\n".join(
-        [
-            f"Algorithm 1: cost {result.cost:,.1f} in {result.iterations} iterations "
-            f"(converged={result.converged})",
-            f"centralized: cost {reference.cost:,.1f} "
-            f"(LP lower bound {reference.lower_bound:,.1f})",
-            f"gap: {100 * gap:+.2f}%",
-            f"monotone phase costs: {result.history.is_non_increasing()}",
-        ]
-    )
+    lines += [
+        f"Algorithm 1: cost {result.cost:,.1f} in {result.iterations} iterations "
+        f"(converged={result.converged})",
+        f"centralized: cost {reference.cost:,.1f} "
+        f"(LP lower bound {reference.lower_bound:,.1f})",
+        f"gap: {100 * gap:+.2f}%",
+        f"monotone phase costs: {result.history.is_non_increasing()}",
+    ]
+    return "\n".join(lines)
 
 
 def _run_attack(fast: bool) -> str:
@@ -134,6 +146,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(bit-identical to the serial run; figure targets only)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("sim", "socket"),
+        default="sim",
+        help="convergence target only: run Algorithm 1 in-process (sim) or "
+        "over the repro.runtime socket transport (socket)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -169,7 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _run_target(args: argparse.Namespace) -> int:
     """Execute the selected target and return its exit code."""
     if args.target == "convergence":
-        print(_run_convergence(args.fast))
+        print(_run_convergence(args.fast, transport=args.transport))
         return 0
     if args.target == "attack":
         print(_run_attack(args.fast))

@@ -50,18 +50,27 @@ class LinkFaultProfile:
     """Independent per-delivery fault probabilities for one message kind.
 
     Each delivery attempt (one recipient of one send) draws, in order:
-    drop, then — if not dropped — delay, duplication and reordering.
-    ``max_delay_ticks`` bounds how long a delayed message is held.
+    drop, then — if not dropped — truncation, delay, duplication and
+    reordering.  ``max_delay_ticks`` bounds how long a delayed message
+    is held.
+
+    ``truncate`` models a frame cut short on the wire.  On this
+    in-process channel a truncated message is discarded at the receive
+    boundary (its checksum would never verify) and counted in
+    ``ChannelStats.corrupted``; the socket chaos proxy of
+    :mod:`repro.runtime.chaos` forwards the actual byte prefix so the
+    real CRC check does the discarding.
     """
 
     drop: float = 0.0
     duplicate: float = 0.0
     delay: float = 0.0
     reorder: float = 0.0
+    truncate: float = 0.0
     max_delay_ticks: int = 3
 
     def __post_init__(self) -> None:
-        for name in ("drop", "duplicate", "delay", "reorder"):
+        for name in ("drop", "duplicate", "delay", "reorder", "truncate"):
             check_in_interval(getattr(self, name), name, low=0.0, high=1.0)
         if self.max_delay_ticks < 1:
             raise ValidationError(
@@ -71,8 +80,9 @@ class LinkFaultProfile:
     @property
     def is_quiet(self) -> bool:
         """True when this profile never perturbs a delivery."""
+        rates = (self.drop, self.duplicate, self.delay, self.reorder, self.truncate)
         # repro-lint: disable=float-equality -- rates are user-set constants; exact 0.0 means "feature off"
-        return self.drop == self.duplicate == self.delay == self.reorder == 0.0
+        return all(rate == 0.0 for rate in rates)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -270,6 +280,23 @@ class FaultyChannel(Channel):
                 "protocol",
                 event="drop",
                 reason="loss",
+                kind=message.kind.value,
+                sender=message.sender,
+                recipient=name,
+                tick=self._tick,
+            )
+            return
+        # Truncation: the frame arrives cut short, fails its integrity
+        # check at the receiver and is discarded.  The draw is only taken
+        # when the profile enables it, so profiles without truncation
+        # consume exactly the same random sequence as before the feature
+        # existed (seeded runs stay reproducible across versions).
+        if profile.truncate > 0.0 and self._rng.random() < profile.truncate:
+            self.stats.corrupted += 1
+            obs.emit(
+                "protocol",
+                event="drop",
+                reason="truncated",
                 kind=message.kind.value,
                 sender=message.sender,
                 recipient=name,

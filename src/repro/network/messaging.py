@@ -29,9 +29,15 @@ from typing import Callable, Deque, Dict, List, Tuple
 
 import numpy as np
 
-from ..exceptions import ProtocolError, ValidationError
+from ..exceptions import FrameError, ProtocolError, ValidationError
 
-__all__ = ["MessageKind", "Message", "Channel", "ChannelStats"]
+__all__ = ["MAX_PAYLOAD_BYTES", "MessageKind", "Message", "Channel", "ChannelStats"]
+
+#: Hard ceiling on a single message payload (bytes).  The largest
+#: legitimate payload is one stacked ``(2, U, F)`` price broadcast; 16 MiB
+#: leaves orders of magnitude of headroom while still rejecting a
+#: runaway (or adversarial) allocation before it is copied and queued.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
 
 
 class MessageKind(enum.Enum):
@@ -88,6 +94,14 @@ class ChannelStats:
     duplicated: int = 0
     delayed: int = 0
     reordered: int = 0
+    # Receive-side integrity outcomes (populated by the truncation fault
+    # and the socket runtime of :mod:`repro.runtime`): frames discarded
+    # because their checksum or framing failed, reports rejected by the
+    # BS's byzantine filter, and phases the BS closed because a straggler
+    # missed the phase deadline.
+    corrupted: int = 0
+    byzantine_rejected: int = 0
+    deadline_expired: int = 0
     # Retransmissions issued by the ARQ layer (each is also counted in
     # ``messages_sent`` when it hits the wire).
     retransmissions: int = 0
@@ -152,8 +166,30 @@ class Channel:
         self._taps.append(observer)
 
     def send(self, message: Message) -> None:
-        """Deliver ``message`` (or broadcast it when recipient is ``"*"``)."""
-        payload = np.array(message.payload, dtype=np.float64, copy=True)
+        """Deliver ``message`` (or broadcast it when recipient is ``"*"``).
+
+        Payloads are validated at the send boundary: a zero-length or
+        oversized payload (or one that cannot be represented as a float
+        array at all) raises :class:`~repro.exceptions.FrameError`
+        instead of being silently queued — the receive side should never
+        have to guess what an empty routing block means.
+        """
+        try:
+            payload = np.array(message.payload, dtype=np.float64, copy=True)
+        except (TypeError, ValueError) as error:
+            raise FrameError(
+                f"{message.kind.value} payload from {message.sender!r} is not "
+                f"numeric: {error}"
+            ) from error
+        if payload.size == 0:
+            raise FrameError(
+                f"zero-length {message.kind.value} payload from {message.sender!r}"
+            )
+        if payload.nbytes > MAX_PAYLOAD_BYTES:
+            raise FrameError(
+                f"{message.kind.value} payload from {message.sender!r} is "
+                f"{payload.nbytes} bytes, exceeding the {MAX_PAYLOAD_BYTES}-byte frame limit"
+            )
         payload.setflags(write=False)
         message = dataclasses.replace(message, payload=payload)
         if message.recipient == "*":

@@ -155,7 +155,16 @@ class MetricsDeriver:
                 "Payload bytes sent, by message kind (retransmissions excluded).",
                 ("kind",),
             ).labels(kind=kind).inc(float(bytes_by_kind[kind]))
-        for fault in ("dropped", "duplicated", "delayed", "reordered", "retransmissions"):
+        for fault in (
+            "dropped",
+            "duplicated",
+            "delayed",
+            "reordered",
+            "retransmissions",
+            "corrupted",
+            "byzantine_rejected",
+            "deadline_expired",
+        ):
             if stats.get(fault):
                 registry.counter(
                     "repro_channel_faults_total",
@@ -325,6 +334,18 @@ class MetricsDeriver:
             registry.counter(
                 "repro_recoveries_total", "Crash recoveries, per SBS.", ("sbs",)
             ).labels(sbs=sbs).inc()
+        elif name == "deadline_expired" and sbs is not None:
+            registry.counter(
+                "repro_deadline_expired_total",
+                "Phases the BS closed on a straggler's missed deadline, per SBS.",
+                ("sbs",),
+            ).labels(sbs=sbs).inc()
+        elif name == "byzantine_reject" and sbs is not None:
+            registry.counter(
+                "repro_byzantine_rejects_total",
+                "Uploads the BS's byzantine filter refused or clipped, per SBS.",
+                ("sbs", "reason"),
+            ).labels(sbs=sbs, reason=event.get("reason", "-")).inc()
         elif name == "drop":
             registry.counter(
                 "repro_dropped_messages_total",

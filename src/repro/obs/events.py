@@ -41,7 +41,12 @@ Event types
     accountant ``label`` and the realized ``noise_l1``.
 ``protocol``
     Fault-layer and ARQ outcomes; ``event`` is one of ``retry``,
-    ``degrade``, ``crash_skip``, ``recover``, ``drop``.
+    ``degrade``, ``crash_skip``, ``recover``, ``drop``, plus the socket
+    runtime's ``deadline_expired`` (the BS closed a straggler's phase at
+    the wall-clock deadline; ``folded`` says whether the late upload
+    still made the aggregate) and ``byzantine_reject`` (the BS's upload
+    filter refused or clipped a report; carries ``reason`` and
+    ``action``).
 ``async_update``
     The BS folded one asynchronous upload: simulated ``time``, ``sbs``,
     post-fold ``cost`` and the acted-upon aggregate ``staleness``.

@@ -1,0 +1,293 @@
+"""Network chaos proxy: a socket-level man-in-the-middle for the runtime.
+
+The proxy sits between every SBS client and the BS server, forwarding
+length-prefixed wire frames while injecting faults from the same
+:class:`~repro.network.faults.FaultConfig` vocabulary the in-process
+:class:`~repro.network.faults.FaultyChannel` speaks — but on real
+bytes:
+
+* **drop** — the frame never reaches the peer;
+* **truncate** — the peer receives an actual byte prefix of the frame,
+  whose CRC32 then fails at the receiver (the receiver counts it in
+  ``ChannelStats.corrupted`` and moves on);
+* **delay** — the frame is held back until ``k`` later frames have
+  passed on the same link direction;
+* **reorder** — the frame is overtaken by the next frame on the link;
+* **duplicate** — the frame is forwarded twice;
+* **schedule** — crash/partition windows drop every data-plane frame
+  touching the affected SBS for the tagged iterations.
+
+Determinism: each link *direction* owns a
+``np.random.default_rng([seed, sbs_index, direction])`` stream and a
+frame counter, and every decision is a pure function of that stream and
+the frame's header — never of wall-clock time.  The protocol is
+stop-and-wait, so the frame sequence on each direction is itself a pure
+function of earlier decisions; two runs with the same seed therefore
+inject byte-identical fault sequences, which is what the
+chaos-determinism tests pin.
+
+The control plane is exempt: ``CONTROL`` frames (grants, phase reports,
+shutdown) and anything tagged with a negative iteration (the hello and
+the initial broadcast) pass through untouched.  Chaos targets the
+*paper's* protocol — uploads, acks, broadcasts — not the harness that
+orchestrates it.
+
+The proxy never emits trace events: its pump tasks run concurrently
+with the BS server, so emitting from here would interleave
+nondeterministically with the server's trace.  It keeps its own
+:class:`ProxyStats` ledger instead, reported via
+:class:`~repro.runtime.config.RuntimeReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import FrameError, ValidationError
+from ..network.faults import FaultConfig
+from ..network.messaging import MessageKind
+from .wire import peek_header, read_frame_bytes, write_raw
+
+__all__ = ["ProxyStats", "ChaosProxy"]
+
+
+@dataclasses.dataclass
+class ProxyStats:
+    """What the proxy did to the traffic, across all links."""
+
+    forwarded: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    truncated: int = 0
+    schedule_dropped: int = 0
+
+    def merge(self, other: "ProxyStats") -> None:
+        """Fold another ledger (one link direction's) into this one."""
+        for field in dataclasses.fields(self):
+            setattr(
+                self, field.name, getattr(self, field.name) + getattr(other, field.name)
+            )
+
+
+class _LinkDirection:
+    """Fault state for one direction of one SBS<->BS link.
+
+    ``process`` maps one incoming frame to zero or more outgoing frames,
+    advancing the direction's frame counter and draining any held
+    (delayed/reordered) frames that have come due.  All randomness comes
+    from the direction's own seeded generator, in a fixed draw order per
+    frame, so decisions depend only on the frame count — not on timing.
+    """
+
+    def __init__(self, config: FaultConfig, index: int, direction: int) -> None:
+        self._config = config
+        self._node = f"sbs-{index}"
+        self._rng = np.random.default_rng([config.seed, index, direction])
+        self._count = 0
+        self._held: List[Tuple[int, int, bytes]] = []  # (due_count, order, raw)
+        self._held_counter = 0
+        self.stats = ProxyStats()
+
+    def _release_due(self) -> List[bytes]:
+        due = [entry for entry in self._held if entry[0] <= self._count]
+        if not due:
+            return []
+        self._held = [entry for entry in self._held if entry[0] > self._count]
+        return [raw for _, _, raw in sorted(due, key=lambda e: (e[0], e[1]))]
+
+    def _hold(self, raw: bytes, ticks: int) -> None:
+        self._held.append((self._count + ticks, self._held_counter, raw))
+        self._held_counter += 1
+
+    def process(self, raw: bytes) -> List[bytes]:
+        """Decide one frame's fate; return the frames to forward now."""
+        self._count += 1
+        outputs = self._release_due()
+        try:
+            header = peek_header(raw)
+        except FrameError:
+            # Unparseable already — forward and let the receiver count it.
+            self.stats.forwarded += 1
+            outputs.append(raw)
+            return outputs
+        if header.kind is MessageKind.CONTROL or header.iteration < 0:
+            self.stats.forwarded += 1
+            outputs.append(raw)
+            return outputs
+        schedule = self._config.schedule
+        if schedule.is_crashed(self._node, header.iteration) or schedule.is_partitioned(
+            "bs", self._node, header.iteration
+        ):
+            self.stats.schedule_dropped += 1
+            return outputs
+        profile = self._config.profile_for(header.kind)
+        if profile.is_quiet:
+            self.stats.forwarded += 1
+            outputs.append(raw)
+            return outputs
+        # Draw order mirrors the in-process FaultyChannel: drop, then
+        # truncate (gated so truncation-free profiles keep their stream),
+        # then delay/reorder, then duplicate.
+        if self._rng.random() < profile.drop:
+            self.stats.dropped += 1
+            return outputs
+        if profile.truncate > 0.0 and self._rng.random() < profile.truncate:
+            self.stats.truncated += 1
+            outputs.append(raw[: max(8, len(raw) // 2)])
+            return outputs
+        if self._rng.random() < profile.delay:
+            ticks = 1 + int(self._rng.integers(profile.max_delay_ticks))
+            self.stats.delayed += 1
+            self._hold(raw, ticks)
+        elif profile.reorder > 0.0 and self._rng.random() < profile.reorder:
+            # Overtaken by the next frame on this direction.
+            self.stats.reordered += 1
+            self._hold(raw, 1)
+        else:
+            self.stats.forwarded += 1
+            outputs.append(raw)
+        if self._rng.random() < profile.duplicate:
+            self.stats.duplicated += 1
+            outputs.append(raw)
+        return outputs
+
+    def abandon_held(self) -> int:
+        """Drop frames still held at stream end (peers are shutting down)."""
+        abandoned = len(self._held)
+        self.stats.dropped += abandoned
+        self._held = []
+        return abandoned
+
+
+class ChaosProxy:
+    """Accepts client connections and MITMs them to the upstream server.
+
+    Each accepted connection is identified by its first frame (the
+    client's hello carries its node name), paired with a fresh upstream
+    connection, and pumped in both directions through per-direction
+    :class:`_LinkDirection` fault state.
+    """
+
+    #: Direction codes for the per-direction RNG streams.
+    CLIENT_TO_SERVER = 0
+    SERVER_TO_CLIENT = 1
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.config = config
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.host = host
+        self.port: Optional[int] = None
+        self.stats = ProxyStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._links: List[_LinkDirection] = []
+        self._handlers: List["asyncio.Task[None]"] = []
+
+    async def start(self) -> int:
+        """Bind an ephemeral port and start accepting; returns the port."""
+        self._server = await asyncio.start_server(self._handle, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        """Stop accepting and fold every link's ledger into ``stats``."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Handlers block on their pump pair until both directions hit
+        # EOF; at shutdown the peers may already be gone without a clean
+        # EOF, so cancel rather than leak pending tasks into loop close.
+        for task in self._handlers:
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers = []
+        for link in self._links:
+            link.abandon_held()
+            self.stats.merge(link.stats)
+        self._links = []
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Current ledger including still-open links (read-only view)."""
+        merged = ProxyStats()
+        for link in self._links:
+            merged.merge(link.stats)
+        merged.merge(self.stats)
+        return dataclasses.asdict(merged)
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        current = asyncio.current_task()
+        if current is not None:
+            self._handlers.append(current)
+        upstream_writer: Optional[asyncio.StreamWriter] = None
+        try:
+            # The first frame (hello) identifies the link.
+            raw = await read_frame_bytes(client_reader)
+            header = peek_header(raw)
+            try:
+                index = int(header.sender.split("-", 1)[1])
+            except (IndexError, ValueError) as error:
+                raise ValidationError(
+                    f"proxy cannot identify link from sender {header.sender!r}"
+                ) from error
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+            c2s = _LinkDirection(self.config, index, self.CLIENT_TO_SERVER)
+            s2c = _LinkDirection(self.config, index, self.SERVER_TO_CLIENT)
+            self._links.extend([c2s, s2c])
+            for out in c2s.process(raw):
+                write_raw(upstream_writer, out)
+            await upstream_writer.drain()
+            await asyncio.gather(
+                self._pump(client_reader, upstream_writer, c2s),
+                self._pump(upstream_reader, client_writer, s2c),
+            )
+        except (asyncio.IncompleteReadError, ConnectionError, FrameError, ValidationError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels still-open handlers; the run is over,
+            # so exit quietly instead of surfacing the cancellation.
+            pass
+        finally:
+            for writer in (client_writer, upstream_writer):
+                if writer is not None:
+                    writer.close()
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        link: _LinkDirection,
+    ) -> None:
+        """Forward one direction until EOF, applying the link's faults."""
+        try:
+            while True:
+                raw = await read_frame_bytes(reader)
+                for out in link.process(raw):
+                    write_raw(writer, out)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, FrameError):
+            pass
+        finally:
+            link.abandon_held()
+            try:
+                writer.write_eof()
+            except (OSError, RuntimeError):
+                pass

@@ -1,0 +1,904 @@
+"""BS aggregation server and orchestrator for the socket runtime.
+
+The server owns the *authoritative* protocol state: internally it drives
+the same :class:`~repro.core.distributed.BaseStationAgent` over a real
+in-memory :class:`~repro.network.messaging.Channel` (the "bus"), so
+folding, cumulative acks, duplicate suppression and traffic accounting
+are byte-for-byte the in-process implementation.  The socket layer only
+moves frames between that bus and the TCP clients:
+
+* uploads read off a client's connection are re-sent *onto the bus* and
+  absorbed by the BS agent, which queues cumulative acks;
+* acks and aggregate broadcasts queued on the bus are flushed back out
+  as wire frames.
+
+The Gauss-Seidel sweep itself mirrors
+``DistributedOptimizer._resilient_sweep`` phase by phase — same event
+order, same :class:`~repro.core.convergence.PhaseRecord` fields, same
+convergence test — which is what makes a fault-free socket run's trace
+and :class:`~repro.core.solution.Solution` bit-identical to
+``solve_distributed(problem, config, faults=FaultConfig())``.
+
+On top of that parity baseline the server adds what only a real
+deployment needs:
+
+* **straggler policy** — a wall-clock ``phase_deadline`` per granted
+  phase; at expiry the BS proceeds with the stale report (or, if the
+  upload was folded but the ``phase_done`` never arrived, with the fresh
+  one), counts ``ChannelStats.deadline_expired`` and emits a
+  ``deadline_expired`` protocol event.  A quorum fraction below ``1.0``
+  lets iterations with a bounded number of stale phases still certify
+  convergence.
+* **byzantine filter** (opt-in) — shape/finiteness/range validation of
+  every upload against the routing invariants before it touches the
+  aggregate, with a ``reject`` (refuse + let the sender's ARQ exhaust)
+  or ``clip`` (fold the sanitised report) policy.
+
+``solve_over_sockets`` is the synchronous entry point; it returns the
+familiar :class:`~repro.core.distributed.DistributedResult` plus a
+:class:`~repro.runtime.config.RuntimeReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .. import obs
+from .._validation import rng_from
+from ..core.convergence import CostHistory, PhaseRecord
+from ..core.cost import total_cost
+from ..core.distributed import (
+    BaseStationAgent,
+    DistributedConfig,
+    DistributedResult,
+)
+from ..core.problem import ProblemInstance
+from ..core.solution import Solution
+from ..exceptions import ProtocolTimeout, ValidationError
+from ..network.messaging import Channel, Message, MessageKind
+from ..privacy.accountant import PrivacyAccountant
+from ..privacy.factory import MechanismConfig
+from .chaos import ChaosProxy
+from .client import client_main, run_client
+from .config import ClientSession, RuntimeConfig, RuntimeReport
+from .wire import Frame, FrameSource, write_frame
+
+__all__ = ["RuntimeServer", "solve_over_sockets"]
+
+
+def _frame_from(message: Message) -> Frame:
+    """Wire frame for one bus message (ack or broadcast)."""
+    return Frame(
+        kind=message.kind,
+        sender=message.sender,
+        recipient=message.recipient,
+        iteration=message.iteration,
+        phase=message.phase,
+        seq=message.seq,
+        array=np.asarray(message.payload),
+    )
+
+
+class _ClientLink:
+    """Server-side state for one connected SBS client."""
+
+    def __init__(
+        self, index: int, source: FrameSource, writer: asyncio.StreamWriter
+    ) -> None:
+        self.index = index
+        self.name = f"sbs-{index}"
+        self.source = source
+        self.writer = writer
+        self.alive = True
+        # Phases closed by the deadline policy, mapped to their verdict;
+        # a late ``phase_done`` for one of these gets that verdict back
+        # (so the client commits/rolls back consistently) but can no
+        # longer change the record.
+        self.resolved: Dict[Tuple[int, int], str] = {}
+        # Upload seqs already rejected by the byzantine filter, so a
+        # retransmitted poisoned report is not double-counted.
+        self.rejected: set = set()
+
+
+class RuntimeServer:
+    """Accepts SBS connections and runs Algorithm 1 over them."""
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        config: DistributedConfig,
+        runtime: RuntimeConfig,
+        *,
+        privacy: Optional[MechanismConfig] = None,
+        rng: Union[int, np.random.Generator, None] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config
+        self.runtime = runtime
+        self.privacy = privacy
+        self.bus = Channel()
+        # Registration order matches DistributedOptimizer: BS first, then
+        # the SBSs in index order (broadcast fan-out order parity).
+        self.base_station = BaseStationAgent(
+            problem, self.bus, with_prices=config.coordination == "prices"
+        )
+        for index in problem.sbs_indices():
+            self.bus.register(f"sbs-{index}")
+        self.accountant = PrivacyAccountant() if privacy is not None else None
+        # Per-SBS mechanism seeds, drawn exactly as the in-process
+        # optimizer draws them (index order, one int64 per private SBS).
+        generator = rng_from(rng)
+        self.privacy_seeds: Dict[int, int] = {}
+        if privacy is not None:
+            for index in problem.sbs_indices():
+                self.privacy_seeds[index] = int(
+                    generator.integers(np.iinfo(np.int64).max)
+                )
+        self._links: Dict[int, _ClientLink] = {}
+        self._hello: Dict[int, asyncio.Event] = {
+            index: asyncio.Event() for index in problem.sbs_indices()
+        }
+        self._fold_count: Dict[int, int] = {index: 0 for index in problem.sbs_indices()}
+        self._final_caching: Dict[int, np.ndarray] = {}
+        self._final_routing: Dict[int, np.ndarray] = {}
+        self._sweep_gaps: List[float] = []
+        self._sweep_norms: List[float] = []
+        self._slack = 0.0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.port: Optional[int] = None
+
+    # -- connection plumbing -------------------------------------------
+    async def start(self) -> int:
+        """Bind an ephemeral port and start accepting; returns the port."""
+        self._server = await asyncio.start_server(
+            self._accept, self.runtime.host, 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for link in self._links.values():
+            link.source.close()
+            link.writer.close()
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        source = FrameSource(reader)
+        kind, frame = await source.next(self.runtime.control_timeout)
+        if kind != "frame" or frame is None or frame.kind is not MessageKind.CONTROL:
+            source.close()
+            writer.close()
+            return
+        meta = frame.meta or {}
+        if meta.get("action") != "hello" or "index" not in meta:
+            source.close()
+            writer.close()
+            return
+        index = int(meta["index"])
+        if index not in self._hello or index in self._links:
+            source.close()
+            writer.close()
+            return
+        self._links[index] = _ClientLink(index, source, writer)
+        self._hello[index].set()
+
+    async def _await_hellos(self) -> None:
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(event.wait() for event in self._hello.values())),
+                timeout=self.runtime.control_timeout,
+            )
+        except asyncio.TimeoutError:
+            missing = sorted(i for i, e in self._hello.items() if not e.is_set())
+            raise ProtocolTimeout(
+                f"SBS clients {missing} did not connect within "
+                f"{self.runtime.control_timeout}s"
+            ) from None
+
+    def _write(self, link: _ClientLink, frame: Frame) -> None:
+        if not link.alive:
+            return
+        try:
+            write_frame(link.writer, frame)
+        except (ConnectionError, OSError):
+            link.alive = False
+
+    async def _flush_link(self, link: _ClientLink) -> None:
+        """Push every bus message queued for this client onto its socket."""
+        for message in self.bus.drain(link.name):
+            self._write(link, _frame_from(message))
+        if link.alive:
+            try:
+                await link.writer.drain()
+            except (ConnectionError, OSError):
+                link.alive = False
+
+    async def _flush_all(self) -> None:
+        for link in self._links.values():
+            await self._flush_link(link)
+
+    async def _send_control(
+        self, link: _ClientLink, iteration: int, phase: int, meta: Dict[str, Any]
+    ) -> None:
+        self._write(
+            link,
+            Frame(
+                kind=MessageKind.CONTROL,
+                sender="bs",
+                recipient=link.name,
+                iteration=iteration,
+                phase=phase,
+                meta=meta,
+            ),
+        )
+        if link.alive:
+            try:
+                await link.writer.drain()
+            except (ConnectionError, OSError):
+                link.alive = False
+
+    # -- upload ingestion ----------------------------------------------
+    def _byzantine_verdict(self, block: np.ndarray) -> Optional[str]:
+        """Why the filter dislikes ``block`` (``None`` when it is clean)."""
+        if block.shape != self.problem.shape[1:]:
+            return "shape"
+        if not np.all(np.isfinite(block)):
+            return "nonfinite"
+        if block.min() < -1e-9 or block.max() > 1.0 + self._slack + 1e-9:
+            return "range"
+        return None
+
+    async def _ingest_upload(self, link: _ClientLink, frame: Frame) -> None:
+        """Validate one upload, fold it via the bus, flush the ack."""
+        if frame.sender != link.name or frame.array is None:
+            self.bus.stats.corrupted += 1
+            return
+        tag = (frame.iteration, frame.phase)
+        if tag in link.resolved:
+            # The deadline policy already closed this phase; folding now
+            # would desync the client's rollback from the BS aggregate.
+            return
+        block = frame.array
+        if self.runtime.byzantine_filter:
+            reason = self._byzantine_verdict(block)
+            if reason is not None:
+                action = (
+                    "reject"
+                    if reason == "shape" or self.runtime.byzantine_policy == "reject"
+                    else "clip"
+                )
+                if frame.seq not in link.rejected:
+                    link.rejected.add(frame.seq)
+                    self.bus.stats.byzantine_rejected += 1
+                    obs.emit(
+                        "protocol",
+                        event="byzantine_reject",
+                        sbs=link.index,
+                        iteration=frame.iteration,
+                        phase=frame.phase,
+                        reason=reason,
+                        action=action,
+                    )
+                if action == "reject":
+                    return  # no ack: the sender's ARQ exhausts and degrades
+                block = np.clip(
+                    np.nan_to_num(block, nan=0.0, posinf=1.0, neginf=0.0),
+                    0.0,
+                    1.0 + self._slack,
+                )
+        elif block.shape != self.problem.shape[1:]:
+            # Without the filter a malformed block is indistinguishable
+            # from wire corruption; count it, never crash the fold.
+            self.bus.stats.corrupted += 1
+            return
+        self.bus.send(
+            Message(
+                kind=MessageKind.POLICY_UPLOAD,
+                sender=link.name,
+                recipient="bs",
+                payload=block,
+                iteration=frame.iteration,
+                phase=frame.phase,
+                seq=frame.seq,
+            )
+        )
+        before = self.base_station._folded_seq.get(link.index, 0)
+        self.base_station.absorb_uploads()
+        if self.base_station._folded_seq.get(link.index, 0) > before:
+            self._fold_count[link.index] += 1
+        await self._flush_link(link)
+
+    # -- event replay --------------------------------------------------
+    def _replay_events(self, events: List[Dict[str, Any]]) -> None:
+        """Re-emit client-captured trace events into the server's trace.
+
+        Only the event families the in-process optimizer emits from
+        *inside* a phase are replayed — privacy releases (also folded
+        into the server's accountant) and crash recoveries.  Retries are
+        synthesized separately from the ``phase_done`` retry count so
+        they can never be double-reported.
+        """
+        for event in events:
+            fields = {key: value for key, value in event.items() if key != "type"}
+            type_ = event.get("type")
+            if type_ == "privacy":
+                if self.accountant is not None:
+                    self.accountant.record(
+                        party=str(fields.get("party")),
+                        epsilon=float(fields.get("epsilon", 0.0)),
+                        label=str(fields.get("label")),
+                    )
+                obs.emit("privacy", **fields)
+            elif type_ == "protocol" and fields.get("event") == "recover":
+                obs.emit("protocol", **fields)
+
+    async def _replay_late(self, link: _ClientLink, meta: Dict[str, Any]) -> None:
+        """Handle a ``phase_done`` for a phase the deadline already closed.
+
+        The record is final — only the client-side events (privacy
+        spends, recoveries) are salvaged, never retries — but the client
+        is still waiting on a verdict, so send the recorded one.
+        """
+        self._replay_events(list(meta.get("events", [])))
+        self.bus.stats.corrupted += int(meta.get("corrupted", 0))
+        tag = (int(meta.get("iteration", -1)), int(meta.get("phase", -1)))
+        verdict = link.resolved.get(tag, "degraded")
+        await self._send_control(
+            link,
+            tag[0],
+            tag[1],
+            {
+                "action": "phase_result",
+                "iteration": tag[0],
+                "phase": tag[1],
+                "verdict": verdict,
+            },
+        )
+
+    async def _drain_backlog(self, link: _ClientLink) -> None:
+        """Process frames buffered on a link without blocking.
+
+        Late traffic from deadline-closed phases (stray uploads, the
+        eventual ``phase_done``) is resolved here, before the client is
+        granted its next phase.
+        """
+        while True:
+            kind, frame = await link.source.next(0)
+            if kind == "timeout":
+                return
+            if kind == "eof":
+                link.alive = False
+                return
+            if kind == "corrupt":
+                self.bus.stats.corrupted += 1
+                continue
+            assert frame is not None
+            if frame.kind is MessageKind.POLICY_UPLOAD:
+                await self._ingest_upload(link, frame)
+            elif frame.kind is MessageKind.CONTROL:
+                meta = frame.meta or {}
+                if meta.get("action") == "phase_done":
+                    await self._replay_late(link, meta)
+
+    async def _await_phase_done(
+        self, link: _ClientLink, iteration: int, phase: int
+    ) -> Optional[Dict[str, Any]]:
+        """Serve the link until its ``phase_done`` or the phase deadline."""
+        loop = asyncio.get_running_loop()
+        end = loop.time() + self.runtime.phase_deadline
+        while True:
+            remaining = end - loop.time()
+            if remaining <= 0:
+                return None
+            kind, frame = await link.source.next(remaining)
+            if kind == "timeout":
+                return None
+            if kind == "eof":
+                link.alive = False
+                return None
+            if kind == "corrupt":
+                self.bus.stats.corrupted += 1
+                continue
+            assert frame is not None
+            if frame.kind is MessageKind.POLICY_UPLOAD:
+                await self._ingest_upload(link, frame)
+                continue
+            if frame.kind is MessageKind.CONTROL:
+                meta = frame.meta or {}
+                if meta.get("action") == "phase_done":
+                    if (
+                        int(meta.get("iteration", -1)) == iteration
+                        and int(meta.get("phase", -1)) == phase
+                    ):
+                        return meta
+                    await self._replay_late(link, meta)
+
+    # -- trace hooks (mirrors DistributedOptimizer) --------------------
+    def _emit_phase(
+        self, record: PhaseRecord, stats: Optional[Dict[str, float]]
+    ) -> None:
+        if not obs.enabled():
+            return
+        fields: Dict[str, object] = {
+            "iteration": record.iteration,
+            "phase": record.phase,
+            "sbs": record.sbs,
+            "cost": record.cost,
+            "noise_l1": record.noise_l1,
+            "retries": record.retries,
+            "stale": record.stale,
+        }
+        if stats:
+            fields["dual_gap"] = stats["dual_gap"]
+            fields["mu_norm"] = stats["mu_norm"]
+            self._sweep_gaps.append(stats["dual_gap"])
+            self._sweep_norms.append(stats["mu_norm"])
+            if "solve_seconds" in stats:
+                fields["solve_seconds"] = stats["solve_seconds"]
+        obs.emit("phase", **fields)
+
+    def _emit_iteration(
+        self,
+        iteration: int,
+        cost: float,
+        relative_change: Optional[float] = None,
+        *,
+        restoration: bool = False,
+    ) -> None:
+        if not obs.enabled():
+            return
+        fields: Dict[str, object] = {"iteration": iteration, "cost": float(cost)}
+        if relative_change is not None:
+            fields["relative_change"] = float(relative_change)
+        if restoration:
+            fields["restoration"] = True
+        if self._sweep_gaps:
+            fields["dual_gap_max"] = max(self._sweep_gaps)
+        if self._sweep_norms:
+            fields["mu_norm_max"] = max(self._sweep_norms)
+            fields["mu_norm_mean"] = sum(self._sweep_norms) / len(self._sweep_norms)
+        obs.emit("iteration", **fields)
+
+    # -- the sweep -----------------------------------------------------
+    async def _sweep(
+        self,
+        iteration: int,
+        history: CostHistory,
+        slack: float,
+        price_step: Optional[float],
+    ) -> None:
+        """One Gauss-Seidel iteration over the socket clients.
+
+        Phase-for-phase the event and record sequence of
+        ``DistributedOptimizer._resilient_sweep``, with the deadline
+        policy layered on where the in-process version cannot block.
+        """
+        self._slack = slack
+        schedule = self.runtime.faults.schedule if self.runtime.faults else None
+        for phase, index in enumerate(self.problem.sbs_indices()):
+            link = self._links[index]
+            if schedule is not None and schedule.is_crashed(link.name, iteration):
+                await self._send_control(
+                    link, iteration, phase, {"action": "crash"}
+                )
+                obs.emit(
+                    "protocol",
+                    event="crash_skip",
+                    sbs=index,
+                    iteration=iteration,
+                    phase=phase,
+                )
+                record = PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=index,
+                    cost=self.base_station.system_cost(),
+                    stale=True,
+                )
+                history.record_phase(record)
+                self._emit_phase(record, None)
+                continue
+            await self._drain_backlog(link)
+            meta: Optional[Dict[str, Any]] = None
+            fold_before = self._fold_count[index]
+            if link.alive:
+                await self._send_control(
+                    link,
+                    iteration,
+                    phase,
+                    {
+                        "action": "solve",
+                        "iteration": iteration,
+                        "phase": phase,
+                        "cap_slack": slack,
+                    },
+                )
+                meta = await self._await_phase_done(link, iteration, phase)
+            if meta is None:
+                # Straggler (or dead client): the deadline policy closes
+                # the phase now.  If the upload made it into the fold the
+                # phase is *delivered* — mirroring the in-process
+                # exclusive boundary rule — otherwise it is stale.
+                folded = link.alive and self._fold_count[index] > fold_before
+                if folded:
+                    verdict = "delivered"
+                    if price_step is not None:
+                        self.base_station.update_prices(price_step)
+                    self.base_station.broadcast_aggregate(iteration, phase)
+                    await self._flush_all()
+                    record = PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=index,
+                        cost=self.base_station.system_cost(),
+                    )
+                else:
+                    verdict = "degraded"
+                    record = PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=index,
+                        cost=self.base_station.system_cost(),
+                        stale=True,
+                    )
+                if link.alive:
+                    self.bus.stats.deadline_expired += 1
+                    obs.emit(
+                        "protocol",
+                        event="deadline_expired",
+                        sbs=index,
+                        iteration=iteration,
+                        phase=phase,
+                        folded=folded,
+                    )
+                link.resolved[(iteration, phase)] = verdict
+                history.record_phase(record)
+                self._emit_phase(record, None)
+                continue
+            # Normal completion: replay the client's in-phase events,
+            # then synthesize the retry events its ARQ loop needed.
+            self._replay_events(list(meta.get("events", [])))
+            self.bus.stats.corrupted += int(meta.get("corrupted", 0))
+            retries = int(meta.get("retries", 0))
+            seq = int(meta.get("seq", 0))
+            noise_l1 = float(meta.get("noise_l1", 0.0))
+            stats = meta.get("stats") or None
+            for attempt in range(1, retries + 1):
+                self.bus.stats.retransmissions += 1
+                obs.emit(
+                    "protocol",
+                    event="retry",
+                    sbs=index,
+                    iteration=iteration,
+                    phase=phase,
+                    attempt=attempt,
+                    seq=seq,
+                )
+            delivered = bool(meta.get("delivered")) or self.base_station.has_folded(
+                index, seq
+            )
+            if delivered:
+                verdict = "delivered"
+                if price_step is not None:
+                    self.base_station.update_prices(price_step)
+                self.base_station.broadcast_aggregate(iteration, phase)
+                record = PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=index,
+                    cost=self.base_station.system_cost(),
+                    noise_l1=noise_l1,
+                    retries=retries,
+                )
+            else:
+                verdict = "degraded"
+                obs.emit(
+                    "protocol",
+                    event="degrade",
+                    sbs=index,
+                    iteration=iteration,
+                    phase=phase,
+                    retries=self.config.max_retries,
+                )
+                if self.config.on_timeout == "raise":
+                    raise ProtocolTimeout(
+                        f"{link.name} upload seq {seq} undelivered after "
+                        f"{self.config.max_retries} retries (iteration "
+                        f"{iteration}, phase {phase})"
+                    )
+                record = PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=index,
+                    cost=self.base_station.system_cost(),
+                    noise_l1=noise_l1,
+                    retries=self.config.max_retries,
+                    stale=True,
+                )
+            await self._send_control(
+                link,
+                iteration,
+                phase,
+                {
+                    "action": "phase_result",
+                    "iteration": iteration,
+                    "phase": phase,
+                    "verdict": verdict,
+                },
+            )
+            if verdict == "delivered":
+                await self._flush_all()
+            history.record_phase(record)
+            self._emit_phase(record, stats)
+
+    # -- run orchestration ---------------------------------------------
+    async def _shutdown_clients(self) -> None:
+        for index in self.problem.sbs_indices():
+            link = self._links[index]
+            await self._drain_backlog(link)
+            await self._send_control(link, -1, -1, {"action": "shutdown"})
+            meta: Optional[Dict[str, Any]] = None
+            if link.alive:
+                loop = asyncio.get_running_loop()
+                end = loop.time() + self.runtime.control_timeout
+                while meta is None:
+                    remaining = end - loop.time()
+                    if remaining <= 0:
+                        break
+                    kind, frame = await link.source.next(remaining)
+                    if kind in ("timeout", "eof"):
+                        break
+                    if kind == "corrupt":
+                        self.bus.stats.corrupted += 1
+                        continue
+                    assert frame is not None
+                    if frame.kind is MessageKind.CONTROL:
+                        frame_meta = frame.meta or {}
+                        if frame_meta.get("action") == "final_state":
+                            meta = frame_meta
+                        elif frame_meta.get("action") == "phase_done":
+                            await self._replay_late(link, frame_meta)
+            if meta is not None:
+                self._replay_events(list(meta.get("events", [])))
+                self.bus.stats.corrupted += int(meta.get("corrupted", 0))
+                self._final_caching[index] = np.asarray(
+                    meta.get("caching"), dtype=np.float64
+                )
+                self._final_routing[index] = np.asarray(
+                    meta.get("true_routing"), dtype=np.float64
+                )
+            else:
+                # A dead client's volatile state is gone, exactly like a
+                # crashed in-process agent: zeros.
+                self._final_caching[index] = np.zeros(self.problem.num_files)
+                self._final_routing[index] = np.zeros(self.problem.shape[1:])
+
+    async def run(self) -> DistributedResult:
+        """Execute Algorithm 1 against the connected clients."""
+        await self._await_hellos()
+        problem, config = self.problem, self.config
+        history = CostHistory(initial_cost=problem.max_cost())
+        previous_cost = history.initial_cost
+        converged = False
+        iterations = 0
+        if obs.enabled():
+            obs.emit(
+                "run_start",
+                run="algorithm1",
+                num_sbs=problem.num_sbs,
+                num_groups=problem.num_groups,
+                num_files=problem.num_files,
+                mode=config.mode,
+                coordination=config.coordination,
+                accuracy=config.accuracy,
+                max_iterations=config.max_iterations,
+                private=self.accountant is not None,
+                resilient=True,
+                warm_start=config.warm_start,
+                initial_cost=float(history.initial_cost),
+            )
+        self.base_station.broadcast_aggregate(iteration=-1, phase=-1)
+        await self._flush_all()
+
+        with_prices = config.coordination == "prices"
+        allowed_stale = int(
+            np.floor((1.0 - self.runtime.quorum) * problem.num_sbs + 1e-9)
+        )
+        for iteration in range(config.max_iterations):
+            slack = config.slack0 * config.slack_decay**iteration if with_prices else 0.0
+            price_step = (
+                config.price_eta0 / (1.0 + config.price_alpha * iteration)
+                if with_prices
+                else None
+            )
+            self._sweep_gaps, self._sweep_norms = [], []
+            await self._sweep(iteration, history, slack, price_step)
+            cost = self.base_station.system_cost()
+            history.close_iteration(cost)
+            iterations = iteration + 1
+            denominator = abs(cost) if cost != 0 else 1.0
+            relative_change = abs(previous_cost - cost) / denominator
+            self._emit_iteration(iteration, cost, relative_change)
+            slack_settled = (not with_prices) or slack < 0.02
+            clean_iteration = history.stale_phase_count(iteration) <= allowed_stale
+            if slack_settled and clean_iteration and relative_change <= config.accuracy:
+                converged = True
+                break
+            previous_cost = cost
+
+        if with_prices:
+            self._sweep_gaps, self._sweep_norms = [], []
+            await self._sweep(iterations, history, slack=0.0, price_step=None)
+            restoration_cost = self.base_station.system_cost()
+            history.close_iteration(restoration_cost)
+            self._emit_iteration(iterations, restoration_cost, restoration=True)
+
+        await self._shutdown_clients()
+        unperturbed = np.stack(
+            [self._final_routing[index] for index in problem.sbs_indices()]
+        )
+        solution = Solution(
+            caching=np.stack(
+                [self._final_caching[index] for index in problem.sbs_indices()]
+            ),
+            routing=self.base_station.reports.copy(),
+        )
+        result = DistributedResult(
+            solution=solution,
+            cost=history.final_cost,
+            iterations=iterations,
+            converged=converged,
+            history=history,
+            channel=self.bus,
+            unperturbed_routing=unperturbed,
+            unperturbed_cost=total_cost(problem, unperturbed),
+            accountant=self.accountant,
+        )
+        if obs.enabled():
+            obs.emit(
+                "run_end",
+                final_cost=float(result.cost),
+                iterations=result.iterations,
+                converged=result.converged,
+                total_epsilon=result.total_epsilon,
+                stale_phases=result.stale_phases,
+                total_retries=result.total_retries,
+                phases=len(history.phases),
+                unperturbed_cost=result.unperturbed_cost,
+                channel=dataclasses.asdict(self.bus.stats),
+            )
+        return result
+
+
+async def _run_runtime(
+    problem: ProblemInstance,
+    config: DistributedConfig,
+    runtime: RuntimeConfig,
+    privacy: Optional[MechanismConfig],
+    rng: Union[int, np.random.Generator, None],
+) -> Tuple[DistributedResult, RuntimeReport]:
+    started = time.perf_counter()
+    server = RuntimeServer(problem, config, runtime, privacy=privacy, rng=rng)
+    proxy: Optional[ChaosProxy] = None
+    tasks: List[asyncio.Task] = []
+    processes: List[multiprocessing.process.BaseProcess] = []
+    try:
+        port = await server.start()
+        client_port = port
+        if runtime.faults is not None:
+            proxy = ChaosProxy(runtime.faults, runtime.host, port, host=runtime.host)
+            client_port = await proxy.start()
+        timings = obs.timings_enabled()
+        sessions = [
+            ClientSession(
+                index=index,
+                host=runtime.host,
+                port=client_port,
+                problem=problem,
+                config=config,
+                ack_timeout=runtime.ack_timeout,
+                control_timeout=runtime.control_timeout,
+                timings=timings,
+                privacy=privacy,
+                privacy_seed=server.privacy_seeds.get(index),
+                adversary=runtime.adversaries.get(index),
+                straggle_seconds=runtime.straggle_delay(),
+            )
+            for index in problem.sbs_indices()
+        ]
+        if runtime.mode == "processes":
+            context = multiprocessing.get_context("spawn")
+            for session in sessions:
+                process = context.Process(
+                    target=client_main, args=(session,), daemon=True
+                )
+                process.start()
+                processes.append(process)
+        else:
+            tasks = [asyncio.create_task(run_client(session)) for session in sessions]
+        result = await server.run()
+        report = RuntimeReport(
+            mode=runtime.mode,
+            num_clients=problem.num_sbs,
+            wall_seconds=time.perf_counter() - started,
+            deadline_expired=server.bus.stats.deadline_expired,
+            byzantine_rejected=server.bus.stats.byzantine_rejected,
+            corrupted=server.bus.stats.corrupted,
+            retransmissions=server.bus.stats.retransmissions,
+            stale_phases=result.stale_phases,
+            proxy=None if proxy is None else proxy.stats_dict(),
+        )
+        return result, report
+    finally:
+        if tasks:
+            done, pending = await asyncio.wait(
+                tasks, timeout=runtime.control_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            for task in done:
+                task.exception()  # retrieve, so the loop does not warn
+        loop = asyncio.get_running_loop()
+        for process in processes:
+            await loop.run_in_executor(None, process.join, runtime.control_timeout)
+            if process.is_alive():  # pragma: no cover - hung client safeguard
+                process.terminate()
+                await loop.run_in_executor(None, process.join, 5.0)
+        if proxy is not None:
+            await proxy.close()
+        await server.close()
+
+
+def solve_over_sockets(
+    problem: ProblemInstance,
+    config: Optional[DistributedConfig] = None,
+    *,
+    privacy: Optional[MechanismConfig] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+    runtime: Optional[RuntimeConfig] = None,
+) -> Tuple[DistributedResult, RuntimeReport]:
+    """Run Algorithm 1 with every SBS as a socket client of the BS.
+
+    The distributed semantics — and, for fault-free runs, the exact
+    trace and :class:`~repro.core.solution.Solution` — match
+    ``solve_distributed(problem, config, faults=FaultConfig())``; see
+    ``docs/failure_model.md`` for the runtime's threat model.  Returns
+    the solver result plus the transport-level
+    :class:`~repro.runtime.config.RuntimeReport` (wall time, stragglers,
+    byzantine rejections, chaos-proxy ledger).
+    """
+    config = config or DistributedConfig()
+    runtime = runtime or RuntimeConfig()
+    if config.mode != "gauss-seidel":
+        raise ValidationError(
+            "the socket runtime implements the gauss-seidel protocol; "
+            f"got mode {config.mode!r}"
+        )
+    if config.restarts != 1:
+        raise ValidationError(
+            "the socket runtime runs a single pass; use solve_distributed "
+            "for multi-restart searches"
+        )
+    if runtime.phase_deadline < runtime.ack_timeout * (config.max_retries + 2):
+        raise ValidationError(
+            "phase_deadline must cover a full ARQ exhaustion: need at least "
+            f"ack_timeout * (max_retries + 2) = "
+            f"{runtime.ack_timeout * (config.max_retries + 2):.3f}s, got "
+            f"{runtime.phase_deadline}s"
+        )
+    for index in runtime.adversaries:
+        problem._check_sbs(int(index))
+    return asyncio.run(_run_runtime(problem, config, runtime, privacy, rng))

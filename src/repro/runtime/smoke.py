@@ -1,0 +1,175 @@
+"""CI smoke driver for the socket runtime: ``python -m repro.runtime.smoke``.
+
+Two checks, exercised by the ``runtime-smoke`` CI job:
+
+* ``faultfree`` — solve one 3-SBS instance twice, once over sockets and
+  once with the in-process simulator (quiet ``FaultConfig``), and demand
+  **bit-identical** traces (byte comparison plus ``repro-trace diff``
+  for a readable report on divergence) and identical solutions;
+* ``chaos`` — run the same instance through the chaos proxy on a fixed
+  seed (drops, duplicates, delays, reordering, truncation, one crash
+  window) and demand that the run still converges and that the trace
+  passes every ``repro-trace validate`` invariant.
+
+Both exit nonzero on failure, so the job gates merges.  The instance is
+deterministic (fixed generator seed) and small enough to finish in
+seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..core.distributed import DistributedConfig, solve_distributed
+from ..core.problem import ProblemInstance
+from ..network.faults import FaultConfig, FaultSchedule, LinkFaultProfile
+from ..obs.cli import main as trace_cli
+from .config import RuntimeConfig
+from .server import solve_over_sockets
+
+__all__ = ["main", "smoke_problem", "chaos_plan"]
+
+#: Instance size used by the smoke checks (3 SBSs, 50 files).
+NUM_SBS = 3
+NUM_GROUPS = 4
+NUM_FILES = 50
+
+
+def smoke_problem(seed: int = 2024) -> ProblemInstance:
+    """The deterministic 3-SBS / 50-file instance the smoke checks solve."""
+    rng = np.random.default_rng(seed)
+    demand = rng.uniform(0.0, 5.0, size=(NUM_GROUPS, NUM_FILES))
+    connectivity = (rng.uniform(size=(NUM_SBS, NUM_GROUPS)) < 0.7).astype(float)
+    for n in range(NUM_SBS):
+        if connectivity[n].sum() == 0:
+            connectivity[n, int(rng.integers(NUM_GROUPS))] = 1.0
+    return ProblemInstance(
+        demand=demand,
+        connectivity=connectivity,
+        cache_capacity=np.full(NUM_SBS, float(NUM_FILES // 5)),
+        bandwidth=np.full(NUM_SBS, demand.sum() / (2.0 * NUM_SBS)),
+        sbs_cost=rng.uniform(0.5, 2.0, size=(NUM_SBS, NUM_GROUPS)),
+        bs_cost=rng.uniform(50.0, 100.0, size=NUM_GROUPS),
+    )
+
+
+def _config() -> DistributedConfig:
+    return DistributedConfig(max_iterations=8)
+
+
+def _record(path: Path, runner) -> object:
+    with obs.recording(path, timings=False):
+        return runner()
+
+
+def _cmd_faultfree(args: argparse.Namespace) -> int:
+    problem = smoke_problem()
+    config = _config()
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="runtime-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    socket_trace = workdir / "socket.jsonl"
+    sim_trace = workdir / "inprocess.jsonl"
+    result_socket, _report = _record(
+        socket_trace,
+        lambda: solve_over_sockets(
+            problem, config, runtime=RuntimeConfig(mode=args.mode)
+        ),
+    )
+    result_sim = _record(
+        sim_trace,
+        lambda: solve_distributed(problem, config, faults=FaultConfig()),
+    )
+    print(
+        f"socket: cost={result_socket.cost:.6f} iterations={result_socket.iterations} "
+        f"| in-process: cost={result_sim.cost:.6f} iterations={result_sim.iterations}"
+    )
+    failures = 0
+    if not np.array_equal(
+        result_socket.solution.routing, result_sim.solution.routing
+    ) or not np.array_equal(result_socket.solution.caching, result_sim.solution.caching):
+        print("FAIL: socket and in-process solutions differ", file=sys.stderr)
+        failures += 1
+    if filecmp.cmp(socket_trace, sim_trace, shallow=False):
+        print(f"traces byte-identical: {socket_trace} == {sim_trace}")
+    else:
+        print("FAIL: traces differ — repro-trace diff follows", file=sys.stderr)
+        trace_cli(["diff", str(socket_trace), str(sim_trace)])
+        failures += 1
+    return 1 if failures else 0
+
+
+def chaos_plan(seed: int) -> FaultConfig:
+    """The fixed chaos mix the smoke check and the runtime bench share."""
+    return FaultConfig(
+        default=LinkFaultProfile(
+            drop=0.08, duplicate=0.05, delay=0.08, reorder=0.05, truncate=0.04
+        ),
+        schedule=FaultSchedule().crash_sbs(1, at=1, recover_at=2),
+        seed=seed,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    problem = smoke_problem()
+    config = _config()
+    runtime = RuntimeConfig(
+        faults=chaos_plan(args.seed), ack_timeout=0.1, phase_deadline=10.0
+    )
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="runtime-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    trace = workdir / "chaos.jsonl"
+    (result, report) = _record(
+        trace, lambda: solve_over_sockets(problem, config, runtime=runtime)
+    )
+    print(
+        f"chaos: cost={result.cost:.6f} converged={result.converged} "
+        f"stale={result.stale_phases} retries={result.total_retries}"
+    )
+    print(f"proxy ledger: {json.dumps(report.proxy, sort_keys=True)}")
+    failures = 0
+    if not result.converged:
+        print("FAIL: chaos run did not converge", file=sys.stderr)
+        failures += 1
+    if trace_cli(["validate", str(trace)]) != 0:
+        failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-runtime-smoke",
+        description="Socket-runtime smoke checks (bit-identity and chaos).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    faultfree = subparsers.add_parser(
+        "faultfree", help="socket run must bit-match the in-process simulation"
+    )
+    faultfree.add_argument(
+        "--mode", choices=("tasks", "processes"), default="tasks"
+    )
+    faultfree.add_argument("--workdir", default=None, help="keep traces here")
+    faultfree.set_defaults(func=_cmd_faultfree)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="seeded chaos run must converge and validate"
+    )
+    chaos.add_argument("--seed", type=int, default=3)
+    chaos.add_argument("--workdir", default=None, help="keep traces here")
+    chaos.set_defaults(func=_cmd_chaos)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    sys.exit(main())

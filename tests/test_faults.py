@@ -240,6 +240,26 @@ class TestReliableUploads:
         np.testing.assert_allclose(result.solution.routing, baseline.solution.routing)
         assert result.total_retries > 0
 
+    def test_ack_blackout_counts_delivered_not_stale(self, tiny_problem):
+        """Uploads that fold at the retry-budget boundary are *delivered*.
+
+        With every ack lost, each upload still reaches the BS on the
+        first send; the sender exhausts its retries waiting for acks and
+        must then trust the BS's fold state rather than double-booking
+        the phase as stale and rolling back (which would desync its
+        y_{-n} bookkeeping from the aggregate the BS actually holds).
+        """
+        config = DistributedConfig(max_iterations=4, max_retries=2)
+        baseline = solve_distributed(tiny_problem, config)
+        faults = FaultConfig(
+            by_kind={MessageKind.ACK: LinkFaultProfile(drop=1.0)}, seed=0
+        )
+        result = solve_distributed(tiny_problem, config, faults=faults)
+        assert result.stale_phases == 0
+        # Every phase burns the full retry budget before the fold check.
+        assert result.total_retries == 2 * tiny_problem.num_sbs * result.iterations
+        np.testing.assert_allclose(result.solution.routing, baseline.solution.routing)
+
     def test_delayed_uploads_eventually_arrive(self, tiny_problem):
         baseline = solve_distributed(tiny_problem)
         faults = FaultConfig(

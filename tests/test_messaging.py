@@ -5,8 +5,8 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.exceptions import ProtocolError, ValidationError
-from repro.network.messaging import Channel, Message, MessageKind
+from repro.exceptions import FrameError, ProtocolError, ValidationError
+from repro.network.messaging import MAX_PAYLOAD_BYTES, Channel, Message, MessageKind
 
 
 def make_message(sender="sbs-0", recipient="bs", kind=MessageKind.POLICY_UPLOAD):
@@ -203,6 +203,54 @@ class TestTapsAndStats:
         )
         assert channel.stats.bytes_by_kind == {"policy_upload": 64, "aggregate": 24}
         assert sum(channel.stats.bytes_by_kind.values()) == channel.stats.bytes_sent
+
+    def test_zero_length_payload_rejected_at_send(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        with pytest.raises(FrameError, match="zero-length"):
+            channel.send(
+                Message(
+                    kind=MessageKind.POLICY_UPLOAD,
+                    sender="sbs-0",
+                    recipient="bs",
+                    payload=np.zeros((0, 4)),
+                    iteration=0,
+                    phase=0,
+                )
+            )
+
+    def test_oversized_payload_rejected_at_send(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        with pytest.raises(FrameError, match="exceed"):
+            channel.send(
+                Message(
+                    kind=MessageKind.POLICY_UPLOAD,
+                    sender="sbs-0",
+                    recipient="bs",
+                    payload=np.zeros(MAX_PAYLOAD_BYTES // 8 + 1),
+                    iteration=0,
+                    phase=0,
+                )
+            )
+
+    def test_non_numeric_payload_rejected_at_send(self):
+        channel = Channel()
+        channel.register("bs")
+        channel.register("sbs-0")
+        with pytest.raises(FrameError, match="numeric"):
+            channel.send(
+                Message(
+                    kind=MessageKind.POLICY_UPLOAD,
+                    sender="sbs-0",
+                    recipient="bs",
+                    payload=np.array(["nope"], dtype=object),
+                    iteration=0,
+                    phase=0,
+                )
+            )
 
     def test_fault_counters_start_at_zero(self):
         stats = Channel().stats

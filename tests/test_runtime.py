@@ -1,0 +1,285 @@
+"""Socket-runtime tests: bit-identity, chaos determinism, BS hardening.
+
+Everything here drives the runtime through its sync entry point
+``solve_over_sockets`` (which owns its own ``asyncio.run``), so no async
+test plugin is needed.
+"""
+
+import filecmp
+
+import numpy as np
+import pytest
+from conftest import random_problem
+
+from repro import obs
+from repro.core.distributed import DistributedConfig, solve_distributed
+from repro.exceptions import ValidationError
+from repro.network.faults import FaultConfig, FaultSchedule, LinkFaultProfile
+from repro.obs.cli import main as trace_cli
+from repro.privacy.mechanism import LPPMConfig
+from repro.runtime import RuntimeConfig, RuntimeReport, solve_over_sockets
+
+
+def _problem(seed: int = 12345):
+    return random_problem(np.random.default_rng(seed))
+
+
+def _config(**overrides) -> DistributedConfig:
+    defaults = dict(max_iterations=5)
+    defaults.update(overrides)
+    return DistributedConfig(**defaults)
+
+
+def _chaos(seed: int = 3) -> FaultConfig:
+    return FaultConfig(
+        default=LinkFaultProfile(
+            drop=0.08, duplicate=0.05, delay=0.08, reorder=0.05, truncate=0.04
+        ),
+        schedule=FaultSchedule().crash_sbs(1, at=1, recover_at=2),
+        seed=seed,
+    )
+
+
+def _trace(path, runner):
+    with obs.recording(str(path), timings=False):
+        return runner()
+
+
+class TestBitIdentity:
+    def test_faultfree_socket_run_matches_in_process(self, tmp_path):
+        problem, config = _problem(), _config()
+        socket_trace = tmp_path / "socket.jsonl"
+        sim_trace = tmp_path / "sim.jsonl"
+        result, report = _trace(
+            socket_trace, lambda: solve_over_sockets(problem, config)
+        )
+        reference = _trace(
+            sim_trace,
+            lambda: solve_distributed(problem, config, faults=FaultConfig()),
+        )
+        assert result.cost == reference.cost
+        assert result.iterations == reference.iterations
+        assert result.converged == reference.converged
+        np.testing.assert_array_equal(
+            result.solution.caching, reference.solution.caching
+        )
+        np.testing.assert_array_equal(
+            result.solution.routing, reference.solution.routing
+        )
+        assert filecmp.cmp(socket_trace, sim_trace, shallow=False)
+        assert isinstance(report, RuntimeReport)
+        assert report.num_clients == problem.num_sbs
+        assert report.proxy is None
+
+    def test_privacy_run_matches_in_process(self, tmp_path):
+        problem, config = _problem(), _config(max_iterations=3)
+        privacy = LPPMConfig(epsilon=1.0)
+        socket_trace = tmp_path / "socket.jsonl"
+        sim_trace = tmp_path / "sim.jsonl"
+        result, _ = _trace(
+            socket_trace,
+            lambda: solve_over_sockets(problem, config, privacy=privacy, rng=42),
+        )
+        reference = _trace(
+            sim_trace,
+            lambda: solve_distributed(
+                problem, config, privacy=privacy, rng=42, faults=FaultConfig()
+            ),
+        )
+        assert result.total_epsilon == reference.total_epsilon
+        assert result.cost == reference.cost
+        assert filecmp.cmp(socket_trace, sim_trace, shallow=False)
+
+    def test_tasks_and_processes_modes_are_identical(self, tmp_path):
+        problem, config = _problem(), _config(max_iterations=3)
+        tasks_trace = tmp_path / "tasks.jsonl"
+        proc_trace = tmp_path / "processes.jsonl"
+        tasks_result, _ = _trace(
+            tasks_trace,
+            lambda: solve_over_sockets(
+                problem, config, runtime=RuntimeConfig(mode="tasks")
+            ),
+        )
+        proc_result, proc_report = _trace(
+            proc_trace,
+            lambda: solve_over_sockets(
+                problem, config, runtime=RuntimeConfig(mode="processes")
+            ),
+        )
+        assert proc_report.mode == "processes"
+        assert tasks_result.cost == proc_result.cost
+        np.testing.assert_array_equal(
+            tasks_result.solution.caching, proc_result.solution.caching
+        )
+        assert filecmp.cmp(tasks_trace, proc_trace, shallow=False)
+
+
+class TestChaosDeterminism:
+    def test_same_seed_gives_byte_identical_traces(self, tmp_path):
+        problem, config = _problem(), _config()
+        runtime = RuntimeConfig(faults=_chaos(), ack_timeout=0.1, phase_deadline=10.0)
+        traces = []
+        for attempt in range(2):
+            trace = tmp_path / f"chaos{attempt}.jsonl"
+            result, report = _trace(
+                trace, lambda: solve_over_sockets(problem, config, runtime=runtime)
+            )
+            traces.append(trace)
+            assert result.converged
+        assert filecmp.cmp(traces[0], traces[1], shallow=False)
+
+    def test_chaos_trace_passes_every_validate_invariant(self, tmp_path):
+        problem, config = _problem(), _config()
+        runtime = RuntimeConfig(faults=_chaos(), ack_timeout=0.1, phase_deadline=10.0)
+        trace = tmp_path / "chaos.jsonl"
+        result, report = _trace(
+            trace, lambda: solve_over_sockets(problem, config, runtime=runtime)
+        )
+        assert trace_cli(["validate", str(trace)]) == 0
+        assert report.proxy is not None
+        assert report.proxy["forwarded"] > 0
+        # The crash window drops that SBS's data-plane frames outright.
+        assert report.proxy["schedule_dropped"] > 0
+
+
+class TestStragglerPolicy:
+    def test_deadline_closes_straggler_phase_and_run_recovers(self, tmp_path):
+        # The stale first iteration delays certification, so give the
+        # run enough iterations to converge after the straggler recovers.
+        problem, config = _problem(), _config(max_iterations=10, accuracy=1e-3)
+        runtime = RuntimeConfig(
+            adversaries={1: "straggle"},
+            phase_deadline=1.0,
+            ack_timeout=0.1,
+            control_timeout=20.0,
+        )
+        trace = tmp_path / "straggler.jsonl"
+        result, report = _trace(
+            trace, lambda: solve_over_sockets(problem, config, runtime=runtime)
+        )
+        assert report.deadline_expired >= 1
+        assert result.stale_phases >= 1
+        assert result.converged
+        assert trace_cli(["validate", str(trace)]) == 0
+
+    def test_quorum_below_one_keeps_faultfree_runs_bit_identical(self, tmp_path):
+        # Quorum only gates termination when phases go stale; on a clean
+        # run it must not perturb a single byte.
+        problem, config = _problem(), _config(max_iterations=3)
+        strict = tmp_path / "strict.jsonl"
+        relaxed = tmp_path / "relaxed.jsonl"
+        _trace(
+            strict,
+            lambda: solve_over_sockets(
+                problem, config, runtime=RuntimeConfig(quorum=1.0)
+            ),
+        )
+        _trace(
+            relaxed,
+            lambda: solve_over_sockets(
+                problem, config, runtime=RuntimeConfig(quorum=0.5)
+            ),
+        )
+        assert filecmp.cmp(strict, relaxed, shallow=False)
+
+
+class TestByzantineFilter:
+    def _run(self, runtime, tmp_path):
+        problem, config = _problem(), _config()
+        trace = tmp_path / "byzantine.jsonl"
+        result, report = _trace(
+            trace, lambda: solve_over_sockets(problem, config, runtime=runtime)
+        )
+        assert trace_cli(["validate", str(trace)]) == 0
+        return result, report
+
+    def test_nan_upload_rejected_and_phase_degrades(self, tmp_path):
+        result, report = self._run(
+            RuntimeConfig(
+                adversaries={1: "nan"},
+                byzantine_filter=True,
+                ack_timeout=0.05,
+                phase_deadline=5.0,
+            ),
+            tmp_path,
+        )
+        assert report.byzantine_rejected >= 1
+        assert result.stale_phases >= 1
+        assert result.converged
+
+    def test_range_violation_clipped_into_the_fold(self, tmp_path):
+        result, report = self._run(
+            RuntimeConfig(
+                adversaries={1: "range"},
+                byzantine_filter=True,
+                byzantine_policy="clip",
+                ack_timeout=0.05,
+                phase_deadline=5.0,
+            ),
+            tmp_path,
+        )
+        assert report.byzantine_rejected >= 1
+        # Clipping folds a sanitized report, so nothing degrades.
+        assert result.stale_phases == 0
+        assert result.converged
+
+    def test_wrong_shape_never_crashes_even_unfiltered(self, tmp_path):
+        result, report = self._run(
+            RuntimeConfig(
+                adversaries={1: "shape"}, ack_timeout=0.05, phase_deadline=5.0
+            ),
+            tmp_path,
+        )
+        # Without the filter the malformed upload is counted as corrupt
+        # and dropped; the sender's ARQ exhausts and the phase degrades.
+        assert report.corrupted >= 1
+        assert result.stale_phases >= 1
+        assert result.converged
+
+
+class TestValidation:
+    def test_jacobi_mode_rejected(self):
+        with pytest.raises(ValidationError, match="gauss-seidel"):
+            solve_over_sockets(_problem(), _config(mode="jacobi"))
+
+    def test_restarts_rejected(self):
+        with pytest.raises(ValidationError, match="single pass"):
+            solve_over_sockets(_problem(), _config(restarts=2))
+
+    def test_deadline_must_cover_arq_exhaustion(self):
+        with pytest.raises(ValidationError, match="phase_deadline"):
+            solve_over_sockets(
+                _problem(),
+                _config(),
+                runtime=RuntimeConfig(phase_deadline=0.2, ack_timeout=0.1),
+            )
+
+    def test_adversary_index_must_exist(self):
+        with pytest.raises(ValidationError):
+            solve_over_sockets(
+                _problem(),
+                _config(),
+                runtime=RuntimeConfig(adversaries={99: "nan"}),
+            )
+
+    def test_runtime_config_validation(self):
+        with pytest.raises(ValidationError, match="mode"):
+            RuntimeConfig(mode="threads")
+        with pytest.raises(ValidationError, match="quorum"):
+            RuntimeConfig(quorum=0.0)
+        with pytest.raises(ValidationError, match="quorum"):
+            RuntimeConfig(quorum=1.5)
+        with pytest.raises(ValidationError, match="byzantine_policy"):
+            RuntimeConfig(byzantine_policy="ban")
+        with pytest.raises(ValidationError, match="adversary"):
+            RuntimeConfig(adversaries={0: "teleport"})
+        with pytest.raises(ValidationError, match="ack_timeout"):
+            RuntimeConfig(ack_timeout=0.0)
+
+    def test_report_round_trips_to_dict(self):
+        report = RuntimeReport(mode="tasks", num_clients=3, retransmissions=2)
+        as_dict = report.to_dict()
+        assert as_dict["mode"] == "tasks"
+        assert as_dict["num_clients"] == 3
+        assert as_dict["retransmissions"] == 2
+        assert as_dict["proxy"] is None

@@ -1,0 +1,166 @@
+"""Wire codec tests: framing, CRC detection, header peeking, limits."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FrameError
+from repro.network.messaging import MAX_PAYLOAD_BYTES, Message, MessageKind
+from repro.runtime import (
+    Frame,
+    decode_frame,
+    encode_frame,
+    frame_from_message,
+    peek_header,
+)
+
+
+def _array_frame(**overrides):
+    fields = dict(
+        kind=MessageKind.POLICY_UPLOAD,
+        sender="sbs-0",
+        recipient="bs",
+        iteration=3,
+        phase=1,
+        seq=7,
+        array=np.arange(12.0).reshape(3, 4),
+    )
+    fields.update(overrides)
+    return Frame(**fields)
+
+
+class TestRoundTrip:
+    def test_array_frame_round_trips_exactly(self):
+        frame = _array_frame()
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.kind is MessageKind.POLICY_UPLOAD
+        assert (decoded.sender, decoded.recipient) == ("sbs-0", "bs")
+        assert (decoded.iteration, decoded.phase, decoded.seq) == (3, 1, 7)
+        assert decoded.array.dtype == np.float64
+        np.testing.assert_array_equal(decoded.array, frame.array)
+        assert decoded.meta is None
+
+    def test_1d_shape_survives(self):
+        payload = np.array([1.0, 2.0, 3.0])
+        decoded = decode_frame(encode_frame(_array_frame(array=payload)))
+        assert decoded.array.shape == payload.shape
+        np.testing.assert_array_equal(decoded.array, payload)
+
+    def test_0d_scalar_decodes_as_length_one_vector(self):
+        # Protocol payloads are always >= 1-d (acks are shape (1,)); a
+        # 0-d scalar flattens to (1,) on the wire rather than erroring.
+        decoded = decode_frame(encode_frame(_array_frame(array=np.array(5.0))))
+        assert decoded.array.shape == (1,)
+        assert decoded.array[0] == 5.0
+
+    def test_json_frame_round_trips_floats_exactly(self):
+        # repr-based shortest round-trip: float64 values survive the hop.
+        meta = {
+            "action": "phase_done",
+            "noise_l1": 0.1 + 0.2,
+            "stats": {"dual_gap": 1e-17, "mu_norm": 3.141592653589793},
+            "delivered": True,
+        }
+        frame = _array_frame(array=None, meta=meta, kind=MessageKind.CONTROL)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.meta == meta
+        assert decoded.meta["noise_l1"] == 0.1 + 0.2
+        assert decoded.array is None
+
+    def test_message_round_trip(self):
+        message = Message(
+            kind=MessageKind.ACK,
+            sender="bs",
+            recipient="sbs-2",
+            payload=np.array([4.0]),
+            iteration=2,
+            phase=0,
+            seq=4,
+        )
+        back = decode_frame(encode_frame(frame_from_message(message))).to_message()
+        assert back.kind is MessageKind.ACK
+        assert (back.sender, back.recipient, back.seq) == ("bs", "sbs-2", 4)
+        np.testing.assert_array_equal(back.payload, message.payload)
+
+    def test_json_frame_has_no_message_equivalent(self):
+        frame = _array_frame(array=None, meta={"action": "hello"})
+        with pytest.raises(FrameError, match="no Message equivalent"):
+            frame.to_message()
+
+
+class TestCorruptionDetection:
+    def test_flipped_payload_byte_fails_crc(self):
+        raw = bytearray(encode_frame(_array_frame()))
+        raw[-10] ^= 0xFF  # inside the payload, before the CRC
+        with pytest.raises(FrameError, match="checksum"):
+            decode_frame(bytes(raw))
+
+    def test_truncated_frame_rejected(self):
+        raw = encode_frame(_array_frame())
+        with pytest.raises(FrameError):
+            decode_frame(raw[: len(raw) // 2])
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(encode_frame(_array_frame()))
+        raw[0:4] = b"XXXX"
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(bytes(raw))
+
+    def test_unknown_version_rejected(self):
+        raw = bytearray(encode_frame(_array_frame()))
+        raw[4] = 99
+        with pytest.raises(FrameError, match="version"):
+            decode_frame(bytes(raw))
+
+    def test_unknown_kind_code_rejected(self):
+        raw = bytearray(encode_frame(_array_frame()))
+        raw[5] = 99  # kind byte; re-sign the CRC so only the kind is bad
+        body = bytes(raw[:-4])
+        import zlib
+
+        signed = body + struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(FrameError, match="kind"):
+            decode_frame(signed)
+
+
+class TestPeekHeader:
+    def test_routing_fields_without_full_decode(self):
+        header = peek_header(encode_frame(_array_frame()))
+        assert header.kind is MessageKind.POLICY_UPLOAD
+        assert (header.iteration, header.phase, header.seq) == (3, 1, 7)
+        assert (header.sender, header.recipient) == ("sbs-0", "bs")
+
+    def test_peek_ignores_payload_corruption(self):
+        # The proxy routes on the header even when the payload is damaged.
+        raw = bytearray(encode_frame(_array_frame()))
+        raw[-6] ^= 0xFF
+        header = peek_header(bytes(raw))
+        assert header.sender == "sbs-0"
+
+
+class TestEncodeLimits:
+    def test_exactly_one_payload_flavour(self):
+        with pytest.raises(FrameError, match="exactly one"):
+            _array_frame(meta={"also": 1})
+        with pytest.raises(FrameError, match="exactly one"):
+            _array_frame(array=None, meta=None)
+
+    def test_zero_length_payload_rejected(self):
+        with pytest.raises(FrameError, match="zero-length"):
+            encode_frame(_array_frame(array=np.zeros((0,))))
+
+    def test_oversized_payload_rejected(self):
+        huge = np.zeros(MAX_PAYLOAD_BYTES // 8 + 1)
+        with pytest.raises(FrameError, match="exceeding"):
+            encode_frame(_array_frame(array=huge))
+
+    def test_non_numeric_payload_rejected(self):
+        with pytest.raises(FrameError, match="not numeric"):
+            encode_frame(_array_frame(array=np.array(["a", "b"], dtype=object)))
+
+    def test_empty_and_oversized_names_rejected(self):
+        with pytest.raises(FrameError, match="node names"):
+            encode_frame(_array_frame(sender=""))
+        with pytest.raises(FrameError, match="node names"):
+            encode_frame(_array_frame(recipient="x" * 256))
