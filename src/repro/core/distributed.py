@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Protocol, Sequence, Union
 
 import numpy as np
@@ -117,6 +118,15 @@ class DistributedConfig:
         Jacobi damping factor in ``(0, 1]``; the uploaded policy is
         ``damping * new + (1 - damping) * previous``.  Ignored in
         Gauss-Seidel mode.
+    jacobi_workers:
+        Intra-solve parallelism for Jacobi sweeps: the N subproblems of
+        one iteration are independent, so values above 1 dispatch them
+        across a thread pool over the GIL-releasing numpy kernels.
+        Mailbox drains run before the fan-out and privacy/trace
+        bookkeeping after it (both in sweep order), so results are
+        bit-identical to the sequential Jacobi sweep.  Default 1
+        (sequential); rejected in Gauss-Seidel mode, whose sweeps are
+        order-dependent by construction.
     coordination:
         ``"caps"`` — the paper-literal scheme: each SBS caps its routing
         at the residual ``1 - y_{-n}``.  Block-coordinate descent over
@@ -163,6 +173,7 @@ class DistributedConfig:
     subproblem: SubproblemConfig = dataclasses.field(default_factory=SubproblemConfig)
     mode: str = "gauss-seidel"
     damping: float = 1.0
+    jacobi_workers: int = 1
     coordination: str = "caps"
     price_eta0: float = 0.5
     price_alpha: float = 0.5
@@ -181,6 +192,12 @@ class DistributedConfig:
         if self.mode not in ("gauss-seidel", "jacobi"):
             raise ValidationError(f"mode must be 'gauss-seidel' or 'jacobi', got {self.mode!r}")
         check_in_interval(self.damping, "damping", low=0.0, high=1.0, low_open=True)
+        check_positive_int(self.jacobi_workers, "jacobi_workers")
+        if self.jacobi_workers > 1 and self.mode != "jacobi":
+            raise ValidationError(
+                "jacobi_workers > 1 requires mode='jacobi'; Gauss-Seidel sweeps "
+                "are order-dependent and stay sequential"
+            )
         if self.coordination not in ("caps", "prices"):
             raise ValidationError(
                 f"coordination must be 'caps' or 'prices', got {self.coordination!r}"
@@ -538,17 +555,31 @@ class SBSAgent:
             return payload[0], payload[1]
         return payload, None
 
-    def compute_phase(self, iteration: int, phase: int, *, cap_slack: float = 0.0) -> tuple:
-        """Read the aggregate, solve ``P_n``, apply LPPM; no upload yet.
+    def begin_phase(self) -> tuple:
+        """Stage 1 of a phase: drain the mailbox, form ``y_{-n}``.
 
-        Returns ``(report, noise_l1)`` — the (possibly perturbed) policy
-        block to upload and the L1 mass of privacy noise injected.  The
-        caller is responsible for delivering the report (reliably or via
-        the ARQ layer).
+        Touches the shared channel, so the Jacobi executor runs this
+        stage sequentially before fanning the solves out.  Returns
+        ``(aggregate_others, prices)`` for :meth:`solve_phase`.
         """
         perf.count("algorithm1.phases")
         aggregate, prices = self.read_latest_aggregate()
         aggregate_others = np.clip(aggregate - self.last_report, 0.0, None)
+        return aggregate_others, prices
+
+    def solve_phase(
+        self,
+        aggregate_others: np.ndarray,
+        prices: Optional[np.ndarray],
+        *,
+        cap_slack: float = 0.0,
+    ) -> None:
+        """Stage 2: solve ``P_n`` against a pre-read aggregate.
+
+        Pure per-agent computation over GIL-releasing numpy kernels —
+        mutates only this agent's own state (workspace, multipliers,
+        caching, routing), so distinct agents can run concurrently.
+        """
         # Inline wall-clock timing: tracing alone (no perf registry)
         # records per-phase solve durations, gated on the recorder's
         # timings flag so deterministic traces stay byte-identical.
@@ -585,11 +616,20 @@ class SBSAgent:
                 self.last_solve_stats["solve_seconds"] = (
                     time.perf_counter() - solve_started
                 )
-        report = result.routing
+
+    def finish_phase(self, iteration: int, phase: int) -> tuple:
+        """Stage 3: apply the LPPM and book the report; no upload yet.
+
+        Draws privacy noise and appends to the shared accountant/trace,
+        so the Jacobi executor runs this stage sequentially (in sweep
+        order) to keep runs bit-identical with the serial path.  Returns
+        ``(report, noise_l1)``.
+        """
+        report = self.true_routing
         noise_l1 = 0.0
         if self._mechanism is not None:
             report = self._mechanism.perturb(report)
-            noise_l1 = float(np.abs(result.routing - report).sum())
+            noise_l1 = float(np.abs(self.true_routing - report).sum())
             if self._accountant is not None:
                 label = f"iter-{iteration}-phase-{phase}"
                 self._accountant.record(
@@ -608,6 +648,20 @@ class SBSAgent:
                 )
         self.last_report = report
         return report, noise_l1
+
+    def compute_phase(self, iteration: int, phase: int, *, cap_slack: float = 0.0) -> tuple:
+        """Read the aggregate, solve ``P_n``, apply LPPM; no upload yet.
+
+        Returns ``(report, noise_l1)`` — the (possibly perturbed) policy
+        block to upload and the L1 mass of privacy noise injected.  The
+        caller is responsible for delivering the report (reliably or via
+        the ARQ layer).  Composed of :meth:`begin_phase`,
+        :meth:`solve_phase`, and :meth:`finish_phase` so the Jacobi
+        executor can interleave the middle stage across agents.
+        """
+        aggregate_others, prices = self.begin_phase()
+        self.solve_phase(aggregate_others, prices, cap_slack=cap_slack)
+        return self.finish_phase(iteration, phase)
 
     def send_upload(
         self, report: np.ndarray, iteration: int, phase: int, *, seq: int = 0
@@ -1150,10 +1204,39 @@ class DistributedOptimizer:
         the fold loop, but each duration is attributable to its SBS).
         """
         uploads: Dict[int, float] = {}
-        for index in self._order:
-            agent = self.sbss[index]
-            noise_l1 = agent.run_phase(iteration, phase=0, cap_slack=slack)
-            uploads[agent.index] = noise_l1
+        workers = min(self.config.jacobi_workers, len(self._order))
+        if workers > 1:
+            # Intra-solve fan-out: every stage that touches shared state
+            # (mailbox drains, privacy noise, accountant, traces, BS
+            # uploads) runs sequentially in sweep order; only the pure
+            # per-agent numpy solves run on the pool.  The solves are
+            # deterministic and mutate disjoint state, so the sweep is
+            # bit-identical to the sequential branch below.
+            inputs = {}
+            for index in self._order:
+                inputs[index] = self.sbss[index].begin_phase()
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    index: pool.submit(
+                        self.sbss[index].solve_phase,
+                        inputs[index][0],
+                        inputs[index][1],
+                        cap_slack=slack,
+                    )
+                    for index in self._order
+                }
+                for index in self._order:
+                    futures[index].result()
+            for index in self._order:
+                agent = self.sbss[index]
+                report, noise_l1 = agent.finish_phase(iteration, phase=0)
+                agent.send_upload(report, iteration, phase=0)
+                uploads[agent.index] = noise_l1
+        else:
+            for index in self._order:
+                agent = self.sbss[index]
+                noise_l1 = agent.run_phase(iteration, phase=0, cap_slack=slack)
+                uploads[agent.index] = noise_l1
         for phase, agent in enumerate(self.sbss):
             previous = self.base_station.reports[agent.index].copy()
             block = self.base_station.collect_upload(agent.index)

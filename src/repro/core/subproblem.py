@@ -51,8 +51,8 @@ import numpy as np
 from .. import perf
 from .._validation import as_float_array, check_positive_int
 from ..exceptions import ValidationError
-from ..solvers.fractional_knapsack import solve_fractional_knapsack
-from ..solvers.subgradient import StepSchedule, subgradient_ascent
+from ..solvers.fractional_knapsack import KnapsackBatchWorkspace, solve_fractional_knapsack
+from ..solvers.subgradient import StepSchedule, SubgradientResult, subgradient_ascent
 from .problem import ProblemInstance
 from .routing import optimal_routing_for_sbs, residual_caps
 
@@ -65,6 +65,13 @@ __all__ = [
     "cache_subproblem",
     "routing_subproblem",
 ]
+
+# Polish trials are evaluated in chunks of this many candidate cache
+# vectors: improving passes usually accept a trial from the first chunk
+# (the scalar loop would have stopped there too), so later chunks are
+# never materialized, and the chunk size bounds the trial scratch
+# buffers preallocated in :class:`SubproblemWorkspace`.
+_TRIAL_CHUNK = 32
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,9 +90,19 @@ class SubproblemConfig:
     polish:
         Run single-swap local search on the recovered cache set.
     fast:
-        Use the hoisted, buffer-reusing oracle (see the module
+        Use a hoisted, buffer-reusing oracle (see the module
         docstring).  ``False`` selects the legacy per-iteration
         validated helpers; both produce bit-identical solutions.
+    oracle:
+        Which implementation backs the dual ascent: ``"batched"`` (the
+        default — batched numpy kernels, one fused knapsack batch and an
+        allocation-free subgradient step per iteration), ``"hoisted"``
+        (the scalar fast path: hoisted invariants but one scalar
+        knapsack call per subproblem), or ``"legacy"`` (per-iteration
+        validated helpers).  ``None`` derives the choice from ``fast``
+        (``True`` → ``"batched"``, ``False`` → ``"legacy"``).  All three
+        produce bit-identical solutions; the tiers exist so the perf
+        benchmarks can measure each rung of the ladder.
     """
 
     schedule: Optional[StepSchedule] = None
@@ -94,12 +111,24 @@ class SubproblemConfig:
     patience: int = 25
     polish: bool = True
     fast: bool = True
+    oracle: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_iter, "max_iter")
         check_positive_int(self.patience, "patience")
         if self.tol < 0:
             raise ValidationError(f"tol must be nonnegative, got {self.tol}")
+        if self.oracle not in (None, "batched", "hoisted", "legacy"):
+            raise ValidationError(
+                "oracle must be one of 'batched', 'hoisted', 'legacy' or None, "
+                f"got {self.oracle!r}"
+            )
+
+    def resolved_oracle(self) -> str:
+        """The effective oracle tier after applying the ``fast`` default."""
+        if self.oracle is not None:
+            return self.oracle
+        return "batched" if self.fast else "legacy"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -122,26 +151,66 @@ class SubproblemSolution:
 
 
 class SubproblemWorkspace:
-    """Preallocated scratch buffers for the fast subproblem oracle.
+    """Preallocated scratch buffers for the fast subproblem oracles.
 
     One workspace holds every ``(U, F)``-sized buffer the dual-ascent
     inner loop needs, so a caller that solves repeatedly — an
     :class:`~repro.core.distributed.SBSAgent` runs one solve per
     Gauss-Seidel round — pays the allocations once per run instead of
-    once per dual iteration.  A workspace is tied to the problem's
-    ``(U, F)`` shape; :func:`solve_subproblem` rejects a mismatch.
+    once per dual iteration.  The batched oracle additionally keeps its
+    2-row :class:`~repro.solvers.fractional_knapsack.KnapsackBatchWorkspace`
+    (row 0: the dual routing subproblem, row 1: primal recovery) and the
+    flat multiplier/subgradient iterates here, so a whole dual iteration
+    runs without allocating.
+
+    A workspace adapts to the problem shape it is used with:
+    :func:`solve_subproblem` calls :meth:`ensure_shape`, which
+    re-allocates every buffer when the ``(U, F)`` shape changed since
+    the last solve (sweep cells of different sizes can safely share one
+    workspace).
     """
 
-    __slots__ = ("shape", "caps", "effective_caps", "costs_flat", "priced_mu_flat")
+    __slots__ = (
+        "shape",
+        "caps",
+        "effective_caps",
+        "costs_flat",
+        "priced_mu_flat",
+        "mu_flat",
+        "subgrad_flat",
+        "prod_flat",
+        "aggregated",
+        "batch_costs",
+        "batch_caps",
+        "knapsack",
+        "trial_prod",
+        "trial_scratch",
+    )
 
     def __init__(self, problem: ProblemInstance) -> None:
-        shape = (problem.num_groups, problem.num_files)
+        self._allocate((problem.num_groups, problem.num_files))
+
+    def _allocate(self, shape: Tuple[int, int]) -> None:
         size = shape[0] * shape[1]
         self.shape = shape
         self.caps = np.empty(shape)
         self.effective_caps = np.empty(shape)
         self.costs_flat = np.empty(size)
         self.priced_mu_flat = np.empty(size)
+        self.mu_flat = np.empty(size)
+        self.subgrad_flat = np.empty(size)
+        self.prod_flat = np.empty(size)
+        self.aggregated = np.empty(shape[1])
+        self.batch_costs = np.empty((2, size))
+        self.batch_caps = np.empty((2, size))
+        self.knapsack = KnapsackBatchWorkspace(2, size)
+        self.trial_prod = np.empty((_TRIAL_CHUNK, size))
+        self.trial_scratch = KnapsackBatchWorkspace(_TRIAL_CHUNK, size)
+
+    def ensure_shape(self, shape: Tuple[int, int]) -> None:
+        """Re-allocate every buffer if ``shape`` differs from the last solve."""
+        if self.shape != shape:
+            self._allocate(shape)
 
 
 def _routing_coefficients(problem: ProblemInstance, sbs: int) -> np.ndarray:
@@ -278,14 +347,25 @@ def _polish_cache_set(
     capacity: int,
     max_passes: int = 4,
     max_candidates: int = 12,
+    batch_evaluate: Optional[Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, float]:
     """First-improvement single-swap local search over the cache set.
 
     Candidate in-files are limited to the ``max_candidates`` highest
     potential-value uncached files — the only ones that can plausibly
     displace a cached file under a linear objective.  ``evaluate`` maps a
-    candidate caching vector to its exact ``(routing, cost)``; both the
-    fast and legacy oracles supply their own evaluator.
+    candidate caching vector to its exact ``(routing, cost)``; the
+    oracles supply their own evaluator.
+
+    ``batch_evaluate`` (batched oracle only) maps a ``(T, F)`` matrix of
+    trial cache vectors to ``(routings (T, U, F), costs (T,))`` in one
+    shared-order knapsack batch.  Within one pass every swap trial
+    derives from the same incumbent (the scalar loop accepts at most one
+    swap and then restarts the pass), so evaluating all trials up front
+    and accepting the first improving one visits the exact same accept
+    sequence as the scalar double loop — results are bit-identical, only
+    the final no-improvement pass stops paying one scalar knapsack per
+    trial.
     """
     caching = caching.copy()
     for _ in range(max_passes):
@@ -305,18 +385,44 @@ def _polish_cache_set(
                 if cost < best_cost - 1e-12:
                     caching, best_routing, best_cost = trial, routing, cost
                     improved = True
-        for f_out in cached_files:
-            for f_in in candidates:
-                trial = caching.copy()
-                trial[f_out] = 0.0
-                trial[f_in] = 1.0
-                routing, cost = evaluate(trial)
-                if cost < best_cost - 1e-12:
-                    caching, best_routing, best_cost = trial, routing, cost
-                    improved = True
+        if batch_evaluate is not None:
+            # The scalar loop scans only the first cached file once the
+            # add phase already improved; mirror that exactly.
+            outs = cached_files[:1] if improved else cached_files
+            if outs.size and candidates.size:
+                num_in = candidates.size
+                trials = np.tile(caching, (outs.size * num_in, 1))
+                rows = np.arange(outs.size * num_in)
+                trials[rows, np.repeat(outs, num_in)] = 0.0
+                trials[rows, np.tile(candidates, outs.size)] = 1.0
+                # Chunked evaluation with early exit: the first improving
+                # trial ends the pass (exactly where the scalar loop
+                # stops), so improving passes usually pay for one chunk
+                # instead of the full trial matrix.
+                for start in range(0, trials.shape[0], _TRIAL_CHUNK):
+                    chunk = trials[start : start + _TRIAL_CHUNK]
+                    routings, costs = batch_evaluate(chunk)
+                    better = np.flatnonzero(costs < best_cost - 1e-12)
+                    if better.size:
+                        pick = int(better[0])
+                        caching = chunk[pick].copy()
+                        best_routing = routings[pick].copy()
+                        best_cost = float(costs[pick])
+                        improved = True
+                        break
+        else:
+            for f_out in cached_files:
+                for f_in in candidates:
+                    trial = caching.copy()
+                    trial[f_out] = 0.0
+                    trial[f_in] = 1.0
+                    routing, cost = evaluate(trial)
+                    if cost < best_cost - 1e-12:
+                        caching, best_routing, best_cost = trial, routing, cost
+                        improved = True
+                        break
+                if improved:
                     break
-            if improved:
-                break
         if not improved:
             break
     return caching, best_routing, best_cost
@@ -369,12 +475,13 @@ def solve_subproblem(
     aggregate_others = as_float_array(
         aggregate_others, "aggregate_others", shape=(num_groups, num_files)
     )
-    if workspace is not None and workspace.shape != (num_groups, num_files):
-        raise ValidationError(
-            f"workspace shape {workspace.shape} does not match problem "
-            f"shape {(num_groups, num_files)}"
-        )
-    use_fast = config.fast
+    mode = config.resolved_oracle()
+    use_fast = mode != "legacy"
+    if workspace is not None:
+        # Buffers adapt to the problem at hand: a workspace reused across
+        # sweep cells of different (U, F) shapes is re-allocated, never
+        # trusted blindly.
+        workspace.ensure_shape((num_groups, num_files))
     if use_fast and workspace is None:
         workspace = SubproblemWorkspace(problem)
     caps = residual_caps(
@@ -411,6 +518,7 @@ def solve_subproblem(
 
     priced = coefficients if prices is None else coefficients + prices
 
+    batch_evaluate: Optional[Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]] = None
     if use_fast:
         # Everything invariant across dual iterations, hoisted out of the
         # loop: flat views of the priced coefficients and caps, the shared
@@ -423,6 +531,103 @@ def solve_subproblem(
         weights_flat = problem.demand_flat()
         bandwidth = float(problem.bandwidth[sbs])
         filler_order = np.argsort(-tie_break, kind="stable")
+
+    if mode == "batched":
+        # Row 0 of the knapsack batch is the dual routing subproblem
+        # (costs change with mu each iteration), row 1 is primal
+        # recovery (costs are the fixed priced coefficients, only the
+        # cache-masked caps change) — row 1's value-density sort is paid
+        # exactly once per solve, and every polish trial reuses it too.
+        kw = ws.knapsack
+        kw.bind_weights(weights_flat)
+        np.copyto(ws.batch_costs[1], priced_flat)
+        kw.prepare_row(1, ws.batch_costs[1])
+        caps_eff_flat = ws.batch_caps[1]
+        caps_eff = caps_eff_flat.reshape(num_groups, num_files)
+
+        def evaluate(caching: np.ndarray) -> Tuple[np.ndarray, float]:
+            np.multiply(caps, caching[np.newaxis, :], out=caps_eff)
+            alloc = kw.solve_row(1, caps_eff_flat, bandwidth)
+            np.multiply(priced_flat, alloc, out=ws.prod_flat)
+            cost = constant + float(np.add.reduce(ws.prod_flat))
+            return alloc.reshape(num_groups, num_files).copy(), cost
+
+        # The recovery row's costs (the priced coefficients) are fixed
+        # for the whole solve, so its paid prefix, greedy order and the
+        # caps gathered along it are hoisted here; a polish trial then
+        # only contributes its (F,)-sized cache mask, gathered from the
+        # tiny trial matrix instead of a (T, U*F) effective-caps build.
+        recovery_paid = int(kw.paid_count[1])
+        recovery_order = kw.order[1, :recovery_paid]
+        recovery_file = recovery_order % num_files
+        recovery_caps = caps_flat.take(recovery_order)
+        recovery_w_eff = kw.w_eff[1, :recovery_paid]
+        recovery_w = kw.w_sorted[1, :recovery_paid]
+        scratch = ws.trial_scratch
+
+        def recover(caching: np.ndarray) -> Tuple[np.ndarray, float]:
+            """Recovery evaluation of one cache set — the T=1 kernel."""
+            perf.count("knapsack.batched_rows")
+            allocation = kw.allocation[1]
+            allocation.fill(0.0)
+            if recovery_paid:
+                sorted_full = kw.sorted_full[1, :recovery_paid]
+                np.multiply(recovery_caps, caching.take(recovery_file), out=sorted_full)
+                np.multiply(sorted_full, recovery_w_eff, out=sorted_full)
+                before = kw.before[1, :recovery_paid]
+                before[0] = 0.0
+                sorted_full[:-1].cumsum(out=before[1:])
+                take = kw.take[1, :recovery_paid]
+                np.subtract(bandwidth, before, out=take)
+                np.maximum(take, 0.0, out=take)
+                np.minimum(take, sorted_full, out=take)
+                positive = kw.positive[1, :recovery_paid]
+                np.greater(take, 0.0, out=positive)
+                vals = kw.vals[1, :recovery_paid]
+                vals.fill(0.0)
+                np.divide(take, recovery_w, out=vals, where=positive)
+                allocation[recovery_order] = vals
+            if kw.has_free(1):
+                free_cols = np.flatnonzero(kw.free[1])
+                allocation[free_cols] = caps_flat[free_cols] * caching[free_cols % num_files]
+            np.multiply(priced_flat, allocation, out=ws.prod_flat)
+            return allocation, constant + float(np.add.reduce(ws.prod_flat))
+
+        def batch_evaluate(trials: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            count = trials.shape[0]
+            perf.count("knapsack.batched_rows", count)
+            allocation = scratch.allocation[:count]
+            allocation.fill(0.0)
+            if recovery_paid:
+                sorted_full = scratch.sorted_full[:count, :recovery_paid]
+                # Same grouping as the scalar path: (cap * trial) * w.
+                np.multiply(recovery_caps, trials[:, recovery_file], out=sorted_full)
+                np.multiply(sorted_full, recovery_w_eff, out=sorted_full)
+                before = scratch.before[:count, :recovery_paid]
+                before[:, 0] = 0.0
+                sorted_full[:, :-1].cumsum(axis=1, out=before[:, 1:])
+                take = scratch.take[:count, :recovery_paid]
+                np.subtract(bandwidth, before, out=take)
+                np.maximum(take, 0.0, out=take)
+                np.minimum(take, sorted_full, out=take)
+                positive = scratch.positive[:count, :recovery_paid]
+                np.greater(take, 0.0, out=positive)
+                vals = scratch.vals[:count, :recovery_paid]
+                vals.fill(0.0)
+                np.divide(take, recovery_w, out=vals, where=positive)
+                allocation[:, recovery_order] = vals
+            if kw.has_free(1):
+                free = kw.free[1]
+                free_cols = np.flatnonzero(free)
+                allocation[:, free_cols] = (
+                    caps_flat[free_cols] * trials[:, free_cols % num_files]
+                )
+            products = ws.trial_prod[:count]
+            np.multiply(allocation, priced_flat, out=products)
+            costs_of_trials = constant + np.add.reduce(products, axis=1)
+            return allocation.reshape(-1, num_groups, num_files), costs_of_trials
+
+    elif use_fast:
 
         def evaluate(caching: np.ndarray) -> Tuple[np.ndarray, float]:
             np.multiply(caps, caching[np.newaxis, :], out=ws.effective_caps)
@@ -449,7 +654,7 @@ def solve_subproblem(
         seed_routing, seed_cost = evaluate(seed_caching)
         best.update(cost=seed_cost, caching=seed_caching, routing=seed_routing)
 
-    if use_fast:
+    if mode == "hoisted":
 
         def oracle(multipliers: np.ndarray):
             mu = multipliers.reshape(num_groups, num_files)
@@ -477,7 +682,7 @@ def solve_subproblem(
                 best["routing"] = recovered_routing
             return dual_value, subgradient.ravel(), None
 
-    else:
+    elif mode == "legacy":
 
         def oracle(multipliers: np.ndarray):
             mu = multipliers.reshape(num_groups, num_files)
@@ -507,14 +712,90 @@ def solve_subproblem(
                 f"{start.size}"
             )
         start = np.maximum(start, 0.0)
-    result = subgradient_ascent(
-        oracle,
-        start,
-        schedule=schedule,
-        max_iter=config.max_iter,
-        tol=config.tol,
-        patience=config.patience,
-    )
+    if mode == "batched":
+        # Inlined projected-subgradient ascent: the exact control flow of
+        # :func:`repro.solvers.subgradient.subgradient_ascent` with the
+        # oracle fused in.  One knapsack batch (dual routing + primal
+        # recovery) and three in-place array ops per multiplier update —
+        # nothing allocated per iteration beyond the argsort of row 0 and
+        # the (F,)-sized cache-set selection.
+        mu = ws.mu_flat
+        np.copyto(mu, start)
+        np.maximum(mu, 0.0, out=mu)
+        # Row 0's caps never change during the ascent, so the greedy's
+        # ``caps * weights`` products are computed exactly once.
+        cw_flat = caps_flat * weights_flat
+        mu2 = mu.reshape(num_groups, num_files)
+        sub2 = ws.subgrad_flat.reshape(num_groups, num_files)
+        best_dual = -np.inf
+        dual_history = []
+        stall = 0
+        converged = False
+        # The recovery row depends only on the candidate cache set, and
+        # the dual iterates oscillate between a handful of sets: any set
+        # seen before is skipped outright — its evaluation is
+        # deterministic, and the strict < of the best-update means an
+        # equal cost never changes the incumbent.
+        seen_cache_sets: set = set()
+        for iteration in range(config.max_iter):
+            # ``np.add.reduce`` is what ``np.sum`` dispatches to — same
+            # pairwise summation, minus the wrapper overhead that shows
+            # up at this call frequency.
+            np.add.reduce(mu2, axis=0, out=ws.aggregated)
+            caching = _select_cache_set(num_files, capacity, ws.aggregated, filler_order)
+            np.add(coefficients_flat, mu, out=ws.batch_costs[0])
+            if prices_flat is not None:
+                ws.batch_costs[0] += prices_flat
+            kw.prepare_row(0, ws.batch_costs[0])
+            alloc0 = kw.solve_row_scaled(0, cw_flat, caps_flat, bandwidth)
+            cache_key = caching.tobytes()
+            if cache_key not in seen_cache_sets:
+                seen_cache_sets.add(cache_key)
+                recovered_routing, recovered_cost = recover(caching)
+                if recovered_cost < best["cost"]:
+                    best["cost"] = recovered_cost
+                    best["caching"] = caching
+                    best["routing"] = recovered_routing.reshape(
+                        num_groups, num_files
+                    ).copy()
+            np.add(priced_flat, mu, out=ws.priced_mu_flat)
+            np.multiply(ws.priced_mu_flat, alloc0, out=ws.prod_flat)
+            dual_value = (
+                constant
+                + float(np.add.reduce(ws.prod_flat))
+                - float(np.add.reduce(ws.aggregated * caching))
+            )
+            dual_history.append(float(dual_value))
+            improved = dual_value > best_dual + config.tol * max(1.0, abs(best_dual))
+            if dual_value > best_dual:
+                best_dual = float(dual_value)
+            stall = 0 if improved else stall + 1
+            if stall >= config.patience:
+                converged = True
+                break
+            np.subtract(
+                alloc0.reshape(num_groups, num_files), caching[np.newaxis, :], out=sub2
+            )
+            np.multiply(ws.subgrad_flat, schedule(iteration), out=ws.subgrad_flat)
+            np.add(mu, ws.subgrad_flat, out=mu)
+            np.maximum(mu, 0.0, out=mu)
+        result = SubgradientResult(
+            multipliers=mu.copy(),
+            best_dual=best_dual,
+            best_payload=None,
+            dual_history=dual_history,
+            iterations=len(dual_history),
+            converged=converged,
+        )
+    else:
+        result = subgradient_ascent(
+            oracle,
+            start,
+            schedule=schedule,
+            max_iter=config.max_iter,
+            tol=config.tol,
+            patience=config.patience,
+        )
     perf.count("subgradient.iterations", result.iterations)
 
     caching, routing, cost = best["caching"], best["routing"], best["cost"]
@@ -528,6 +809,7 @@ def solve_subproblem(
             evaluate=evaluate,
             potential=tie_break,
             capacity=capacity,
+            batch_evaluate=batch_evaluate,
         )
     return SubproblemSolution(
         caching=caching,

@@ -25,12 +25,29 @@ That buys two orthogonal optimizations, both exact:
   **bit-identical** to the serial run (the tests assert this).
 
 The default (``workers=1``) keeps the historical serial behaviour.
+
+Zero-copy dispatch
+------------------
+
+Workers never receive pickled :class:`_CellTask` objects per map item.
+The deduplicated task list is published once — inherited through
+``fork`` where available, or shipped through one
+:mod:`multiprocessing.shared_memory` block under ``spawn`` — and the
+pool maps over plain integer indices in chunks.  Each worker process
+also memoizes :func:`~repro.experiments.config.build_problem` per
+scenario, so cells that share a scenario (the usual case: one scenario
+times several schemes) build their arrays once.  On a single-CPU host
+the fan-out cannot win, so :func:`_effective_workers` clamps execution
+to the inline path — results are identical either way, only the
+scheduling changes.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import functools
+import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -120,13 +137,26 @@ class _CellTask:
         )
 
 
+@functools.lru_cache(maxsize=32)
+def _problem_for(scenario: ScenarioConfig):
+    """Per-process memoized :func:`build_problem`.
+
+    Sweep cells never mutate their problem (every scheme copies what it
+    perturbs), so cells sharing a scenario — one scenario times several
+    schemes times several dedup hits — can share one instance instead of
+    regenerating the arrays per cell.  The cache lives per process:
+    pool workers each warm their own.
+    """
+    return build_problem(scenario)
+
+
 def _evaluate_cell(task: _CellTask) -> float:
     """Run one sweep cell and return its scheme cost.
 
     Module-level (not a closure) so :class:`ProcessPoolExecutor` can
     pickle it; deterministic given ``task`` alone.
     """
-    problem = build_problem(task.scenario)
+    problem = _problem_for(task.scenario)
     if task.scheme == "optimum":
         return run_optimum(
             problem, config=task.config, rng=task.rng, faults=task.faults
@@ -164,14 +194,115 @@ def _evaluate_cell_traced(
     return cost, recorder.events
 
 
+# -- zero-copy worker dispatch -----------------------------------------
+#
+# The distinct-task list is published to pool workers exactly once:
+# inherited through ``fork`` (free), or shipped via one shared-memory
+# block under ``spawn``.  Map items are then plain integers.
+
+_WORKER_TASKS: Optional[List[_CellTask]] = None
+_WORKER_TIMINGS: bool = True
+
+
+def _init_worker_shm(shm_name: str) -> None:
+    """Pool initializer (spawn path): load the task list from shared memory."""
+    global _WORKER_TASKS, _WORKER_TIMINGS
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        _WORKER_TASKS, _WORKER_TIMINGS = pickle.loads(bytes(shm.buf))
+    finally:
+        shm.close()
+
+
+def _evaluate_index(index: int) -> float:
+    """Evaluate one distinct cell by its index into the published list."""
+    assert _WORKER_TASKS is not None
+    return _evaluate_cell(_WORKER_TASKS[index])
+
+
+def _evaluate_index_traced(index: int) -> Tuple[float, List[obs.Event]]:
+    """Traced variant of :func:`_evaluate_index` (timings from the payload)."""
+    assert _WORKER_TASKS is not None
+    return _evaluate_cell_traced(_WORKER_TASKS[index], timings=_WORKER_TIMINGS)
+
+
+def _start_method() -> str:
+    """The multiprocessing start method the pool dispatch will see.
+
+    A seam for tests: forcing the shared-memory publication path
+    patches this function instead of ``multiprocessing``'s module
+    attribute, which lazily-imported stdlib submodules (``spawn``,
+    ``resource_tracker``) would otherwise capture permanently.
+    """
+    import multiprocessing
+
+    return multiprocessing.get_start_method()
+
+
+def _effective_workers(workers: int, cells: int) -> int:
+    """Clamp the requested fan-out to what can actually help.
+
+    A process pool on a single-CPU host (or for a single cell) pays
+    fork/IPC overhead with zero parallel speedup, so those cases run
+    inline.  Results are bit-identical either way; only scheduling
+    changes.  Tests monkeypatch this to force the pool path.
+    """
+    if workers <= 1 or cells <= 1:
+        return 1
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    return min(workers, cells)
+
+
+def _map_distinct(
+    distinct: Sequence[_CellTask], workers: int, *, traced: bool, timings: bool
+) -> List:
+    """Map the distinct cells over a pool without per-task pickles.
+
+    Publishes the task list once (fork inheritance where available,
+    one shared-memory block otherwise), then maps chunked integer
+    indices.  ``ProcessPoolExecutor.map`` preserves submission order,
+    so results line up with ``distinct``.
+    """
+    global _WORKER_TASKS, _WORKER_TIMINGS
+
+    fn = _evaluate_index_traced if traced else _evaluate_index
+    chunksize = max(1, len(distinct) // (workers * 4))
+    if _start_method() == "fork":
+        _WORKER_TASKS = list(distinct)
+        _WORKER_TIMINGS = timings
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, range(len(distinct)), chunksize=chunksize))
+        finally:
+            _WORKER_TASKS = None
+    from multiprocessing import shared_memory
+
+    payload = pickle.dumps(
+        (list(distinct), timings), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    try:
+        shm.buf[: len(payload)] = payload
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker_shm, initargs=(shm.name,)
+        ) as pool:
+            return list(pool.map(fn, range(len(distinct)), chunksize=chunksize))
+    finally:
+        shm.close()
+        shm.unlink()
+
+
 def _evaluate_cells(
     tasks: Sequence[_CellTask], *, workers: int, dedup: bool
 ) -> List[float]:
     """Evaluate every cell, deduplicated and optionally in parallel.
 
-    Distinct cells are evaluated in first-occurrence order — serially
-    for ``workers=1``, else via ``ProcessPoolExecutor.map`` (which
-    preserves that order) — and the per-task result list is reassembled
+    Distinct cells are evaluated in first-occurrence order — inline for
+    ``workers=1``, else via the zero-copy pool dispatch of
+    :func:`_map_distinct` — and the per-task result list is reassembled
     from the distinct results.  Because each cell is a pure function of
     its task, the returned floats are bit-identical no matter how the
     evaluation was scheduled.
@@ -189,22 +320,21 @@ def _evaluate_cells(
         slot_of_task.append(slot)
         if key is not None:
             slot_of_key[key] = slot
+    workers = _effective_workers(workers, len(distinct))
     if obs.enabled():
-        traced = functools.partial(
-            _evaluate_cell_traced, timings=obs.timings_enabled()
-        )
         if workers <= 1:
-            pairs = [traced(task) for task in distinct]
+            timings = obs.timings_enabled()
+            pairs = [_evaluate_cell_traced(task, timings=timings) for task in distinct]
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                pairs = list(pool.map(traced, distinct))
+            pairs = _map_distinct(
+                distinct, workers, traced=True, timings=obs.timings_enabled()
+            )
         results = [_replay_cell(slot, task, pair) for slot, (task, pair) in
                    enumerate(zip(distinct, pairs))]
     elif workers <= 1:
         results = [_evaluate_cell(task) for task in distinct]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_evaluate_cell, distinct))
+        results = _map_distinct(distinct, workers, traced=False, timings=False)
     return [results[slot] for slot in slot_of_task]
 
 

@@ -30,6 +30,7 @@ counters describe exactly the work done in the measuring process.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
@@ -84,22 +85,27 @@ class PerfRegistry:
     """Named counters plus named accumulated wall-clock timings.
 
     All methods are cheap enough for inner loops; none allocate beyond
-    the dictionary entry for a first-seen name.
+    the dictionary entry for a first-seen name.  Updates are guarded by
+    a lock so the Jacobi thread-pool executor can instrument concurrent
+    solves without losing increments to read-modify-write races.
     """
 
-    __slots__ = ("counters", "timings")
+    __slots__ = ("counters", "timings", "_lock")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.timings: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def count(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (creating it at zero)."""
-        self.counters[name] = self.counters.get(name, 0) + int(amount)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` of wall-clock time under ``name``."""
-        self.timings[name] = self.timings.get(name, 0.0) + float(seconds)
+        with self._lock:
+            self.timings[name] = self.timings.get(name, 0.0) + float(seconds)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[Timer]:

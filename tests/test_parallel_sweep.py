@@ -162,3 +162,62 @@ class TestValidation:
         )
         with pytest.raises(ValidationError):
             _evaluate_cell(bad)
+
+
+class TestZeroCopyDispatch:
+    """The fork/shared-memory task publication: no per-task pickles, exact."""
+
+    def test_effective_workers_clamps_on_single_cpu(self, monkeypatch):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 1)
+        assert runner._effective_workers(8, 12) == 1
+
+    def test_effective_workers_passes_through_on_many_cpus(self, monkeypatch):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner.os, "cpu_count", lambda: 8)
+        assert runner._effective_workers(4, 12) == 4
+        assert runner._effective_workers(4, 2) == 2
+        assert runner._effective_workers(1, 12) == 1
+        assert runner._effective_workers(4, 1) == 1
+
+    def test_forced_pool_bit_identical(self, monkeypatch):
+        """Bypass the single-CPU clamp: the real pool must agree exactly."""
+        import repro.experiments.runner as runner
+
+        serial = _sweep(workers=1)
+        monkeypatch.setattr(
+            runner, "_effective_workers", lambda w, c: min(w, c) if w > 1 else 1
+        )
+        pooled = _sweep(workers=2)
+        assert serial == pooled
+
+    def test_forced_shared_memory_path_bit_identical(self, monkeypatch):
+        """The spawn fallback ships tasks via one shared-memory block."""
+        import repro.experiments.runner as runner
+
+        serial = _sweep(workers=1)
+        monkeypatch.setattr(
+            runner, "_effective_workers", lambda w, c: min(w, c) if w > 1 else 1
+        )
+        # Patch the runner's seam, NOT multiprocessing.get_start_method:
+        # lazily-imported stdlib submodules would capture a module-attr
+        # patch permanently and poison later spawn-based tests.
+        monkeypatch.setattr(runner, "_start_method", lambda: "forced-shm")
+        pooled = _sweep(workers=2)
+        assert serial == pooled
+
+    def test_problem_memo_returns_identical_instance(self):
+        from repro.experiments.runner import _problem_for
+
+        assert _problem_for(TINY) is _problem_for(TINY)
+
+    def test_worker_payload_cleared_after_map(self, monkeypatch):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(
+            runner, "_effective_workers", lambda w, c: min(w, c) if w > 1 else 1
+        )
+        _sweep(workers=2)
+        assert runner._WORKER_TASKS is None

@@ -109,7 +109,42 @@ class TestSolverInstrumentation:
         counters = registry.snapshot()["counters"]
         assert counters["subproblem.solves"] == 1
         assert counters["subgradient.iterations"] >= 1
+        # The default (batched) oracle solves whole rows of knapsacks at
+        # a time, so it counts rows, not scalar calls.
+        assert counters["knapsack.batched_rows"] >= 1
+        assert "knapsack.calls" not in counters
+
+    def test_subproblem_counters_legacy_oracle(self):
+        from repro.core.subproblem import SubproblemConfig
+
+        problem = random_problem(np.random.default_rng(5))
+        aggregate = 0.0 * problem.demand
+        with perf.collecting() as registry:
+            solve_subproblem(
+                problem, 0, aggregate, SubproblemConfig(oracle="legacy")
+            )
+        counters = registry.snapshot()["counters"]
         assert counters["knapsack.calls"] >= 1
+
+    def test_registry_thread_safety(self):
+        """Concurrent count/add_time must not lose increments."""
+        import threading
+
+        registry = perf.PerfRegistry()
+
+        def hammer():
+            for _ in range(2000):
+                registry.count("hits")
+                registry.add_time("t", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["hits"] == 8000
+        assert abs(snap["timings_s"]["t"] - 8.0) < 1e-6
 
     def test_distributed_counters_and_timings(self):
         problem = random_problem(np.random.default_rng(5))

@@ -213,12 +213,31 @@ class TestFastOracleParity:
         assert first.cost == again.cost
         assert np.array_equal(first.routing, again.routing)
 
-    def test_workspace_shape_mismatch_rejected(self, tiny_problem, rng):
+    def test_workspace_adapts_to_shape_change(self, tiny_problem, rng):
+        """One workspace across differently-shaped cells: re-allocated, exact.
+
+        The sweep runner reuses a workspace across cells whose ``(U, F)``
+        shapes differ; stale buffers must be re-validated, not trusted.
+        """
         from repro.core.subproblem import SubproblemWorkspace
 
         other = random_problem(rng, num_groups=7, num_files=9)
         workspace = SubproblemWorkspace(other)
-        with pytest.raises(ValidationError):
-            solve_subproblem(
-                tiny_problem, 0, np.zeros((3, 4)), workspace=workspace
-            )
+        agg_other = np.clip(
+            rng.uniform(size=(other.num_groups, other.num_files)), 0.0, 1.0
+        )
+        first = solve_subproblem(other, 0, agg_other, workspace=workspace)
+        # Shape change mid-reuse: buffers must adapt to the new (U, F).
+        shrunk = solve_subproblem(
+            tiny_problem, 0, np.zeros((3, 4)), workspace=workspace
+        )
+        fresh = solve_subproblem(
+            tiny_problem, 0, np.zeros((3, 4)), workspace=SubproblemWorkspace(tiny_problem)
+        )
+        assert shrunk.cost == fresh.cost
+        assert np.array_equal(shrunk.routing, fresh.routing)
+        assert np.array_equal(shrunk.caching, fresh.caching)
+        # And back up to the original shape, still exact.
+        again = solve_subproblem(other, 0, agg_other, workspace=workspace)
+        assert again.cost == first.cost
+        assert np.array_equal(again.routing, first.routing)
