@@ -21,7 +21,7 @@ from typing import List, Optional
 
 from .baseline import DEFAULT_BASELINE_NAME, load_baseline, partition_findings, write_baseline
 from .engine import LintError, lint_paths
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import all_rules
 
 __all__ = ["build_parser", "main"]
@@ -43,9 +43,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--warn-unused-pragmas",
+        dest="warn_unused",
+        action="store_true",
+        default=True,
+        help="report suppression pragmas that suppress nothing as "
+        "REPRO502 findings (default; only effective when the full "
+        "rule set runs)",
+    )
+    parser.add_argument(
+        "--no-warn-unused-pragmas",
+        dest="warn_unused",
+        action="store_false",
+        help="do not report unused suppression pragmas",
     )
     parser.add_argument(
         "--select",
@@ -101,18 +116,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    select = _split_rule_args(args.select)
+    ignore = _split_rule_args(args.ignore)
+    # Unused-pragma detection is only meaningful against the full rule
+    # set: a pragma for a deselected rule is not "unused", it was never
+    # given the chance to fire.
+    warn_unused = args.warn_unused and not select and not ignore
     try:
         findings, files_checked = lint_paths(
             args.paths,
-            select=_split_rule_args(args.select),
-            ignore=_split_rule_args(args.ignore),
+            select=select,
+            ignore=ignore,
+            warn_unused=warn_unused,
         )
     except LintError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
 
     if args.update_baseline:
-        count = write_baseline(baseline_path, findings)
+        # Unused pragmas are never grandfathered: the fix is deleting a
+        # comment, not carrying debt.
+        count = write_baseline(
+            baseline_path, [f for f in findings if f.code != "REPRO502"]
+        )
         print(f"wrote {count} fingerprint(s) to {baseline_path}")
         return 0
 
@@ -128,6 +154,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(render_json(findings, files_checked=files_checked, grandfathered=grandfathered))
+    elif args.format == "sarif":
+        descriptions = {rule.code: rule.summary for rule in all_rules()}
+        print(render_sarif(findings, tool_name="repro-lint", rule_descriptions=descriptions))
     else:
         print(
             render_text(

@@ -16,11 +16,23 @@ on its own physical line; when the pragma stands on a comment-only
 line, it applies to the next code line instead (the idiomatic placement
 when the offending line is long).  ``disable-file`` suppresses findings
 for the whole file, wherever the comment appears.
+
+The taint analyzer (:mod:`repro.analysis.taint`) shares this grammar
+under its own ``# repro-taint:`` prefix; :func:`parse_pragmas` takes
+the tool prefix as a parameter so each tool only honours its own
+pragmas.
+
+A suppression that suppresses nothing is itself a defect — it usually
+means the offending code was fixed or moved and the pragma (with its
+justification) now misleads readers.  With ``warn_unused=True`` the
+engine reports every such identifier as a ``REPRO502``
+(``unused-suppression``) finding at the pragma's own line.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 import io
 import re
 import tokenize
@@ -33,7 +45,10 @@ from .rules.base import FileContext
 
 __all__ = [
     "LintError",
+    "Pragma",
     "parse_pragmas",
+    "parse_pragma_records",
+    "unused_pragma_findings",
     "resolve_module_name",
     "iter_python_files",
     "lint_file",
@@ -41,7 +56,26 @@ __all__ = [
     "select_rules",
 ]
 
-_PRAGMA_RE = re.compile(r"#\s*repro-lint\s*:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s-]+)")
+_PRAGMA_RE = re.compile(
+    r"#\s*(repro-lint|repro-taint)\s*:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s-]+)"
+)
+
+
+@dataclasses.dataclass
+class Pragma:
+    """One suppression comment, located and parsed.
+
+    ``target_line`` is the physical line whose findings the pragma
+    suppresses (``None`` for a ``disable-file`` pragma); ``line`` is
+    where the comment itself sits, which is where an unused-suppression
+    finding is reported.  ``used`` collects the identifiers that
+    actually suppressed at least one finding.
+    """
+
+    line: int
+    target_line: Optional[int]
+    identifiers: Set[str]
+    used: Set[str] = dataclasses.field(default_factory=set)
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
@@ -51,17 +85,15 @@ class LintError(Exception):
     """Raised for unusable inputs (unknown rule, unparseable path)."""
 
 
-def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """Extract suppression pragmas from ``source``.
+def parse_pragma_records(source: str, tool: str = "repro-lint") -> List[Pragma]:
+    """Extract ``tool``'s suppression pragmas from ``source`` as records.
 
-    Returns ``(per_line, per_file)`` where ``per_line`` maps a physical
-    line number to the set of rule identifiers disabled on that line and
-    ``per_file`` is the set disabled for the whole file.  Identifiers
-    are kept verbatim (name, code, or ``all``); matching against a rule
-    happens in :func:`lint_file`.
+    Each record keeps the comment's own line (for unused-suppression
+    reporting) alongside its target line; identifiers are kept verbatim
+    (name, code, or ``all``) — matching against a rule happens at
+    suppression time.
     """
-    per_line: Dict[int, Set[str]] = {}
-    per_file: Set[str] = set()
+    records: List[Pragma] = []
     lines = source.splitlines()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -71,17 +103,17 @@ def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
             if token.type == tokenize.COMMENT
         ]
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return per_line, per_file
+        return records
     for lineno, col, comment in comments:
         match = _PRAGMA_RE.search(comment)
-        if match is None:
+        if match is None or match.group(1) != tool:
             continue
-        kind, raw = match.groups()
+        kind, raw = match.group(2), match.group(3)
         rules = {part.strip() for part in raw.split("--")[0].split(",") if part.strip()}
         if not rules:
             continue
         if kind == "disable-file":
-            per_file |= rules
+            records.append(Pragma(line=lineno, target_line=None, identifiers=rules))
             continue
         target = lineno
         prefix = lines[lineno - 1][:col] if lineno <= len(lines) else ""
@@ -90,7 +122,26 @@ def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
             target = lineno + 1
             while target <= len(lines) and not lines[target - 1].strip():
                 target += 1
-        per_line.setdefault(target, set()).update(rules)
+        records.append(Pragma(line=lineno, target_line=target, identifiers=rules))
+    return records
+
+
+def parse_pragmas(
+    source: str, tool: str = "repro-lint"
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract suppression pragmas from ``source``.
+
+    Returns ``(per_line, per_file)`` where ``per_line`` maps a physical
+    line number to the set of rule identifiers disabled on that line and
+    ``per_file`` is the set disabled for the whole file.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for record in parse_pragma_records(source, tool):
+        if record.target_line is None:
+            per_file |= record.identifiers
+        else:
+            per_line.setdefault(record.target_line, set()).update(record.identifiers)
     return per_line, per_file
 
 
@@ -156,12 +207,55 @@ def _matches(identifiers: Set[str], rule: Rule) -> bool:
     return bool(identifiers & {rule.code, rule.name, "all"})
 
 
-def lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
+def _mark_used(pragmas: Sequence[Pragma], rule: Rule, target_line: Optional[int]) -> None:
+    for pragma in pragmas:
+        if pragma.target_line != target_line:
+            continue
+        pragma.used |= pragma.identifiers & {rule.code, rule.name, "all"}
+
+
+def unused_pragma_findings(
+    pragmas: Sequence[Pragma], display_path: str, *, code: str = "REPRO502",
+    rule: str = "unused-suppression", tool: str = "repro-lint",
+) -> List[Finding]:
+    """One finding per suppression identifier that suppressed nothing.
+
+    Shared by both tools (``repro-lint`` reports REPRO502,
+    ``repro-taint`` reports REPRO703): a pragma whose rule never fires
+    is stale — the offending code was fixed or moved — and its
+    justification now misleads readers.
+    """
+    findings: List[Finding] = []
+    for pragma in pragmas:
+        for identifier in sorted(pragma.identifiers - pragma.used):
+            scope = "file" if pragma.target_line is None else "line"
+            findings.append(
+                Finding(
+                    path=display_path,
+                    line=pragma.line,
+                    col=1,
+                    code=code,
+                    rule=rule,
+                    message=(
+                        f"unused {tool} suppression of {identifier!r}"
+                        f" ({scope} pragma suppresses no finding); delete it"
+                    ),
+                )
+            )
+    return findings
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule], *, warn_unused: bool = False
+) -> List[Finding]:
     """Run ``rules`` over one file, honouring suppression pragmas.
 
     Unparseable files produce a single synthetic ``REPRO000`` finding
     rather than crashing the run: a syntax error in linted code is
-    itself a reportable defect.
+    itself a reportable defect.  With ``warn_unused=True`` every pragma
+    identifier that suppressed nothing is reported as REPRO502 (only
+    meaningful when the full rule set runs — the CLI disables it under
+    ``--select``/``--ignore``).
     """
     source = path.read_text(encoding="utf-8")
     display = _display_path(path)
@@ -178,7 +272,14 @@ def lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
                 message=f"file does not parse: {exc.msg}",
             )
         ]
-    per_line, per_file = parse_pragmas(source)
+    pragmas = parse_pragma_records(source)
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for record in pragmas:
+        if record.target_line is None:
+            per_file |= record.identifiers
+        else:
+            per_line.setdefault(record.target_line, set()).update(record.identifiers)
     ctx = FileContext(
         path=path,
         display_path=display,
@@ -189,13 +290,20 @@ def lint_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
     )
     findings: List[Finding] = []
     for rule in rules:
-        if _matches(per_file, rule):
-            continue
+        # File-suppressed rules still run so a disable-file pragma only
+        # counts as used when the rule would actually have fired.
+        file_suppressed = _matches(per_file, rule)
         for finding in rule.check(ctx):
+            if file_suppressed:
+                _mark_used(pragmas, rule, None)
+                continue
             line_pragmas = per_line.get(finding.line, set())
             if _matches(line_pragmas, rule):
+                _mark_used(pragmas, rule, finding.line)
                 continue
             findings.append(finding)
+    if warn_unused:
+        findings.extend(unused_pragma_findings(pragmas, display))
     findings.sort()
     return findings
 
@@ -230,6 +338,7 @@ def lint_paths(
     *,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    warn_unused: bool = False,
 ) -> Tuple[List[Finding], int]:
     """Lint every Python file under ``paths``.
 
@@ -240,6 +349,6 @@ def lint_paths(
     files = iter_python_files([Path(p) for p in paths])
     findings: List[Finding] = []
     for file_path in files:
-        findings.extend(lint_file(file_path, rules))
+        findings.extend(lint_file(file_path, rules, warn_unused=warn_unused))
     findings.sort()
     return findings, len(files)

@@ -1,14 +1,18 @@
-"""Output formatting for :mod:`repro.analysis` lint runs."""
+"""Output formatting for :mod:`repro.analysis` lint runs.
+
+Shared by ``repro-lint`` and ``repro-taint``: text for humans, JSON for
+scripting, SARIF 2.1.0 for GitHub code scanning (PR annotations).
+"""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from .findings import Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(
@@ -47,5 +51,71 @@ def render_json(
             "grandfathered": grandfathered,
         },
         "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    tool_name: str,
+    rule_descriptions: Optional[Mapping[str, str]] = None,
+) -> str:
+    """SARIF 2.1.0 log for GitHub code scanning.
+
+    The rule table is derived from the findings themselves (one
+    ``reportingDescriptor`` per code seen); ``rule_descriptions`` adds
+    full descriptions keyed by code when available.
+    """
+    descriptions = dict(rule_descriptions or {})
+    rule_names: Dict[str, str] = {}
+    for finding in findings:
+        rule_names.setdefault(finding.code, finding.rule)
+    rules = []
+    for code in sorted(rule_names):
+        descriptor = {
+            "id": code,
+            "name": rule_names[code],
+            "shortDescription": {"text": rule_names[code]},
+        }
+        if code in descriptions:
+            descriptor["fullDescription"] = {"text": descriptions[code]}
+        rules.append(descriptor)
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": f"[{finding.rule}] {finding.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2)

@@ -1,0 +1,33 @@
+"""``repro-taint``: whole-program privacy dataflow analysis.
+
+Proves, statically and in CI, the paper's deployment contract: raw
+per-SBS demand (``y_n``, demand matrices, request streams) never
+crosses the SBS trust boundary — every egress carries only
+DP-perturbed data whose epsilon is booked with the privacy accountant
+(Theorem 4).  See :mod:`repro.analysis.taint.engine` for the analysis
+itself, :mod:`repro.analysis.taint.decl` for the in-code declaration
+decorators, and ``docs/static_analysis.md`` for the threat-model
+mapping.
+
+This ``__init__`` stays import-light on purpose: runtime modules pull
+in :mod:`.decl` (stdlib-only, zero-cost decorators); the analyzer
+machinery loads lazily via ``repro.analysis.taint.analyze_paths`` or
+the ``repro-taint`` console script.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import decl
+
+# repro-lint: disable=REPRO501 -- analyze_paths/TAINT_RULES resolve lazily via __getattr__ below
+__all__ = ["decl", "analyze_paths", "TAINT_RULES"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in ("analyze_paths", "TAINT_RULES"):
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

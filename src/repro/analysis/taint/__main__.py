@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.taint`` runs the ``repro-taint`` CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Command-line interface for the ``repro-taint`` privacy dataflow analyzer.
+
+Usage (also available as ``python -m repro.analysis.taint``)::
+
+    repro-taint [PATH ...]                 # analyze (default: src)
+    repro-taint --list-rules               # rule catalogue
+    repro-taint src --format json          # machine-readable output
+    repro-taint src --format sarif         # GitHub code scanning
+    repro-taint src --update-baseline      # grandfather current findings
+
+Exit codes: ``0`` no (non-baselined) findings, ``1`` findings reported,
+``2`` usage error (missing path, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..baseline import load_baseline, partition_findings, write_baseline
+from ..engine import LintError
+from ..reporters import render_json, render_sarif, render_text
+from .engine import TAINT_RULES, analyze_paths
+
+__all__ = ["build_parser", "main", "DEFAULT_BASELINE_NAME"]
+
+#: Separate ratchet from repro-lint's: taint debt is tracked on its own.
+DEFAULT_BASELINE_NAME = ".repro-taint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-taint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-taint",
+        description="Interprocedural privacy dataflow analysis: proves raw "
+        "demand never reaches a trust-boundary sink unsanitized, and that "
+        "every DP release books the privacy accountant.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file for grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME} when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--warn-unused-pragmas",
+        dest="warn_unused",
+        action="store_true",
+        default=True,
+        help="report repro-taint pragmas that suppress nothing as "
+        "REPRO703 findings (default)",
+    )
+    parser.add_argument(
+        "--no-warn-unused-pragmas",
+        dest="warn_unused",
+        action="store_false",
+        help="do not report unused suppression pragmas",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append a per-rule count summary to the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(TAINT_RULES):
+            name, summary = TAINT_RULES[code]
+            print(f"{code}  {name:28s} {summary}")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    try:
+        findings, files_checked = analyze_paths(
+            [Path(p) for p in args.paths], warn_unused=args.warn_unused
+        )
+    except LintError as exc:
+        print(f"repro-taint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        # Unused pragmas are never grandfathered: the fix is deleting a
+        # comment, not carrying debt.
+        count = write_baseline(
+            baseline_path, [f for f in findings if f.code != "REPRO703"]
+        )
+        print(f"wrote {count} fingerprint(s) to {baseline_path}")
+        return 0
+
+    grandfathered = 0
+    if baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"repro-taint: error: {exc}", file=sys.stderr)
+            return 2
+        findings, old = partition_findings(findings, baseline)
+        grandfathered = len(old)
+
+    if args.format == "json":
+        print(render_json(findings, files_checked=files_checked, grandfathered=grandfathered))
+    elif args.format == "sarif":
+        descriptions = {code: summary for code, (_, summary) in TAINT_RULES.items()}
+        print(render_sarif(findings, tool_name="repro-taint", rule_descriptions=descriptions))
+    else:
+        print(
+            render_text(
+                findings,
+                files_checked=files_checked,
+                grandfathered=grandfathered,
+                statistics=args.statistics,
+            )
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""In-code taint-model declarations for ``repro-taint``.
+
+The privacy dataflow analysis (:mod:`repro.analysis.taint.engine`)
+needs to know three things about the program it checks:
+
+* **sources** — where raw demand enters (the demand matrix, workload
+  request streams, each SBS's pre-noise routing policy);
+* **sanitizers** — the DP mechanisms whose output is safe to release,
+  *provided* the release is also booked with the privacy accountant;
+* **sinks** — the egress surfaces where data leaves the SBS trust
+  boundary (channel sends, wire frames, trace/metric emission, result
+  export).
+
+Rather than maintaining that model in a side table the code can drift
+away from, the egress-bearing modules declare it *in place* with the
+decorators below.  The decorators are zero-cost at runtime — they tag
+the function and return it unchanged — because the analyzer never
+imports the checked program: it reads the decorator expressions
+straight from the AST.  Keeping this module dependency-free (stdlib
+only) lets any ``repro`` package import it without cycles.
+
+Usage::
+
+    from repro.analysis.taint import decl as taint
+
+    @taint.source("request-stream")
+    def poisson_stream(...): ...
+
+    @taint.sanitizer(requires_accounting=True)
+    def perturb(self, routing): ...
+
+    @taint.sink("bs-upload")
+    def send(self, message): ...
+
+    taint.source_attribute("demand", "raw demand matrix (Table I)")
+
+``source_attribute`` declares a *field* (dataclass attribute) as a
+source; decorators cannot express that, so it is a module-level
+registry call the analyzer also discovers statically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple, TypeVar
+
+__all__ = [
+    "TAINT_TAG",
+    "source",
+    "sanitizer",
+    "sink",
+    "booking",
+    "declassifier",
+    "carrier",
+    "source_attribute",
+    "declared_source_attributes",
+]
+
+#: Attribute name under which a decorated callable carries its taint role.
+TAINT_TAG = "__repro_taint__"
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: Runtime mirror of the ``source_attribute`` declarations (the static
+#: analyzer reads the calls from the AST; this registry exists so tools
+#: and tests can introspect the declared model without re-parsing).
+_SOURCE_ATTRIBUTES: Dict[str, str] = {}
+
+
+def _tag(role: str, **details: Any) -> Callable[[_F], _F]:
+    def mark(func: _F) -> _F:
+        entries: List[Tuple[str, Dict[str, Any]]] = list(
+            getattr(func, TAINT_TAG, [])
+        )
+        entries.append((role, details))
+        try:
+            setattr(func, TAINT_TAG, entries)
+        except (AttributeError, TypeError):  # pragma: no cover - builtins
+            pass
+        return func
+
+    return mark
+
+
+def source(kind: str = "raw-demand") -> Callable[[_F], _F]:
+    """Declare a function whose return value is raw (tainted) data."""
+    return _tag("source", kind=kind)
+
+
+def sanitizer(*, requires_accounting: bool = True) -> Callable[[_F], _F]:
+    """Declare a DP mechanism call whose output is safe to release.
+
+    With ``requires_accounting=True`` (the default, and the honest
+    setting for every mechanism backing Theorem 4), the output only
+    counts as sanitized when the calling flow also books the release
+    with the privacy accountant — a noise draw without a ledger entry
+    does **not** sanitize, it silently invalidates the reported budget.
+    """
+    return _tag("sanitizer", requires_accounting=requires_accounting)
+
+
+def sink(kind: str) -> Callable[[_F], _F]:
+    """Declare an egress surface: tainted arguments here are findings."""
+    return _tag("sink", kind=kind)
+
+
+def booking(func: _F) -> _F:
+    """Declare the accountant call that books one release's epsilon."""
+    return _tag("booking")(func)
+
+
+def declassifier(justification: str) -> Callable[[_F], _F]:
+    """Declare a function whose return value is *deliberately* public.
+
+    Use sparingly, with a justification tied to the paper's threat
+    model (e.g. the aggregated load the BS broadcasts — the quantity
+    the paper's eavesdropper is *allowed* to observe).
+    """
+    return _tag("declassifier", justification=justification)
+
+
+def carrier(cls: _F) -> _F:
+    """Declare a payload-carrier class (e.g. a message or wire frame).
+
+    Constructing a carrier from a tainted payload produces a tainted
+    object: the analyzer treats ``Carrier(payload=x)`` as tainted
+    whenever ``x`` is.  Ordinary resolved constructors are *struct
+    boundaries* instead (taint re-enters only through declared source
+    attributes), which keeps domain objects like problem instances from
+    tainting every metadata field they carry.
+    """
+    return _tag("carrier")(cls)
+
+
+def source_attribute(name: str, description: str = "") -> None:
+    """Declare attribute/field ``name`` as a raw-data source.
+
+    Any ``<expr>.name`` read anywhere in the analyzed program taints
+    the resulting value.  Call at module level next to the class that
+    owns the field.
+    """
+    _SOURCE_ATTRIBUTES[name] = description
+
+
+def declared_source_attributes() -> Dict[str, str]:
+    """The runtime-registered source attributes (name -> description)."""
+    return dict(_SOURCE_ATTRIBUTES)

@@ -1,0 +1,1011 @@
+"""Interprocedural, flow-sensitive privacy taint analysis.
+
+The engine proves (or refutes, with call-chain provenance) the paper's
+core deployment claim: raw per-SBS demand never crosses the SBS trust
+boundary — only DP-perturbed reports whose epsilon is booked with the
+privacy accountant ever reach a sink (Theorem 4's ledger discipline).
+
+Design
+======
+
+Each function is interpreted abstractly over an environment mapping
+variable names (and one-level attribute paths like ``self.true_routing``)
+to sets of **atoms**:
+
+``src``
+    concrete raw data, created by reading a declared source attribute
+    or calling a declared source function;
+``param``
+    data derived from parameter *i* of the function under analysis —
+    the currency of per-function summaries;
+``unbooked``
+    output of a DP sanitizer whose release has *not yet* been booked
+    with the accountant on this path.  A booking call (or a callee that
+    always books) clears live unbooked atoms; an unbooked atom that
+    survives to a sink is a REPRO702 finding — noise was drawn but the
+    reported budget silently excludes the release.
+
+Interprocedural reasoning runs in two passes.  First, per-function
+**summaries** (return-value atoms, per-parameter conditional sink hits,
+whether the function always books) are iterated to a fixpoint over the
+call graph; atom/hit equality deliberately excludes provenance trails,
+so the lattice is finite and the fixpoint terminates.  Second, a
+reporting pass re-interprets every function against the stable
+summaries and materializes a finding wherever a *concrete* (non-param)
+atom meets a sink — directly, or through a callee's conditional sink.
+Findings therefore surface at the outermost frame where raw data
+demonstrably flows into the call that leads to the sink, which is also
+the right granularity for per-release-site pragma suppression.
+
+Everything is syntactic, deterministic, and stdlib-only: the analyzer
+never imports the program it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..engine import (
+    _display_path,
+    iter_python_files,
+    parse_pragma_records,
+    resolve_module_name,
+    unused_pragma_findings,
+)
+from ..findings import Finding
+from .graph import ClassInfo, FunctionInfo, ProgramGraph, _strip_annotation
+from .model import CLEAN_CALLS, RoleSpec, TaintModel, extract_declarations
+
+__all__ = ["TAINT_RULES", "Atom", "CondHit", "Summary", "TaintEngine", "analyze_paths"]
+
+#: Codes reported by this tool (REPRO000 is shared with repro-lint).
+TAINT_RULES: Dict[str, Tuple[str, str]] = {
+    "REPRO701": (
+        "raw-source-egress",
+        "raw demand/popularity data flows into a trust-boundary sink "
+        "without passing a privacy mechanism",
+    ),
+    "REPRO702": (
+        "unbooked-noise-egress",
+        "DP-perturbed data may be released on a path that never books "
+        "the accountant (noise without a ledger entry does not sanitize)",
+    ),
+    "REPRO703": (
+        "unused-taint-suppression",
+        "a repro-taint pragma suppresses no finding and should be deleted",
+    ),
+}
+
+_MAX_CHAIN = 8
+_MAX_FIXPOINT_ROUNDS = 30
+_LOOP_ROUNDS = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class Atom:
+    """One unit of abstract taint.
+
+    ``trail`` is provenance only: it is excluded from equality/hash so
+    the atom universe stays finite and set unions converge.
+    """
+
+    kind: str  # "src" | "param" | "unbooked"
+    label: str = ""
+    site: str = ""
+    param: int = -1
+    trail: Tuple[str, ...] = dataclasses.field(default=(), compare=False)
+
+
+@dataclasses.dataclass(frozen=True)
+class CondHit:
+    """A sink reachable from one parameter of a summarized function.
+
+    ``booked`` records that a booking happens between the function's
+    entry and the sink call, which sanctions unbooked caller atoms.
+    ``chain`` (provenance only) lists the frames from the summarized
+    function down to the sink call.
+    """
+
+    sink_name: str
+    sink_kind: str
+    booked: bool = False
+    chain: Tuple[str, ...] = dataclasses.field(default=(), compare=False)
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Interprocedural abstraction of one function."""
+
+    returns: FrozenSet[Atom] = frozenset()
+    cond_sinks: Tuple[Tuple[int, FrozenSet[CondHit]], ...] = ()
+    books: bool = False
+
+    def sinks_for(self, index: int) -> FrozenSet[CondHit]:
+        for param, hits in self.cond_sinks:
+            if param == index:
+                return hits
+        return frozenset()
+
+
+_EMPTY_SUMMARY = Summary()
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class _Candidate:
+    """A materialized source->sink flow, pre-dedup."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    sink_name: str
+    label: str
+    message: str
+
+
+def _cap_chain(chain: Tuple[str, ...]) -> Tuple[str, ...]:
+    if len(chain) <= _MAX_CHAIN:
+        return chain
+    return chain[:4] + ("...",) + chain[-3:]
+
+
+def _atom_order(atom: Atom) -> Tuple[str, str, str, int]:
+    return (atom.kind, atom.label, atom.site, atom.param)
+
+
+def _hit_order(hit: CondHit) -> Tuple[str, str, bool]:
+    return (hit.sink_name, hit.sink_kind, hit.booked)
+
+
+class _State:
+    """Per-path abstract state: bindings, local types, booking flag."""
+
+    __slots__ = ("env", "var_types", "var_elems", "booked")
+
+    def __init__(
+        self,
+        env: Optional[Dict[str, Set[Atom]]] = None,
+        var_types: Optional[Dict[str, str]] = None,
+        var_elems: Optional[Dict[str, str]] = None,
+        booked: bool = False,
+    ) -> None:
+        self.env: Dict[str, Set[Atom]] = env if env is not None else {}
+        self.var_types: Dict[str, str] = var_types if var_types is not None else {}
+        self.var_elems: Dict[str, str] = var_elems if var_elems is not None else {}
+        self.booked = booked
+
+    def copy(self) -> "_State":
+        return _State(
+            env={key: set(atoms) for key, atoms in self.env.items()},
+            var_types=dict(self.var_types),
+            var_elems=dict(self.var_elems),
+            booked=self.booked,
+        )
+
+    def merge(self, other: "_State") -> bool:
+        """Union ``other`` into this state; True when anything grew."""
+        changed = False
+        for key, atoms in other.env.items():
+            existing = self.env.setdefault(key, set())
+            before = len(existing)
+            existing |= atoms
+            changed = changed or len(existing) != before
+        for key, value in other.var_types.items():
+            self.var_types.setdefault(key, value)
+        for key, value in other.var_elems.items():
+            self.var_elems.setdefault(key, value)
+        merged_booked = self.booked and other.booked
+        changed = changed or merged_booked != self.booked
+        self.booked = merged_booked
+        return changed
+
+    def clear_unbooked(self) -> None:
+        for key in list(self.env):
+            self.env[key] = {a for a in self.env[key] if a.kind != "unbooked"}
+
+
+class _Interp:
+    """One abstract interpretation of one function body."""
+
+    def __init__(self, engine: "TaintEngine", func: FunctionInfo, report: bool) -> None:
+        self.engine = engine
+        self.graph = engine.graph
+        self.model = engine.model
+        self.func = func
+        self.report = report
+        self.params = func.params
+        self.returns: Set[Atom] = set()
+        self.cond: Dict[int, Set[CondHit]] = {}
+        self.exit_booked: List[bool] = []
+
+    # -- entry ---------------------------------------------------------
+    def run(self) -> Summary:
+        state = _State()
+        for index, name in enumerate(self.params):
+            state.env[name] = {Atom("param", label=name, param=index)}
+            ptype = self.graph.param_type(self.func, name)
+            if ptype is not None:
+                state.var_types[name] = ptype
+            elem = self.graph.param_elem_type(self.func, name)
+            if elem is not None:
+                state.var_elems[name] = elem
+        if self.func.class_name is not None and self.params:
+            state.var_types.setdefault(self.params[0], self.func.class_name)
+        self.exec_block(self.func.node.body, state)
+        self.exit_booked.append(state.booked)
+        books = bool(self.exit_booked) and all(self.exit_booked)
+        return Summary(
+            returns=frozenset(self.returns),
+            cond_sinks=tuple(
+                (index, frozenset(hits))
+                for index, hits in sorted(self.cond.items())
+                if hits
+            ),
+            books=books,
+        )
+
+    def site(self, node: ast.AST) -> str:
+        return f"{self.func.display_path}:{getattr(node, 'lineno', 0)}"
+
+    # -- statements ----------------------------------------------------
+    def exec_block(self, stmts: Sequence[ast.stmt], state: _State) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, state)
+
+    def exec_stmt(self, node: ast.stmt, state: _State) -> None:
+        if isinstance(node, ast.Assign):
+            atoms = self.eval(node.value, state)
+            inferred = self.type_of(node.value, state)
+            for target in node.targets:
+                self.assign(target, atoms, state, value=node.value, inferred=inferred)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                name = _strip_annotation(node.annotation)
+                if name is not None:
+                    resolved = self.graph.resolve_name(self.func.module, name)
+                    if isinstance(resolved, ClassInfo):
+                        state.var_types[node.target.id] = resolved.qualname
+            if node.value is not None:
+                atoms = self.eval(node.value, state)
+                self.assign(node.target, atoms, state, value=node.value,
+                            inferred=self.type_of(node.value, state))
+        elif isinstance(node, ast.AugAssign):
+            atoms = self.eval(node.value, state)
+            key = self.env_key(node.target)
+            if key is not None:
+                state.env.setdefault(key, set())
+                state.env[key] |= atoms
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.returns |= self.eval(node.value, state)
+            self.exit_booked.append(state.booked)
+        elif isinstance(node, (ast.Expr, ast.Assert)):
+            value = node.value if isinstance(node, ast.Expr) else node.test
+            self.eval(value, state)
+            if isinstance(node, ast.Assert) and node.msg is not None:
+                self.eval(node.msg, state)
+        elif isinstance(node, ast.If):
+            self.eval(node.test, state)
+            then_state = state.copy()
+            self.exec_block(node.body, then_state)
+            else_state = state.copy()
+            self.exec_block(node.orelse, else_state)
+            state.env = then_state.env
+            state.var_types = then_state.var_types
+            state.var_elems = then_state.var_elems
+            state.booked = then_state.booked
+            state.merge(else_state)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_atoms = self.eval(node.iter, state)
+            self.bind_loop_target(node.target, node.iter, iter_atoms, state)
+            self.exec_loop(node.body, node.orelse, state)
+        elif isinstance(node, ast.While):
+            self.eval(node.test, state)
+            self.exec_loop(node.body, node.orelse, state)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                atoms = self.eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, atoms, state)
+            self.exec_block(node.body, state)
+        elif isinstance(node, ast.Try):
+            entry = state.copy()
+            self.exec_block(node.body, state)
+            self.exec_block(node.orelse, state)
+            for handler in node.handlers:
+                handler_state = entry.copy()
+                if handler.name:
+                    handler_state.env[handler.name] = set()
+                self.exec_block(handler.body, handler_state)
+                state.merge(handler_state)
+            self.exec_block(node.finalbody, state)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self.eval(node.exc, state)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                key = self.env_key(target)
+                if key is not None:
+                    state.env.pop(key, None)
+        # FunctionDef/ClassDef/Import/Pass/Break/Continue/Global/Nonlocal: no-op
+
+    def exec_loop(
+        self, body: Sequence[ast.stmt], orelse: Sequence[ast.stmt], state: _State
+    ) -> None:
+        # The body may run zero times: effects merge (weak update) into
+        # the entry state, and booking inside the loop never counts.
+        entry_booked = state.booked
+        for _ in range(_LOOP_ROUNDS):
+            body_state = state.copy()
+            self.exec_block(body, body_state)
+            body_state.booked = state.booked
+            if not state.merge(body_state):
+                break
+        state.booked = entry_booked
+        if orelse:
+            self.exec_block(orelse, state)
+
+    def bind_loop_target(
+        self, target: ast.expr, iter_expr: ast.expr, atoms: Set[Atom], state: _State
+    ) -> None:
+        elem_type = self.elem_type_of(iter_expr, state)
+        if (
+            elem_type is None
+            and isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id == "enumerate"
+            and iter_expr.args
+        ):
+            # `for i, item in enumerate(xs)` keeps xs's element type.
+            elem_type = self.elem_type_of(iter_expr.args[0], state)
+            if isinstance(target, (ast.Tuple, ast.List)) and len(target.elts) == 2:
+                self.assign(target.elts[0], set(), state)
+                self.assign(target.elts[1], atoms, state)
+                if elem_type is not None and isinstance(target.elts[1], ast.Name):
+                    state.var_types[target.elts[1].id] = elem_type
+                return
+        self.assign(target, atoms, state)
+        if elem_type is not None and isinstance(target, ast.Name):
+            state.var_types[target.id] = elem_type
+
+    def assign(
+        self,
+        target: ast.expr,
+        atoms: Set[Atom],
+        state: _State,
+        *,
+        value: Optional[ast.expr] = None,
+        inferred: Optional[str] = None,
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(
+                target.elts
+            ):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self.assign(sub_target, self.eval(sub_value, state), state,
+                                value=sub_value,
+                                inferred=self.type_of(sub_value, state))
+            else:
+                for sub_target in target.elts:
+                    self.assign(sub_target, atoms, state)
+            return
+        if isinstance(target, ast.Starred):
+            self.assign(target.value, atoms, state)
+            return
+        if isinstance(target, ast.Subscript):
+            key = self.env_key(target.value)
+            if key is not None:
+                state.env.setdefault(key, set())
+                state.env[key] |= atoms
+            return
+        key = self.env_key(target)
+        if key is None:
+            return
+        state.env[key] = set(atoms)
+        if isinstance(target, ast.Name):
+            if inferred is not None:
+                state.var_types[target.id] = inferred
+            elif target.id in state.var_types and value is not None:
+                # Reassignment with an untypable value drops the type.
+                state.var_types.pop(target.id, None)
+            elem = self.elem_type_of(value, state) if value is not None else None
+            if elem is not None:
+                state.var_elems[target.id] = elem
+
+    def env_key(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            return f"{node.value.id}.{node.attr}"
+        return None
+
+    # -- types ---------------------------------------------------------
+    def type_of(self, node: Optional[ast.expr], state: _State) -> Optional[str]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return state.var_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.type_of(node.value, state)
+            if base is not None:
+                return self.graph.attr_type(base, node.attr)
+            return None
+        if isinstance(node, ast.Subscript):
+            return self.elem_type_of(node.value, state)
+        if isinstance(node, ast.Call):
+            resolved = self.graph.resolve_expr(self.func.module, node.func)
+            if isinstance(resolved, ClassInfo):
+                return resolved.qualname
+            return None
+        if isinstance(node, ast.Await):
+            return self.type_of(node.value, state)
+        return None
+
+    def elem_type_of(self, node: Optional[ast.expr], state: _State) -> Optional[str]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return state.var_elems.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.type_of(node.value, state)
+            if base is not None:
+                return self.graph.attr_elem_type(base, node.attr)
+        return None
+
+    # -- expressions ---------------------------------------------------
+    def eval(self, node: Optional[ast.expr], state: _State) -> Set[Atom]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            return set(state.env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            atoms: Set[Atom] = set()
+            if isinstance(node.ctx, ast.Load) and node.attr in self.model.source_attributes:
+                atoms.add(Atom("src", label=node.attr, site=self.site(node)))
+            key = self.env_key(node)
+            if key is not None and key in state.env:
+                atoms |= state.env[key]
+            else:
+                atoms |= self.eval(node.value, state)
+            return atoms
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, state)
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            atoms = set()
+            for elt in node.elts:
+                atoms |= self.eval(elt, state)
+            return atoms
+        if isinstance(node, ast.Dict):
+            atoms = set()
+            for sub in list(node.keys) + list(node.values):
+                if sub is not None:
+                    atoms |= self.eval(sub, state)
+            return atoms
+        if isinstance(node, ast.BinOp):
+            return self.eval(node.left, state) | self.eval(node.right, state)
+        if isinstance(node, ast.BoolOp):
+            atoms = set()
+            for value in node.values:
+                atoms |= self.eval(value, state)
+            return atoms
+        if isinstance(node, ast.Compare):
+            atoms = self.eval(node.left, state)
+            for comparator in node.comparators:
+                atoms |= self.eval(comparator, state)
+            return atoms
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, state)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, state)
+            return self.eval(node.body, state) | self.eval(node.orelse, state)
+        if isinstance(node, ast.Subscript):
+            atoms = self.eval(node.value, state)
+            self.eval(node.slice, state)
+            return atoms
+        if isinstance(node, ast.Slice):
+            for sub in (node.lower, node.upper, node.step):
+                if sub is not None:
+                    self.eval(sub, state)
+            return set()
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.JoinedStr):
+            atoms = set()
+            for value in node.values:
+                atoms |= self.eval(value, state)
+            return atoms
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.NamedExpr):
+            atoms = self.eval(node.value, state)
+            self.assign(node.target, atoms, state, value=node.value,
+                        inferred=self.type_of(node.value, state))
+            return atoms
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            scoped = state.copy()
+            for generator in node.generators:
+                iter_atoms = self.eval(generator.iter, scoped)
+                self.bind_loop_target(generator.target, generator.iter, iter_atoms, scoped)
+                for condition in generator.ifs:
+                    self.eval(condition, scoped)
+            if isinstance(node, ast.DictComp):
+                result = self.eval(node.key, scoped) | self.eval(node.value, scoped)
+            else:
+                result = self.eval(node.elt, scoped)
+            return result
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self.returns |= self.eval(node.value, state)
+            return set()
+        if isinstance(node, ast.Lambda):
+            return set()
+        return set()
+
+    # -- calls ---------------------------------------------------------
+    def eval_call(self, node: ast.Call, state: _State) -> Set[Atom]:
+        pos: List[Set[Atom]] = []
+        overflow: Set[Atom] = set()
+        kw: Dict[str, Set[Atom]] = {}
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                overflow |= self.eval(arg.value, state)
+            else:
+                pos.append(self.eval(arg, state))
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                overflow |= self.eval(keyword.value, state)
+            else:
+                kw[keyword.arg] = self.eval(keyword.value, state)
+        all_args: Set[Atom] = set(overflow)
+        for atoms in pos:
+            all_args |= atoms
+        for atoms in kw.values():
+            all_args |= atoms
+
+        callee, is_bound = self.resolve_callee(node.func, state)
+
+        if isinstance(callee, ClassInfo):
+            return self.call_class(callee, node, pos, kw, overflow, all_args, state)
+
+        if isinstance(callee, FunctionInfo):
+            sink_spec = self.model.role(callee.qualname, "sink")
+            if sink_spec is not None:
+                self.call_sink(self.short_name(callee), sink_spec.kind, node,
+                               pos, kw, overflow, state)
+                return set()
+            sanitizer_spec = self.model.role(callee.qualname, "sanitizer")
+            if sanitizer_spec is not None:
+                return self.sanitize(all_args, node, sanitizer_spec)
+            if self.model.role(callee.qualname, "booking") is not None:
+                state.clear_unbooked()
+                state.booked = True
+                return set()
+            source_spec = self.model.role(callee.qualname, "source")
+            if source_spec is not None:
+                return {Atom("src", label=source_spec.kind, site=self.site(node))}
+            if self.model.role(callee.qualname, "declassifier") is not None:
+                return set()
+            return self.apply_summary(callee, node, pos, kw, overflow, state, is_bound)
+
+        # Unresolved call.
+        name = self.call_name(node.func)
+        if name in CLEAN_CALLS:
+            return set()
+        fallback = self.engine.fallback.get(name) if isinstance(node.func, ast.Attribute) else None
+        if fallback is not None:
+            func_info, spec = fallback
+            if spec.role == "sink":
+                self.call_sink(self.short_name(func_info), spec.kind, node,
+                               pos, kw, overflow, state)
+                return set()
+            return self.sanitize(all_args, node, spec)
+        receiver: Set[Atom] = set()
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value, state)
+            # Mutating method on a tracked container: buf.append(secret)
+            # taints buf.
+            key = self.env_key(node.func.value)
+            if key is not None and all_args:
+                state.env.setdefault(key, set())
+                state.env[key] |= all_args
+        return all_args | receiver
+
+    def resolve_callee(
+        self, func_expr: ast.expr, state: _State
+    ) -> Tuple[Optional[Union[FunctionInfo, ClassInfo]], bool]:
+        if isinstance(func_expr, ast.Name):
+            resolved = self.graph.resolve_name(self.func.module, func_expr.id)
+            if isinstance(resolved, (FunctionInfo, ClassInfo)):
+                return resolved, False
+            return None, False
+        if isinstance(func_expr, ast.Attribute):
+            base_type = self.type_of(func_expr.value, state)
+            if base_type is not None:
+                cls = self.graph.classes.get(base_type)
+                if cls is not None:
+                    method = self.graph.resolve_method(cls, func_expr.attr)
+                    if method is not None:
+                        return method, True
+            resolved = self.graph.resolve_expr(self.func.module, func_expr)
+            if isinstance(resolved, (FunctionInfo, ClassInfo)):
+                return resolved, False
+        return None, False
+
+    def call_name(self, func_expr: ast.expr) -> str:
+        if isinstance(func_expr, ast.Name):
+            return func_expr.id
+        if isinstance(func_expr, ast.Attribute):
+            return func_expr.attr
+        return ""
+
+    def short_name(self, func_info: FunctionInfo) -> str:
+        prefix = func_info.module + "."
+        if func_info.qualname.startswith(prefix):
+            return func_info.qualname[len(prefix):]
+        return func_info.qualname
+
+    def call_class(
+        self,
+        cls: ClassInfo,
+        node: ast.Call,
+        pos: List[Set[Atom]],
+        kw: Dict[str, Set[Atom]],
+        overflow: Set[Atom],
+        all_args: Set[Atom],
+        state: _State,
+    ) -> Set[Atom]:
+        init = self.graph.resolve_method(cls, "__init__")
+        if init is not None:
+            self.apply_summary(init, node, pos, kw, overflow, state,
+                               is_bound=True, returns=False)
+        if self.is_carrier(cls):
+            carried = set()
+            for atom in all_args:
+                carried.add(dataclasses.replace(
+                    atom, trail=_cap_chain(atom.trail + (f"carried by {cls.qualname.rsplit('.', 1)[-1]}",))
+                ))
+            return carried
+        # Non-carrier constructors are struct boundaries: taint re-enters
+        # only through declared source attributes.
+        return set()
+
+    def is_carrier(self, cls: ClassInfo) -> bool:
+        if cls.qualname in self.model.carriers:
+            return True
+        for base_expr in cls.base_exprs:
+            resolved = self.graph.resolve_expr(cls.module, base_expr)
+            if isinstance(resolved, ClassInfo) and resolved.qualname in self.model.carriers:
+                return True
+        return False
+
+    def sanitize(self, atoms: Set[Atom], node: ast.Call, spec: RoleSpec) -> Set[Atom]:
+        if not spec.requires_accounting:
+            return set()
+        site = self.site(node)
+        out: Set[Atom] = set()
+        for atom in atoms:
+            if atom.kind == "unbooked":
+                out.add(atom)
+            else:
+                out.add(Atom(
+                    "unbooked",
+                    label=atom.label,
+                    site=site,
+                    param=atom.param if atom.kind == "param" else -1,
+                    trail=_cap_chain(atom.trail + (f"perturbed at {site}",)),
+                ))
+        return out
+
+    def call_sink(
+        self,
+        sink_name: str,
+        sink_kind: str,
+        node: ast.Call,
+        pos: List[Set[Atom]],
+        kw: Dict[str, Set[Atom]],
+        overflow: Set[Atom],
+        state: _State,
+    ) -> None:
+        checked: Set[Atom] = set(overflow)
+        for atoms in pos:
+            checked |= atoms
+        for atoms in kw.values():
+            checked |= atoms
+        hit = CondHit(sink_name=sink_name, sink_kind=sink_kind)
+        for atom in sorted(checked, key=_atom_order):
+            self.route_hit(atom, hit, node, state)
+
+    def route_hit(self, atom: Atom, hit: CondHit, node: ast.Call, state: _State) -> None:
+        if atom.param >= 0:
+            # A parameter atom predates this function's entry, so any
+            # booking seen so far (ours or the callee's) happened after
+            # the caller's noise draw and sanctions the release.
+            frame = f"{self.func.qualname} ({self.site(node)})"
+            self.cond.setdefault(atom.param, set()).add(
+                CondHit(
+                    sink_name=hit.sink_name,
+                    sink_kind=hit.sink_kind,
+                    booked=hit.booked or state.booked,
+                    chain=_cap_chain((frame,) + hit.chain),
+                )
+            )
+            return
+        # For a concrete unbooked atom, only a booking that happened
+        # *after* the noise draw sanctions the release: a later booking
+        # in this frame already cleared the atom (clear_unbooked), and a
+        # callee-internal booking (hit.booked) postdates the atom by
+        # construction.  state.booked may predate the draw — ignore it.
+        if atom.kind == "unbooked" and hit.booked:
+            return
+        if self.report:
+            self.record_finding(atom, hit, node)
+
+    def record_finding(self, atom: Atom, hit: CondHit, node: ast.Call) -> None:
+        code = "REPRO702" if atom.kind == "unbooked" else "REPRO701"
+        label = atom.label or "tainted data"
+        chain = _cap_chain(atom.trail + hit.chain)
+        via = f" via {' -> '.join(chain)}" if chain else ""
+        if code == "REPRO701":
+            message = (
+                f"raw '{label}' (from {atom.site}) reaches "
+                f"{hit.sink_kind} sink {hit.sink_name}{via}"
+            )
+        else:
+            message = (
+                f"DP-perturbed '{label}' (noise drawn at {atom.site}) may be "
+                f"released without an accountant booking at "
+                f"{hit.sink_kind} sink {hit.sink_name}{via}"
+            )
+        self.engine.candidates.append(
+            _Candidate(
+                path=self.func.display_path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                code=code,
+                sink_name=hit.sink_name,
+                label=label,
+                message=message,
+            )
+        )
+
+    def apply_summary(
+        self,
+        callee: FunctionInfo,
+        node: ast.Call,
+        pos: List[Set[Atom]],
+        kw: Dict[str, Set[Atom]],
+        overflow: Set[Atom],
+        state: _State,
+        is_bound: bool,
+        returns: bool = True,
+    ) -> Set[Atom]:
+        summary = self.engine.summaries.get(callee.qualname, _EMPTY_SUMMARY)
+        params = callee.params
+        offset = 1 if (is_bound and callee.class_name is not None) else 0
+        args_by_index: Dict[int, Set[Atom]] = {}
+        spill = set(overflow)
+        for position, atoms in enumerate(pos):
+            index = position + offset
+            if index < len(params):
+                args_by_index[index] = atoms
+            else:
+                spill |= atoms
+        for name, atoms in kw.items():
+            if name in params:
+                args_by_index[params.index(name)] = atoms
+            else:
+                spill |= atoms
+        if summary.books:
+            state.clear_unbooked()
+            state.booked = True
+        for param_index, hits in summary.cond_sinks:
+            candidates = set(args_by_index.get(param_index, set())) | spill
+            for hit in sorted(hits, key=_hit_order):
+                for atom in sorted(candidates, key=_atom_order):
+                    self.route_hit(atom, hit, node, state)
+        if not returns:
+            return set()
+        callee_frame = f"returned by {callee.qualname}"
+        result: Set[Atom] = set()
+        for atom in summary.returns:
+            if atom.param >= 0:
+                for inbound in args_by_index.get(atom.param, set()) | spill:
+                    if atom.kind == "unbooked":
+                        if inbound.kind == "unbooked":
+                            result.add(inbound)
+                        else:
+                            result.add(Atom(
+                                "unbooked",
+                                label=inbound.label,
+                                site=atom.site,
+                                param=inbound.param if inbound.kind == "param" else -1,
+                                trail=_cap_chain(inbound.trail + atom.trail),
+                            ))
+                    else:
+                        result.add(dataclasses.replace(
+                            inbound, trail=_cap_chain(inbound.trail + atom.trail)
+                        ))
+            else:
+                result.add(dataclasses.replace(
+                    atom, trail=_cap_chain(atom.trail + (callee_frame,))
+                ))
+        return result
+
+
+class TaintEngine:
+    """Summary fixpoint plus reporting pass over a :class:`ProgramGraph`."""
+
+    def __init__(self, graph: ProgramGraph, model: TaintModel) -> None:
+        self.graph = graph
+        self.model = model
+        self.summaries: Dict[str, Summary] = {}
+        self.candidates: List[_Candidate] = []
+        self.fallback = self._build_fallback()
+
+    def _build_fallback(self) -> Dict[str, Tuple[FunctionInfo, RoleSpec]]:
+        """Duck-typed dispatch for sink/sanitizer methods.
+
+        When a call like ``endpoint.send(...)`` cannot be resolved, but
+        exactly one *declared* sink/sanitizer in the whole program has
+        that trailing name, assume it is the target.  Restricted to
+        sinks and sanitizers: mis-dispatching those over-reports or
+        keeps taint flowing, while a mis-dispatched booking would
+        silently launder findings.
+        """
+        by_name: Dict[str, List[Tuple[FunctionInfo, RoleSpec]]] = {}
+        for qualname in sorted(self.model.functions):
+            func_info = self.graph.functions.get(qualname)
+            if func_info is None:
+                continue
+            for spec in self.model.functions[qualname]:
+                if spec.role not in ("sink", "sanitizer"):
+                    continue
+                name = qualname.rsplit(".", 1)[-1]
+                by_name.setdefault(name, []).append((func_info, spec))
+        return {
+            name: entries[0]
+            for name, entries in by_name.items()
+            if len({info.qualname for info, _ in entries}) == 1
+        }
+
+    def solve(self) -> int:
+        """Iterate summaries to a fixpoint; returns rounds used."""
+        functions = self.graph.all_functions()
+        rounds = 0
+        for rounds in range(1, _MAX_FIXPOINT_ROUNDS + 1):
+            changed = False
+            for func_info in functions:
+                fresh = _Interp(self, func_info, report=False).run()
+                previous = self.summaries.get(func_info.qualname)
+                merged = self._merge_summary(previous, fresh)
+                if merged != previous:
+                    self.summaries[func_info.qualname] = merged
+                    changed = True
+            if not changed:
+                break
+        return rounds
+
+    @staticmethod
+    def _merge_summary(previous: Optional[Summary], fresh: Summary) -> Summary:
+        # Union with the previous round keeps the lattice monotone even
+        # where the transfer functions are not (booking discovered later
+        # can shrink a naive re-run).
+        if previous is None:
+            return fresh
+        sinks: Dict[int, Set[CondHit]] = {
+            index: set(hits) for index, hits in previous.cond_sinks
+        }
+        for index, hits in fresh.cond_sinks:
+            sinks.setdefault(index, set()).update(hits)
+        return Summary(
+            returns=previous.returns | fresh.returns,
+            cond_sinks=tuple(
+                (index, frozenset(hits)) for index, hits in sorted(sinks.items())
+            ),
+            books=previous.books or fresh.books,
+        )
+
+    def report(self) -> List[_Candidate]:
+        """Materialize findings against the stable summaries."""
+        self.candidates = []
+        for func_info in self.graph.all_functions():
+            _Interp(self, func_info, report=True).run()
+        deduped: Dict[Tuple[str, int, str, str, str], _Candidate] = {}
+        for candidate in sorted(self.candidates):
+            key = (candidate.path, candidate.line, candidate.code,
+                   candidate.sink_name, candidate.label)
+            deduped.setdefault(key, candidate)
+        return sorted(deduped.values())
+
+
+def _matches(identifiers: Set[str], code: str) -> Set[str]:
+    rule = TAINT_RULES.get(code, ("", ""))[0]
+    return identifiers & {code, rule, "all"}
+
+
+def analyze_paths(
+    paths: Sequence[Path], *, warn_unused: bool = True
+) -> Tuple[List[Finding], int]:
+    """Run the taint analysis over every Python file under ``paths``.
+
+    Returns ``(findings, files_checked)``.  Findings honour
+    ``# repro-taint: disable=...`` pragmas; with ``warn_unused`` each
+    pragma identifier that suppressed nothing becomes a REPRO703.
+    """
+    files = iter_python_files([Path(p) for p in paths])
+    graph = ProgramGraph()
+    model = TaintModel()
+    findings: List[Finding] = []
+    sources: Dict[str, Tuple[str, str]] = {}  # display path -> (module, source)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        display = _display_path(file_path)
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="REPRO000",
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        module_name = resolve_module_name(file_path) or file_path.stem
+        graph.add_module(module_name, file_path, display, tree)
+        extract_declarations(module_name, tree, into=model)
+        sources[display] = (module_name, source)
+    graph.finalize()
+    engine = TaintEngine(graph, model)
+    engine.solve()
+    for candidate in engine.report():
+        findings.append(Finding(
+            path=candidate.path,
+            line=candidate.line,
+            col=candidate.col,
+            code=candidate.code,
+            rule=TAINT_RULES[candidate.code][0],
+            message=candidate.message,
+        ))
+    # Pragma suppression + unused-pragma reporting, per file.
+    kept: List[Finding] = []
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for display in sorted(set(by_path) | set(sources)):
+        pragmas = parse_pragma_records(
+            sources[display][1], tool="repro-taint"
+        ) if display in sources else []
+        per_file: Set[str] = set()
+        per_line: Dict[int, Set[str]] = {}
+        for record in pragmas:
+            if record.target_line is None:
+                per_file |= record.identifiers
+            else:
+                per_line.setdefault(record.target_line, set()).update(record.identifiers)
+        for finding in by_path.get(display, []):
+            file_hit = _matches(per_file, finding.code)
+            line_hit = _matches(per_line.get(finding.line, set()), finding.code)
+            if file_hit or line_hit:
+                for record in pragmas:
+                    if record.target_line is None and file_hit:
+                        record.used |= record.identifiers & file_hit
+                    elif record.target_line == finding.line and line_hit:
+                        record.used |= record.identifiers & line_hit
+                continue
+            kept.append(finding)
+        if warn_unused and pragmas:
+            kept.extend(unused_pragma_findings(
+                pragmas, display, code="REPRO703",
+                rule="unused-taint-suppression", tool="repro-taint",
+            ))
+    kept.sort()
+    return kept, len(files)

@@ -1,0 +1,241 @@
+"""The taint model: sources, sanitizers, sinks, discovered statically.
+
+The model maps the paper's threat boundary onto program elements:
+
+========== =======================================================
+role       meaning
+========== =======================================================
+source     raw demand enters the program (``ProblemInstance.demand``
+           reads, workload request streams, each SBS's pre-noise
+           ``true_routing``) — Section II's per-MU content demand
+sanitizer  a :mod:`repro.privacy` mechanism call whose output may be
+           released *iff* the flow also books the accountant
+           (Definition 2 / Theorem 4)
+sink       an egress surface crossing the SBS trust boundary:
+           channel sends, wire frames, trace emission, exports —
+           what Section IV's eavesdropper (or anything downstream)
+           can observe
+booking    the accountant call that records one release's epsilon
+carrier    a message/frame class whose construction transports its
+           payload's taint (everything else is a struct boundary)
+========== =======================================================
+
+Declarations live *in the analyzed code* as ``taint.*`` decorators and
+``taint.source_attribute`` calls (see :mod:`.decl`); this module reads
+them back out of the AST — the analyzer never imports the program it
+checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple, Union
+
+__all__ = ["CLEAN_CALLS", "RoleSpec", "TaintModel", "extract_declarations", "build_model"]
+
+#: Call targets (by trailing dotted name) whose result is always clean:
+#: constructors of fresh buffers, pure shape/metadata helpers, clocks.
+#: Everything else unknown propagates the union of its argument taints,
+#: which is what carries taint through numpy ufuncs and casts.
+CLEAN_CALLS: Set[str] = {
+    "len",
+    "range",
+    "isinstance",
+    "issubclass",
+    "hasattr",
+    "getattr_static",
+    "id",
+    "type",
+    "repr",
+    "zeros",
+    "zeros_like",
+    "ones",
+    "ones_like",
+    "empty",
+    "empty_like",
+    "arange",
+    "eye",
+    "linspace",
+    "iinfo",
+    "finfo",
+    "perf_counter",
+    "monotonic",
+    "time",
+    "Lock",
+    "RLock",
+    "Event",
+    "deque",
+    "get_running_loop",
+    "get_event_loop",
+}
+
+#: Decorator attribute names recognized as taint declarations.  The
+#: decorator expression must be spelled through a ``taint``/``decl``
+#: namespace (``@taint.sink("bs-upload")``) — the idiom this package's
+#: docstring prescribes — so an unrelated local ``def sink()`` never
+#: becomes a declaration by accident.
+_ROLE_NAMES = {"source", "sanitizer", "sink", "booking", "declassifier", "carrier"}
+_NAMESPACES = {"taint", "decl"}
+
+
+@dataclasses.dataclass(frozen=True)
+class RoleSpec:
+    """One declared role on a function or class."""
+
+    role: str
+    kind: str = ""
+    requires_accounting: bool = True
+    justification: str = ""
+
+
+@dataclasses.dataclass
+class TaintModel:
+    """Everything the engine knows about sources/sanitizers/sinks.
+
+    Keys of ``functions`` are fully qualified dotted names
+    (``repro.network.messaging.Channel.send``); ``source_attributes``
+    maps a bare attribute name to its human description and applies to
+    any ``<expr>.<name>`` read in the analyzed program.
+    """
+
+    functions: Dict[str, Tuple[RoleSpec, ...]] = dataclasses.field(default_factory=dict)
+    source_attributes: Dict[str, str] = dataclasses.field(default_factory=dict)
+    carriers: Set[str] = dataclasses.field(default_factory=set)
+
+    def add_function_role(self, qualname: str, spec: RoleSpec) -> None:
+        self.functions[qualname] = self.functions.get(qualname, ()) + (spec,)
+
+    def role(self, qualname: Optional[str], role: str) -> Optional[RoleSpec]:
+        """The ``role`` spec declared on ``qualname``, if any."""
+        if qualname is None:
+            return None
+        for spec in self.functions.get(qualname, ()):
+            if spec.role == role:
+                return spec
+        return None
+
+    def merge(self, other: "TaintModel") -> None:
+        for qualname, specs in other.functions.items():
+            self.functions[qualname] = self.functions.get(qualname, ()) + specs
+        self.source_attributes.update(other.source_attributes)
+        self.carriers |= other.carriers
+
+
+def _decorator_role(node: ast.expr) -> Optional[Tuple[str, Mapping[str, ast.expr], Tuple[ast.expr, ...]]]:
+    """Match one decorator expression against the ``taint.<role>`` idiom.
+
+    Returns ``(role, keyword_args, positional_args)`` for both call
+    forms (``@taint.sink("wire")``) and bare forms (``@taint.booking``).
+    """
+    call_args: Tuple[ast.expr, ...] = ()
+    call_kwargs: Dict[str, ast.expr] = {}
+    target = node
+    if isinstance(node, ast.Call):
+        target = node.func
+        call_args = tuple(node.args)
+        call_kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+    if not isinstance(target, ast.Attribute) or target.attr not in _ROLE_NAMES:
+        return None
+    base = target.value
+    base_name = base.id if isinstance(base, ast.Name) else (
+        base.attr if isinstance(base, ast.Attribute) else None
+    )
+    if base_name not in _NAMESPACES:
+        return None
+    return target.attr, call_kwargs, call_args
+
+
+def _literal_str(node: Optional[ast.expr], default: str = "") -> str:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return default
+
+
+def _literal_bool(node: Optional[ast.expr], default: bool) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return node.value
+    return default
+
+
+def _spec_from(role: str, kwargs: Mapping[str, ast.expr], args: Tuple[ast.expr, ...]) -> RoleSpec:
+    first = args[0] if args else None
+    if role == "source":
+        return RoleSpec(role=role, kind=_literal_str(kwargs.get("kind", first), "raw-demand"))
+    if role == "sink":
+        return RoleSpec(role=role, kind=_literal_str(kwargs.get("kind", first), "sink"))
+    if role == "sanitizer":
+        return RoleSpec(
+            role=role,
+            requires_accounting=_literal_bool(kwargs.get("requires_accounting"), True),
+        )
+    if role == "declassifier":
+        return RoleSpec(
+            role=role,
+            justification=_literal_str(kwargs.get("justification", first)),
+        )
+    return RoleSpec(role=role)
+
+
+def _is_source_attribute_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "source_attribute":
+        return False
+    base = func.value
+    base_name = base.id if isinstance(base, ast.Name) else (
+        base.attr if isinstance(base, ast.Attribute) else None
+    )
+    return base_name in _NAMESPACES
+
+
+def extract_declarations(
+    module_name: str, tree: ast.Module, *, into: Optional[TaintModel] = None
+) -> TaintModel:
+    """Collect every taint declaration in one module's AST.
+
+    ``module_name`` prefixes the qualified names (``pkg.mod.Class.fn``).
+    Only module- and class-level defs are considered — the declaration
+    idiom never nests deeper.
+    """
+    model = into if into is not None else TaintModel()
+
+    def visit_def(
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef], prefix: str
+    ) -> None:
+        qualname = f"{prefix}.{node.name}" if prefix else node.name
+        for decorator in node.decorator_list:
+            matched = _decorator_role(decorator)
+            if matched is None:
+                continue
+            role, kwargs, args = matched
+            model.add_function_role(qualname, _spec_from(role, kwargs, args))
+            if role == "carrier":
+                model.carriers.add(qualname)
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit_def(node, module_name)
+        elif isinstance(node, ast.ClassDef):
+            visit_def(node, module_name)  # class-level roles (carrier)
+            class_prefix = f"{module_name}.{node.name}" if module_name else node.name
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit_def(child, class_prefix)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if _is_source_attribute_call(call) and call.args:
+                name = _literal_str(call.args[0])
+                if name:
+                    description = _literal_str(
+                        call.args[1] if len(call.args) > 1 else None
+                    )
+                    model.source_attributes[name] = description
+    return model
+
+
+def build_model(modules: Iterable[Tuple[str, ast.Module]]) -> TaintModel:
+    """Union of the declarations found across ``(name, tree)`` modules."""
+    model = TaintModel()
+    for name, tree in modules:
+        extract_declarations(name, tree, into=model)
+    return model

@@ -27,6 +27,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from ..analysis.taint import decl as taint
 from ..exceptions import ValidationError
 from .problem import ProblemInstance
 
@@ -105,6 +106,7 @@ def bs_serving_cost(
     return float(np.sum(problem.bs_cost[:, np.newaxis] * residual * problem.demand))
 
 
+@taint.declassifier("system-wide aggregate cost: the scalar the paper itself reports (Eq. 11), revealing no per-SBS demand")
 def total_cost(
     problem: ProblemInstance, routing: np.ndarray, *, clip_residual: bool = True
 ) -> float:

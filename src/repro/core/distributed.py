@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Union
 import numpy as np
 
 from .. import obs, perf
+from ..analysis.taint import decl as taint
 from .._validation import check_in_interval, check_positive_int, rng_from
 from ..exceptions import ProtocolError, ProtocolTimeout, ValidationError
 from ..network.faults import FaultConfig, FaultyChannel
@@ -454,6 +455,15 @@ class BaseStationAgent:
         return total_cost(self._problem, self._reports)
 
 
+# Pre-noise per-SBS state the privacy layer exists to protect: the
+# taint analyzer treats every read of these fields as raw data
+# (Section III's y_n and the unperturbed aggregates kept for
+# accuracy-loss reporting).
+taint.source_attribute("true_routing", "pre-noise routing policy y_n")
+taint.source_attribute("unperturbed_routing", "stacked pre-noise policies")
+taint.source_attribute("unperturbed_cost", "cost of the pre-noise solution")
+
+
 class SBSAgent:
     """One SBS: solves ``P_n`` locally, optionally applies LPPM."""
 
@@ -637,6 +647,7 @@ class SBSAgent:
                     epsilon=self._mechanism.config.epsilon,
                     label=label,
                 )
+                # repro-taint: disable=REPRO701 -- noise_l1 is DP noise-magnitude telemetry (Section V), not the raw policy
                 obs.emit(
                     "privacy",
                     iteration=iteration,
@@ -686,6 +697,7 @@ class SBSAgent:
         private).
         """
         report, noise_l1 = self.compute_phase(iteration, phase, cap_slack=cap_slack)
+        # repro-taint: disable=REPRO701,REPRO702 -- sanctioned upload release: perturbed when privacy is on (raw only in the explicit non-private ablation), epsilon booked whenever an accountant is attached
         self.send_upload(report, iteration, phase)
         return noise_l1
 
@@ -1001,6 +1013,7 @@ class DistributedOptimizer:
             accountant=self.accountant,
         )
         if obs.enabled():
+            # repro-taint: disable=REPRO701 -- deliberate accuracy-loss reporting: pre-noise cost is a scalar system aggregate (Fig. 5)
             obs.emit(
                 "run_end",
                 final_cost=float(result.cost),
@@ -1090,6 +1103,7 @@ class DistributedOptimizer:
                 continue
             agent.recover(self.checkpoints)
             report, noise_l1 = agent.compute_phase(iteration, phase, cap_slack=slack)
+            # repro-taint: disable=REPRO701,REPRO702 -- sanctioned upload release via ARQ retry path (same contract as run_phase)
             retries = self._upload_with_retries(agent, report, iteration, phase)
             if retries is None:
                 # Delivery failed for good: the BS keeps the SBS's last
@@ -1230,6 +1244,7 @@ class DistributedOptimizer:
             for index in self._order:
                 agent = self.sbss[index]
                 report, noise_l1 = agent.finish_phase(iteration, phase=0)
+                # repro-taint: disable=REPRO701,REPRO702 -- sanctioned upload release on the Jacobi sweep (same contract as run_phase)
                 agent.send_upload(report, iteration, phase=0)
                 uploads[agent.index] = noise_l1
         else:

@@ -26,9 +26,13 @@ from .._validation import (
     as_float_array,
     require,
 )
+from ..analysis.taint import decl as taint
 from ..exceptions import ValidationError
 
 __all__ = ["ProblemInstance"]
+
+
+taint.source_attribute("demand", "raw per-group demand matrix Lambda (Table I)")
 
 
 @dataclasses.dataclass(frozen=True)

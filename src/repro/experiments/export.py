@@ -15,12 +15,14 @@ import json
 import pathlib
 from typing import Dict, List, Union
 
+from ..analysis.taint import decl as taint
 from ..exceptions import ValidationError
 from .runner import SweepPoint, SweepResult
 
 __all__ = ["sweep_to_csv", "sweep_to_json", "sweep_from_csv"]
 
 
+@taint.sink("export")
 def sweep_to_csv(result: SweepResult, path: Union[str, pathlib.Path]) -> None:
     """Write a sweep as CSV: ``x, <scheme>..., <scheme>_std...``."""
     path = pathlib.Path(path)
@@ -37,6 +39,7 @@ def sweep_to_csv(result: SweepResult, path: Union[str, pathlib.Path]) -> None:
             writer.writerow(row)
 
 
+@taint.sink("export")
 def sweep_to_json(result: SweepResult, path: Union[str, pathlib.Path]) -> None:
     """Write a sweep as structured JSON."""
     payload = {

@@ -29,6 +29,7 @@ from typing import Callable, Deque, Dict, List, Tuple
 
 import numpy as np
 
+from ..analysis.taint import decl as taint
 from ..exceptions import FrameError, ProtocolError, ValidationError
 
 __all__ = ["MAX_PAYLOAD_BYTES", "MessageKind", "Message", "Channel", "ChannelStats"]
@@ -49,6 +50,7 @@ class MessageKind(enum.Enum):
     CONTROL = "control"                    # orchestration metadata
 
 
+@taint.carrier
 @dataclasses.dataclass(frozen=True)
 class Message:
     """A single message in flight.
@@ -165,6 +167,7 @@ class Channel:
         """Attach an observer invoked for every sent message."""
         self._taps.append(observer)
 
+    @taint.sink("bs-upload")
     def send(self, message: Message) -> None:
         """Deliver ``message`` (or broadcast it when recipient is ``"*"``).
 

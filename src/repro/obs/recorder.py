@@ -39,6 +39,7 @@ from typing import IO, Any, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..analysis.taint import decl as taint
 from .events import TRACE_VERSION
 
 __all__ = [
@@ -243,6 +244,7 @@ def recording(
             owned.close()
 
 
+@taint.sink("trace-emission")
 def emit(type_: str, **fields: Any) -> None:
     """Record one event on the active recorder; no-op when tracing is off."""
     if _recorder is None:

@@ -125,8 +125,9 @@ class PerfRegistry:
 
     def reset(self) -> None:
         """Drop every counter and timing."""
-        self.counters.clear()
-        self.timings.clear()
+        with self._lock:
+            self.counters.clear()
+            self.timings.clear()
 
 
 _active: Optional[PerfRegistry] = None

@@ -21,6 +21,7 @@ import dataclasses
 import math
 from typing import List, Optional, Tuple
 
+from ..analysis.taint import decl as taint
 from ..exceptions import PrivacyError
 
 __all__ = ["Release", "PrivacyAccountant", "advanced_composition_epsilon", "per_release_epsilon"]
@@ -84,6 +85,7 @@ class PrivacyAccountant:
     def budget(self) -> Optional[float]:
         return self._budget
 
+    @taint.booking
     def record(self, party: str, epsilon: float, label: str = "") -> Release:
         """Record a release; raise if it would blow a configured budget."""
         release = Release(party=party, epsilon=epsilon, label=label)

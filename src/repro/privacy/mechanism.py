@@ -27,6 +27,7 @@ from typing import Union
 
 import numpy as np
 
+from ..analysis.taint import decl as taint
 from .._validation import rng_from
 from ..exceptions import PrivacyError
 from .laplace import BoundedLaplace
@@ -118,6 +119,7 @@ class LaplacePrivacyMechanism:
         distribution = BoundedLaplace(self.config.beta, np.zeros_like(upper), upper)
         return distribution.sample(rng=self._rng)
 
+    @taint.sanitizer(requires_accounting=True)
     def perturb(self, routing: np.ndarray) -> np.ndarray:
         """Release a perturbed routing block ``y_hat = y - r`` (Eq. 27)."""
         routing = np.asarray(routing, dtype=np.float64)

@@ -241,6 +241,7 @@ class _ClientLoop:
         attempts_used = 0
         for attempt in range(self.session.config.max_retries + 1):
             attempts_used = attempt
+            # repro-taint: disable=REPRO701,REPRO702 -- sanctioned upload frame: perturbed when privacy is on, epsilon booked whenever an accountant is attached
             await self._send(
                 Frame(
                     kind=MessageKind.POLICY_UPLOAD,
@@ -258,6 +259,7 @@ class _ClientLoop:
         if not acked and self.agent.await_ack(seq):
             acked = True  # the ack surfaced right after the last timeout
         retries = attempts_used if acked else self.session.config.max_retries
+        # repro-taint: disable=REPRO701,REPRO702 -- phase_done control carries the scalar noise_l1 telemetry, not the policy
         await self._send_control(
             iteration,
             phase,
@@ -295,6 +297,7 @@ class _ClientLoop:
                 with obs.recording(self.events, timings=self.session.timings):
                     self.agent.crash()
             elif action == "shutdown":
+                # repro-taint: disable=REPRO701 -- shutdown hands true_routing to the orchestrating harness over its trusted control channel for result verification
                 await self._send_control(
                     -1,
                     -1,

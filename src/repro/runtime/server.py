@@ -766,6 +766,7 @@ class RuntimeServer:
             accountant=self.accountant,
         )
         if obs.enabled():
+            # repro-taint: disable=REPRO701 -- deliberate accuracy-loss reporting: pre-noise cost is a scalar system aggregate (Fig. 5)
             obs.emit(
                 "run_end",
                 final_cost=float(result.cost),

@@ -24,7 +24,7 @@ import json
 import sys
 import tempfile
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -66,7 +66,7 @@ def _config() -> DistributedConfig:
     return DistributedConfig(max_iterations=8)
 
 
-def _record(path: Path, runner) -> object:
+def _record(path: Path, runner: Callable[[], object]) -> object:
     with obs.recording(path, timings=False):
         return runner()
 

@@ -39,6 +39,7 @@ from typing import Any, Deque, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.taint import decl as taint
 from ..exceptions import FrameError
 from ..network.messaging import MAX_PAYLOAD_BYTES, Message, MessageKind
 
@@ -78,6 +79,7 @@ _KIND_CODES: Dict[MessageKind, int] = {
 _CODE_KINDS: Dict[int, MessageKind] = {code: kind for kind, code in _KIND_CODES.items()}
 
 
+@taint.carrier
 @dataclasses.dataclass(frozen=True)
 class Frame:
     """One decoded wire frame: a :class:`Message` or a control object.
@@ -305,11 +307,13 @@ async def read_frame(reader: asyncio.StreamReader) -> Frame:
     return decode_frame(await read_frame_bytes(reader))
 
 
+@taint.sink("wire")
 def write_raw(writer: asyncio.StreamWriter, data: bytes) -> None:
     """Queue one already-encoded frame body with its length prefix."""
     writer.write(_U32.pack(len(data)) + data)
 
 
+@taint.sink("wire")
 def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
     """Encode and queue one frame."""
     write_raw(writer, encode_frame(frame))

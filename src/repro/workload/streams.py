@@ -16,6 +16,7 @@ from typing import List, Tuple, Union
 
 import numpy as np
 
+from ..analysis.taint import decl as taint
 from .._validation import as_float_array, rng_from
 from ..exceptions import ValidationError
 
@@ -31,6 +32,7 @@ class Request:
     file: int
 
 
+@taint.source("request-stream")
 def poisson_stream(
     demand: np.ndarray,
     horizon: float,
@@ -60,6 +62,7 @@ def poisson_stream(
     return requests
 
 
+@taint.source("request-stream")
 def deterministic_stream(
     demand: np.ndarray,
     horizon: float,
