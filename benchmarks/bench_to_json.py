@@ -21,14 +21,17 @@ Algorithm 1 and writes machine-readable records for CI trend tracking:
   instance: ``solve_over_sockets`` wall time vs the in-process
   simulator, a trace bit-identity cross-check, and the retransmission /
   stale-phase / proxy ledger of one fixed-seed chaos run.
-* ``BENCH_scaling.json`` — wall time and cost of the batched oracle on a
-  growing ``N*U*F`` grid (the measurement scaffold for the city-scale
-  roadmap item), with per-point legacy/batched cross-checks.
+* ``BENCH_scaling.json`` — the sparse core on a multi-axis grid growing
+  ``N``, ``U`` and ``F`` together (city-scale instances from
+  ``generate_city_instance`` solved by ``solve_distributed_sparse``),
+  with sparse-vs-dense cross-checks on every point small enough to
+  densify.  ``--full`` extends the grid to hundreds of SBSs, thousands
+  of MU groups and ``10^6`` contents.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_to_json.py [--smoke] [--workers N]
-        [--out-dir DIR]
+    PYTHONPATH=src python benchmarks/bench_to_json.py [--smoke] [--full]
+        [--workers N] [--out-dir DIR]
 
 ``--smoke`` shrinks the scenario so the harness finishes in seconds (the
 CI perf-smoke job runs this on every push).  Records land at the repo
@@ -422,64 +425,92 @@ def bench_runtime(smoke: bool) -> tuple:
     return record, identical and chaos_result.converged
 
 
-def bench_scaling(smoke: bool) -> tuple:
-    """Scaling scaffold: batched-oracle wall/cost on a growing N*U*F grid.
+def bench_scaling(smoke: bool, full: bool = False) -> tuple:
+    """Multi-axis scaling: the sparse core on grids growing N, U *and* F.
 
-    One point per scenario size, each carrying the batched subproblem
-    wall time, an exact batched-vs-legacy cross-check, and the wall/cost
-    of a short full ``solve_distributed`` run.  Points are keyed dicts
-    (not a list) so ``repro-report regress`` flattens every leaf into a
-    gateable path.  A single :class:`SubproblemWorkspace` is reused
-    across all shapes, exercising the shape-adaptive reallocation the
-    sweep runner relies on.  Returns ``(record, ok)``; ``ok`` is False
-    when any point's oracles disagree.
+    Earlier revisions grew only the group count of a fixed 3-SBS/50-file
+    dense scenario, so every point measured the same memory regime.
+    This grid builds seeded city-scale instances with
+    :func:`repro.workload.generate_city_instance` and solves them with
+    :func:`repro.core.solve_distributed_sparse`; each point records the
+    build and solve wall times (informational), the compact memory
+    footprint, and the deterministic final cost (pinned to 1e-6 relative
+    by the CI regress gate).  Points whose ``N*U*F`` fits the densify
+    cell budget additionally solve the materialized dense instance with
+    ``solve_distributed`` and cross-check cache sets exactly and costs
+    to 1e-9 relative — the ``sparse_matches_dense`` boolean is the hard
+    gate.  ``--smoke`` runs a tiny grid (CI); the default grid reaches
+    ``10^5`` contents; ``--full`` adds the city-scale points
+    (hundreds of SBSs, thousands of groups, up to ``10^6`` contents).
+    Returns ``(record, ok)``; ``ok`` is False when any densifiable
+    point's sparse solve disagrees with the dense reference.
     """
-    grid = [(6, 8), (12, 16), (18, 24)] if smoke else [(6, 8), (12, 16), (24, 32), (32, 48)]
-    repeats = 3 if smoke else 5
-    workspace = None
+    from repro.core.sparse import DEFAULT_DENSE_CELL_BUDGET, solve_distributed_sparse
+    from repro.workload import generate_city_instance
+
+    if smoke:
+        grid = [(4, 24, 2_000), (8, 48, 8_000), (16, 96, 32_000)]
+    else:
+        grid = [(8, 48, 8_000), (16, 96, 32_000), (32, 200, 100_000)]
+        if full:
+            grid += [(100, 1000, 100_000), (200, 2000, 1_000_000)]
+    config = DistributedConfig(
+        accuracy=1e-3,
+        max_iterations=2,
+        subproblem=SubproblemConfig(polish=False, max_iter=40),
+    )
     points = {}
     ok = True
-    for groups, links in grid:
-        scenario = ScenarioConfig(num_groups=groups, num_links=links)
-        problem = build_problem(scenario, rng=7)
-        rng = np.random.default_rng(0)
-        aggregate = np.clip(
-            rng.random((problem.num_groups, problem.num_files)) * 0.6, 0.0, 1.0
-        )
-        if workspace is None:
-            workspace = SubproblemWorkspace(problem)
-        batched_cfg = SubproblemConfig(oracle="batched")
-        batched = solve_subproblem(
-            problem, 0, aggregate, batched_cfg, workspace=workspace
-        )
-        legacy = solve_subproblem(problem, 0, aggregate, SubproblemConfig(oracle="legacy"))
-        identical = _solutions_identical(batched, legacy)
-        ok &= identical
-        t_batched = _time_repeated(
-            lambda: solve_subproblem(
-                problem, 0, aggregate, batched_cfg, workspace=workspace
-            ),
-            repeats,
-        )
-        config = DistributedConfig(
-            accuracy=1e-3, max_iterations=2, subproblem=SubproblemConfig(fast=True)
-        )
+    for num_sbs, num_groups, num_files in grid:
         t0 = time.perf_counter()
-        result = solve_distributed(problem, config, rng=0)
-        wall = time.perf_counter() - t0
-        points[f"g{groups:02d}_l{links:02d}"] = {
-            "num_sbs": problem.num_sbs,
-            "num_groups": problem.num_groups,
-            "num_files": problem.num_files,
-            "nuf": problem.num_sbs * problem.num_groups * problem.num_files,
-            "subproblem_batched_seconds": t_batched,
-            "subproblem_identical": identical,
-            "distributed_wall_seconds": wall,
+        instance = generate_city_instance(
+            num_sbs,
+            num_groups,
+            num_files,
+            reach=3,
+            files_per_group=min(64, max(8, num_files // 50)),
+            rng=42,
+        )
+        build_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result = solve_distributed_sparse(instance, config)
+        sparse_wall = time.perf_counter() - t0
+        cells = num_sbs * num_groups * num_files
+        point = {
+            "num_sbs": num_sbs,
+            "num_groups": num_groups,
+            "num_files": num_files,
+            "nuf": cells,
+            "demand_nnz": instance.demand_nnz,
+            "instance_nbytes": sum(instance.nbytes().values()),
+            "build_seconds": build_seconds,
+            "sparse_wall_seconds": sparse_wall,
+            "iterations": result.iterations,
             "distributed_cost": result.cost,
         }
+        if cells <= DEFAULT_DENSE_CELL_BUDGET:
+            dense_problem = instance.to_dense()
+            t0 = time.perf_counter()
+            dense = solve_distributed(dense_problem, config, rng=0)
+            point["dense_wall_seconds"] = time.perf_counter() - t0
+            scale = max(abs(dense.cost), 1.0)
+            matches = bool(
+                abs(result.cost - dense.cost) / scale <= 1e-9
+                and np.array_equal(
+                    result.solution.to_dense(instance).caching,
+                    dense.solution.caching,
+                )
+            )
+            point["sparse_matches_dense"] = matches
+            ok &= matches
+        points[f"n{num_sbs:03d}_u{num_groups:04d}_f{num_files:07d}"] = point
+        # SparseProblemInstance caches per-SBS indexes; drop the
+        # reference before the next (larger) point to bound peak RSS.
+        del instance, result
     record = {
         "benchmark": "scaling",
         "smoke": smoke,
+        "full": full,
         "machine": _machine_record(),
         "points": points,
     }
@@ -491,6 +522,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true", help="tiny scenario for CI (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="extend the scaling grid to city-scale points "
+        "(hundreds of SBSs, 10^5-10^6 contents); ignored with --smoke",
     )
     parser.add_argument(
         "--workers", type=int, default=4, metavar="N", help="parallel sweep processes"
@@ -557,15 +594,15 @@ def _run_algorithm1(args) -> bool:
 
 
 def _run_scaling(args) -> bool:
-    scaling_record, scaling_ok = bench_scaling(args.smoke)
+    scaling_record, scaling_ok = bench_scaling(args.smoke, args.full)
     path = args.out_dir / "BENCH_scaling.json"
     path.write_text(json.dumps(scaling_record, indent=2) + "\n")
     points = scaling_record["points"]
     rendered = ", ".join(
-        f"{name}: {point['subproblem_batched_seconds'] * 1e3:.1f} ms"
+        f"{name}: {point['sparse_wall_seconds']:.2f} s"
         for name, point in points.items()
     )
-    print(f"scaling: {rendered} (all identical={scaling_ok}) -> {path}")
+    print(f"scaling: {rendered} (sparse==dense on small points: {scaling_ok}) -> {path}")
     return bool(scaling_ok)
 
 

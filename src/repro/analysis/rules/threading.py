@@ -37,6 +37,7 @@ FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 THREADED_MODULES = frozenset(
     {
         "repro.core.distributed",
+        "repro.core.problem",
         "repro.core.subproblem",
         "repro.solvers.fractional_knapsack",
         "repro.solvers.subgradient",

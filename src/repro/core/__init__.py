@@ -16,6 +16,7 @@ from .cost import (
     sbs_serving_cost,
     served_fraction,
     total_cost,
+    total_cost_sparse,
 )
 from .distributed import (
     BaseStationAgent,
@@ -32,6 +33,15 @@ from .online import OnlineConfig, OnlineResult, SlotRecord, simulate_online
 from .problem import ProblemInstance
 from .routing import optimal_routing_for_cache, optimal_routing_for_sbs, residual_caps
 from .solution import ConstraintViolation, FeasibilityReport, Solution
+from .sparse import (
+    SBSIndex,
+    SparseDistributedResult,
+    SparseProblemInstance,
+    SparseSolution,
+    as_dense_problem,
+    solve_distributed_sparse,
+    sparse_total_cost,
+)
 from .subproblem import (
     SubproblemConfig,
     SubproblemSolution,
@@ -82,6 +92,14 @@ __all__ = [
     "ConstraintViolation",
     "FeasibilityReport",
     "Solution",
+    "SBSIndex",
+    "SparseDistributedResult",
+    "SparseProblemInstance",
+    "SparseSolution",
+    "as_dense_problem",
+    "solve_distributed_sparse",
+    "sparse_total_cost",
+    "total_cost_sparse",
     "SubproblemConfig",
     "SubproblemSolution",
     "cache_subproblem",

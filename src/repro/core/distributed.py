@@ -816,6 +816,12 @@ class DistributedOptimizer:
         sweep_order: Optional[Sequence[int]] = None,
         faults: Optional[FaultConfig] = None,
     ) -> None:
+        # Sparse instances densify at the boundary (memory-guarded): on
+        # small instances the run is then bit-for-bit the dense one.
+        # Local import: `core.sparse` imports DistributedConfig from here.
+        from .sparse import as_dense_problem
+
+        problem = as_dense_problem(problem)
         self.problem = problem
         self.config = config or DistributedConfig()
         if sweep_order is None:
@@ -1295,7 +1301,15 @@ def solve_distributed(
     and the fault-tolerant protocol (sequence-numbered uploads with
     ack/retry, checkpoint-based crash recovery, graceful degradation);
     with ``faults=None`` the failure-free protocol runs unchanged.
+
+    A :class:`~repro.core.sparse.SparseProblemInstance` is accepted and
+    densified at the boundary (memory-guarded — see
+    :func:`repro.core.sparse.as_dense_problem`); at city scale use
+    :func:`repro.core.sparse.solve_distributed_sparse` instead.
     """
+    from .sparse import as_dense_problem
+
+    problem = as_dense_problem(problem)
     config = config or DistributedConfig()
     if config.restarts == 1:
         return DistributedOptimizer(

@@ -155,6 +155,15 @@ def simulate_online(
                 problem, config.distributed, privacy=config.privacy, rng=child_seed
             )
             new_caching = result.solution.caching
+            if config.privacy is not None and result.total_epsilon is None:
+                # A slot solved under an active privacy config must book
+                # its budget: silently skipping it would under-report the
+                # composed epsilon for the whole horizon.
+                raise ValidationError(
+                    f"slot {slot} was solved with an active privacy config but "
+                    "returned no epsilon ledger (total_epsilon is None); the "
+                    "composed online budget would silently drop this slot"
+                )
             if result.total_epsilon is not None:
                 epsilon_spent += result.total_epsilon
             if config.privacy is not None:

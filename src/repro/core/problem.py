@@ -17,6 +17,7 @@ arrays (savings weights, per-SBS reach) are computed once and cached.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, Iterator, Tuple
 
 import numpy as np
@@ -33,6 +34,9 @@ __all__ = ["ProblemInstance"]
 
 
 taint.source_attribute("demand", "raw per-group demand matrix Lambda (Table I)")
+
+#: Sentinel distinguishing "key absent" from a memoized ``None``.
+_MISSING = object()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,6 +108,7 @@ class ProblemInstance:
         object.__setattr__(self, "sbs_cost", sbs_cost)
         object.__setattr__(self, "bs_cost", bs_cost)
         object.__setattr__(self, "_derived", {})
+        object.__setattr__(self, "_derived_lock", threading.RLock())
 
     # ------------------------------------------------------------------
     # Derived-quantity cache
@@ -115,18 +120,32 @@ class ProblemInstance:
         caller, including the solver hot paths that rely on them never
         changing.  ``dataclasses.replace`` builds a new instance and
         therefore a fresh, empty cache.
+
+        The Jacobi executor (``DistributedConfig(jacobi_workers=N)``) fans
+        ``solve_phase`` out over a thread pool, so first touch of any
+        derived array can race: the lock makes the check-compute-store
+        sequence atomic and guarantees every caller shares the one stored
+        (read-only) value.  The fast path stays lock-free — a hit reads an
+        already-published immutable entry.
         """
         cache = self._derived
-        if key not in cache:
-            value = factory()
-            if isinstance(value, np.ndarray):
-                value.setflags(write=False)
-            cache[key] = value
-        return cache[key]
+        value = cache.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        with self._derived_lock:
+            value = cache.get(key, _MISSING)
+            if value is _MISSING:
+                value = factory()
+                if isinstance(value, np.ndarray):
+                    value.setflags(write=False)
+                cache[key] = value
+        return value
 
     def __getstate__(self):
         """Pickle the field arrays only; the derived cache is rebuilt lazily."""
-        return {k: v for k, v in self.__dict__.items() if k != "_derived"}
+        return {
+            k: v for k, v in self.__dict__.items() if k not in ("_derived", "_derived_lock")
+        }
 
     def __setstate__(self, state):
         """Restore fields (re-frozen) and start with an empty derived cache."""
@@ -135,6 +154,7 @@ class ProblemInstance:
                 value.setflags(write=False)
             object.__setattr__(self, key, value)
         object.__setattr__(self, "_derived", {})
+        object.__setattr__(self, "_derived_lock", threading.RLock())
 
     # ------------------------------------------------------------------
     # Dimensions

@@ -243,3 +243,33 @@ class Solution:
             scale[over] = 1.0 / served[over]
             y = y * scale[np.newaxis, :, :]
         return Solution(caching=x, routing=y)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sparse(cls, instance, solution) -> "Solution":
+        """Materialize a compact :class:`~repro.core.sparse.SparseSolution`.
+
+        The inverse bridge of the sparse core: per-SBS cached content
+        ids scatter into the binary ``(N, F)`` caching matrix and the
+        pair-aligned routing vectors into the ``(N, U, F)`` cube.
+        Subject to the same memory realities as any densification —
+        intended for small instances and parity tests.
+        """
+        return solution.to_dense(instance)
+
+    def sparsity(self) -> Dict[str, float]:
+        """Occupancy statistics of the dense policy arrays.
+
+        Reports how sparse the policy actually is — the fraction of
+        nonzero routing entries is what the compact representation
+        stores, so this quantifies the memory the sparse core saves.
+        """
+        routing_nnz = int(np.count_nonzero(self.routing))
+        caching_nnz = int(np.count_nonzero(self.caching))
+        return {
+            "caching_nnz": float(caching_nnz),
+            "caching_density": caching_nnz / max(self.caching.size, 1),
+            "routing_nnz": float(routing_nnz),
+            "routing_density": routing_nnz / max(self.routing.size, 1),
+            "dense_nbytes": float(self.caching.nbytes + self.routing.nbytes),
+        }

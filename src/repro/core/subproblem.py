@@ -183,8 +183,8 @@ class SubproblemWorkspace:
         "batch_costs",
         "batch_caps",
         "knapsack",
-        "trial_prod",
-        "trial_scratch",
+        "_trial_prod",
+        "_trial_scratch",
     )
 
     def __init__(self, problem: ProblemInstance) -> None:
@@ -204,8 +204,29 @@ class SubproblemWorkspace:
         self.batch_costs = np.empty((2, size))
         self.batch_caps = np.empty((2, size))
         self.knapsack = KnapsackBatchWorkspace(2, size)
-        self.trial_prod = np.empty((_TRIAL_CHUNK, size))
-        self.trial_scratch = KnapsackBatchWorkspace(_TRIAL_CHUNK, size)
+        # The polish trial buffers are (_TRIAL_CHUNK, U*F)-sized — by far
+        # the largest scratch in the workspace — and are only touched when
+        # the polish pass actually evaluates swap candidates, so they are
+        # allocated lazily; sparse-path solves with polish disabled never
+        # pay for them.
+        self._trial_prod: Optional[np.ndarray] = None
+        self._trial_scratch: Optional[KnapsackBatchWorkspace] = None
+
+    @property
+    def trial_prod(self) -> np.ndarray:
+        """Lazily allocated ``(_TRIAL_CHUNK, U*F)`` polish product scratch."""
+        if self._trial_prod is None:
+            self._trial_prod = np.empty((_TRIAL_CHUNK, self.shape[0] * self.shape[1]))
+        return self._trial_prod
+
+    @property
+    def trial_scratch(self) -> KnapsackBatchWorkspace:
+        """Lazily allocated ``_TRIAL_CHUNK``-row polish knapsack workspace."""
+        if self._trial_scratch is None:
+            self._trial_scratch = KnapsackBatchWorkspace(
+                _TRIAL_CHUNK, self.shape[0] * self.shape[1]
+            )
+        return self._trial_scratch
 
     def ensure_shape(self, shape: Tuple[int, int]) -> None:
         """Re-allocate every buffer if ``shape`` differs from the last solve."""
@@ -439,6 +460,7 @@ def solve_subproblem(
     initial_multipliers: Optional[np.ndarray] = None,
     candidate_caching: Optional[np.ndarray] = None,
     workspace: Optional[SubproblemWorkspace] = None,
+    constant_offset: float = 0.0,
 ) -> SubproblemSolution:
     """Solve ``P_n`` by the paper's dual decomposition with primal recovery.
 
@@ -465,6 +487,14 @@ def solve_subproblem(
     ``workspace`` supplies preallocated scratch buffers for the fast
     oracle (one is created per call when omitted); repeat callers should
     hold one :class:`SubproblemWorkspace` per SBS and pass it in.
+
+    ``constant_offset`` is added to the ``y``-independent constant term.
+    The sparse solver passes the BS cost of the demand *outside* the
+    SBS's reach so a compact local view reports its objective on the
+    same absolute scale as the dense solver — the dual ascent's
+    relative stall tolerances then see (up to summation order) the same
+    magnitudes and take the same trajectory.  The default ``0.0`` is a
+    bit-exact no-op.
     """
     config = config or SubproblemConfig()
     problem._check_sbs(sbs)
@@ -502,7 +532,7 @@ def solve_subproblem(
             raise ValidationError(
                 f"prices must have shape {(num_groups, num_files)}"
             )
-    constant = _constant_term(problem, sbs, aggregate_others)
+    constant = _constant_term(problem, sbs, aggregate_others) + constant_offset
     coefficients = _routing_coefficients(problem, sbs)
     tie_break = (problem.savings_margin()[sbs][:, np.newaxis] * problem.demand * caps).sum(axis=0)
     capacity = int(problem.cache_slots()[sbs])
@@ -563,7 +593,6 @@ def solve_subproblem(
         recovery_caps = caps_flat.take(recovery_order)
         recovery_w_eff = kw.w_eff[1, :recovery_paid]
         recovery_w = kw.w_sorted[1, :recovery_paid]
-        scratch = ws.trial_scratch
 
         def recover(caching: np.ndarray) -> Tuple[np.ndarray, float]:
             """Recovery evaluation of one cache set — the T=1 kernel."""
@@ -596,6 +625,7 @@ def solve_subproblem(
         def batch_evaluate(trials: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
             count = trials.shape[0]
             perf.count("knapsack.batched_rows", count)
+            scratch = ws.trial_scratch
             allocation = scratch.allocation[:count]
             allocation.fill(0.0)
             if recovery_paid:

@@ -370,6 +370,25 @@ def _check_run(segment: RunSegment, issues: List[str]) -> None:
                 f"{label}: reconstructed per-party epsilon {summary.total_epsilon!r} "
                 f"!= reported {summary.reported_total_epsilon!r}"
             )
+    if segment.run == "online" and bool(segment.start.get("private")):
+        # Ledger completeness: every slot of a private online run that
+        # re-optimized must have booked its budget.  A child run with a
+        # None ledger is exactly the slot `simulate_online` would have
+        # silently dropped from the composed epsilon.
+        for child_index, child in enumerate(segment.children):
+            child_summary = summarize_run(child)
+            if child_summary.reported_total_epsilon is None:
+                issues.append(
+                    f"{label}: private run but child run {child_index} "
+                    f"({child.run!r}) reports no epsilon ledger "
+                    "(total_epsilon is None); the composed budget is incomplete"
+                )
+            elif child_summary.releases == 0 and child_summary.reported_total_epsilon > 0:
+                issues.append(
+                    f"{label}: child run {child_index} ({child.run!r}) reports "
+                    f"epsilon {child_summary.reported_total_epsilon!r} without any "
+                    "privacy release events"
+                )
     reported_retries = segment.end.get("total_retries")
     if reported_retries is not None and int(reported_retries) != summary.retries:
         issues.append(

@@ -1,15 +1,17 @@
 """Workload substrate: traces, popularity models, request streams."""
 
 from .assignment import assign_requests, assign_requests_weighted
+from .cityscale import generate_city_instance
 from .dynamics import DynamicsConfig, demand_sequence, evolve_demand
 from .io import load_trace_csv, load_trace_json, save_trace_csv, trace_from_counts
 from .streams import Request, deterministic_stream, poisson_stream
 from .trace import TraceConfig, VideoTrace, trending_video_trace
-from .zipf import fit_zipf_exponent, zipf_counts, zipf_popularity
+from .zipf import fit_zipf_exponent, largest_remainder_round, zipf_counts, zipf_popularity
 
 __all__ = [
     "assign_requests",
     "assign_requests_weighted",
+    "generate_city_instance",
     "DynamicsConfig",
     "demand_sequence",
     "evolve_demand",
@@ -24,6 +26,7 @@ __all__ = [
     "VideoTrace",
     "trending_video_trace",
     "fit_zipf_exponent",
+    "largest_remainder_round",
     "zipf_counts",
     "zipf_popularity",
 ]

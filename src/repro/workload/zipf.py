@@ -9,14 +9,14 @@ integer view counts matching that shape.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from .._validation import check_positive_int, rng_from
 from ..exceptions import ValidationError
 
-__all__ = ["zipf_popularity", "zipf_counts", "fit_zipf_exponent"]
+__all__ = ["zipf_popularity", "zipf_counts", "largest_remainder_round", "fit_zipf_exponent"]
 
 
 def zipf_popularity(num_items: int, exponent: float = 1.0) -> np.ndarray:
@@ -32,12 +32,54 @@ def zipf_popularity(num_items: int, exponent: float = 1.0) -> np.ndarray:
     return weights / weights.sum()
 
 
+def largest_remainder_round(weights: np.ndarray, total: int, *, minimum: int = 1) -> np.ndarray:
+    """Integer apportionment of ``total`` across ``weights``, sum-exact.
+
+    Every entry gets at least ``minimum``; the rest of the budget is
+    split proportionally to ``weights`` and rounded with the classic
+    largest-remainder (Hamilton) correction, so the result sums to
+    exactly ``total``.  For non-increasing weights the result is
+    non-increasing too: floors of a sorted vector stay sorted, and among
+    equal floors the fractional remainders inherit the ordering, so the
+    ``+1`` corrections land head-first.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValidationError("weights must be a nonempty 1-D vector")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValidationError("weights must be finite and nonnegative")
+    if minimum < 0:
+        raise ValidationError(f"minimum must be nonnegative, got {minimum}")
+    if total < minimum * weights.size:
+        raise ValidationError(
+            f"total {total} cannot cover the minimum of {minimum} for "
+            f"{weights.size} item(s)"
+        )
+    spare = total - minimum * weights.size
+    mass = float(weights.sum())
+    if mass <= 0:
+        raw = np.full(weights.size, spare / weights.size)
+    else:
+        raw = weights / mass * spare
+    floors = np.floor(raw)
+    remainders = raw - floors
+    leftover = int(round(spare - floors.sum()))
+    counts = floors.astype(np.int64) + minimum
+    if leftover > 0:
+        # Stable sort on the negated remainder: ties go to the smaller
+        # index, i.e. the more popular item.
+        order = np.argsort(-remainders, kind="stable")
+        counts[order[:leftover]] += 1
+    return counts.astype(np.float64)
+
+
 def zipf_counts(
     num_items: int,
     *,
     exponent: float = 1.0,
     head_count: float = 140_000.0,
     jitter: float = 0.0,
+    total: Optional[int] = None,
     rng: Union[int, np.random.Generator, None] = None,
 ) -> np.ndarray:
     """Integer view counts with a Zipf shape and a fixed head value.
@@ -46,6 +88,13 @@ def zipf_counts(
     video has about 140k views); ``jitter`` applies multiplicative
     log-normal noise with that standard deviation so the curve is not
     perfectly smooth, like a real trace.
+
+    With ``total`` set, the jittered shape is renormalized *before*
+    rounding and apportioned with a largest-remainder correction so the
+    returned counts sum to exactly ``total`` with every item at least 1
+    (plain per-entry rounding can miss the requested volume and zero out
+    the tail).  ``head_count`` is ignored in that mode — the head follows
+    from the shape and the volume.
     """
     popularity = zipf_popularity(num_items, exponent)
     counts = popularity / popularity[0] * float(head_count)
@@ -57,6 +106,13 @@ def zipf_counts(
         # Keep the head pinned and the ordering recognisably heavy-tailed.
         counts = np.sort(counts)[::-1]
         counts = counts / counts[0] * float(head_count)
+    if total is not None:
+        if total < num_items:
+            raise ValidationError(
+                f"total {total} must be at least num_items {num_items} so every "
+                "item keeps a count of one"
+            )
+        return largest_remainder_round(counts, int(total), minimum=1)
     return np.maximum(np.round(counts), 1.0)
 
 

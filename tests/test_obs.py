@@ -292,6 +292,39 @@ class TestOnlineTrace:
         assert summaries[0].total_epsilon == result.epsilon_spent
 
 
+    def test_validate_flags_incomplete_online_ledger(self, tmp_path):
+        # A private online run whose child books no epsilon is exactly
+        # the slot the composed budget would silently drop; validate must
+        # flag the incomplete ledger.
+        from repro.privacy.mechanism import LPPMConfig
+
+        problem = random_problem(np.random.default_rng(0))
+        slots = [problem.demand, problem.demand]
+        path = tmp_path / "online.jsonl"
+        with obs.recording(path):
+            simulate_online(
+                problem,
+                slots,
+                OnlineConfig(distributed=CONFIG, privacy=LPPMConfig(epsilon=0.5)),
+                rng=7,
+            )
+        events = TraceReader(path).events
+        assert validate_events(events) == []
+        # Strip the ledger from the second child run_end.
+        depth, run_ends = 0, []
+        for event in events:
+            if event["type"] == "run_start":
+                depth += 1
+            elif event["type"] == "run_end":
+                depth -= 1
+                if depth == 1:  # closes a child (inner) run
+                    run_ends.append(event)
+        assert len(run_ends) == 2
+        run_ends[1]["total_epsilon"] = None
+        issues = validate_events(events)
+        assert any("no epsilon ledger" in issue for issue in issues)
+
+
 class TestValidateCatchesCorruption:
     def test_missing_header(self):
         assert validate_events([]) == ["trace is empty"]

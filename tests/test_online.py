@@ -121,6 +121,28 @@ class TestOnlineSimulation:
         result = simulate_online(tiny_problem, slots, config, rng=0)
         assert result.epsilon_spent == pytest.approx(0.1 * 2 * 3)
 
+    def test_missing_slot_ledger_raises(self, tiny_problem, monkeypatch):
+        # A slot solved under an active privacy config but returning a
+        # None ledger must fail loudly instead of being silently dropped
+        # from the composed budget.
+        from repro.core import online as online_module
+        from repro.privacy.mechanism import LPPMConfig
+
+        real = online_module.solve_distributed
+
+        def drop_ledger(problem, config, **kwargs):
+            kwargs.pop("privacy", None)
+            return real(problem, config, privacy=None, **kwargs)
+
+        monkeypatch.setattr(online_module, "solve_distributed", drop_ledger)
+        config = OnlineConfig(
+            distributed=DistributedConfig(accuracy=0.0, max_iterations=2),
+            privacy=LPPMConfig(epsilon=0.1),
+        )
+        slots = demand_sequence(tiny_problem.demand, 2, rng=0)
+        with pytest.raises(ValidationError, match="epsilon ledger"):
+            simulate_online(tiny_problem, slots, config, rng=0)
+
     def test_empty_slots_rejected(self, tiny_problem):
         with pytest.raises(ValidationError):
             simulate_online(tiny_problem, [], FAST)

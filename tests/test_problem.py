@@ -238,3 +238,66 @@ class TestDerivedCaching:
         # The clone gets a fresh, working cache of its own.
         assert clone.savings_margin() is clone.savings_margin()
         assert clone.max_cost() == problem.max_cost()
+
+
+class TestDerivedCacheThreadSafety:
+    """First touch of the memoized arrays must be race-free.
+
+    The Jacobi executor (``DistributedConfig(jacobi_workers=N)``) runs
+    ``solve_phase`` on a ThreadPool, and every worker reads the derived
+    arrays through ``_cached``.  Before the lock, concurrent first
+    touches could each run the factory and publish different objects;
+    every caller must instead observe the one shared instance.
+    """
+
+    ACCESSORS = (
+        "savings_rate",
+        "savings_margin",
+        "potential_routing_mask",
+        "demand_flat",
+        "cache_slots",
+        "connectivity_indices",
+        "profitable_file_mask",
+    )
+
+    def test_first_touch_from_threads_returns_one_object(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        rng = np.random.default_rng(601)
+        for round_ in range(20):
+            problem = random_problem(rng)
+            barrier = threading.Barrier(8)
+
+            def touch(index, problem=problem, barrier=barrier):
+                name = self.ACCESSORS[index % len(self.ACCESSORS)]
+                barrier.wait()  # line every worker up on the cold cache
+                return name, getattr(problem, name)()
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(touch, range(8)))
+            for name, value in results:
+                assert value is getattr(problem, name)(), (round_, name)
+
+    def test_concurrent_same_key_single_object(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        problem = ProblemInstance(**make_args())
+        barrier = threading.Barrier(16)
+
+        def touch(_):
+            barrier.wait()
+            return problem.savings_rate()
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            results = list(pool.map(touch, range(16)))
+        first = results[0]
+        assert all(value is first for value in results)
+
+    def test_nested_factories_do_not_deadlock(self):
+        # savings_rate() -> savings_margin() re-enters _cached while the
+        # outer factory holds the (reentrant) lock.
+        problem = ProblemInstance(**make_args())
+        assert problem.savings_rate() is problem.savings_rate()
+        assert problem.potential_routing_mask() is problem.potential_routing_mask()

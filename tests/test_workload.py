@@ -36,6 +36,46 @@ class TestZipf:
         counts = zipf_counts(100, exponent=3.0, head_count=10.0)
         assert counts.min() >= 1.0
 
+    def test_counts_total_sum_invariant(self):
+        from repro.workload.zipf import largest_remainder_round, zipf_counts
+
+        for seed in range(8):
+            for total in (50, 513, 140_000):
+                counts = zipf_counts(
+                    50, exponent=1.1, jitter=0.25, total=total, rng=seed
+                )
+                assert counts.sum() == total
+                assert counts.min() >= 1
+                assert np.all(np.diff(counts) <= 0)  # still sorted
+                assert np.all(counts == np.round(counts))  # integral
+
+    def test_counts_total_no_jitter(self):
+        from repro.workload.zipf import zipf_counts
+
+        counts = zipf_counts(10, exponent=1.0, total=1000)
+        assert counts.sum() == 1000
+        assert counts[0] == counts.max()
+
+    def test_counts_total_too_small_rejected(self):
+        from repro.workload.zipf import zipf_counts
+
+        with pytest.raises(ValidationError):
+            zipf_counts(10, total=9)
+
+    def test_largest_remainder_round_edges(self):
+        from repro.workload.zipf import largest_remainder_round
+
+        # Zero-mass weights split the budget evenly.
+        out = largest_remainder_round(np.zeros(4), 10)
+        assert out.sum() == 10
+        # Exact minimum: everyone gets exactly the floor.
+        out = largest_remainder_round(np.array([3.0, 1.0]), 2)
+        np.testing.assert_array_equal(out, [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            largest_remainder_round(np.array([1.0]), 0)
+        with pytest.raises(ValidationError):
+            largest_remainder_round(np.array([-1.0, 2.0]), 5)
+
     def test_fit_exponent_recovers(self):
         counts = zipf_popularity(100, 1.3) * 1e6
         assert fit_zipf_exponent(counts) == pytest.approx(1.3, abs=0.01)
