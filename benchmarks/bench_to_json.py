@@ -21,6 +21,11 @@ Algorithm 1 and writes machine-readable records for CI trend tracking:
   instance: ``solve_over_sockets`` wall time vs the in-process
   simulator, a trace bit-identity cross-check, and the retransmission /
   stale-phase / proxy ledger of one fixed-seed chaos run.
+* ``BENCH_spans.json`` — causal-span-layer numbers: the cost of the
+  disabled ``obs.span`` no-op, a spans-on vs spans-off event-stream
+  identity check, byte-identity of two span-enabled socket runs, a span
+  tree well-formedness check, and the critical-path coverage of a timed
+  run's root span.
 * ``BENCH_scaling.json`` — the sparse core on a multi-axis grid growing
   ``N``, ``U`` and ``F`` together (city-scale instances from
   ``generate_city_instance`` solved by ``solve_distributed_sparse``),
@@ -425,6 +430,108 @@ def bench_runtime(smoke: bool) -> tuple:
     return record, identical and chaos_result.converged
 
 
+def bench_spans(smoke: bool) -> tuple:
+    """Span-layer benchmark: disabled no-op cost plus four hard gates.
+
+    Returns ``(record, ok)`` where ``ok`` is False when any boolean
+    gate fails: a spans-on run's non-span event stream must match a
+    spans-off run exactly (enabling spans never perturbs existing
+    traces), two fault-free span-enabled socket runs must write
+    byte-identical traces, the merged span tree must be well-formed
+    (single root, no orphans, no cycles), and on a timed run the
+    critical path must cover the root span's wall-clock within 5%.
+    The no-op cost and coverage error are informational.
+    """
+    import filecmp
+    import tempfile
+
+    from repro.obs.recorder import ListRecorder
+    from repro.obs.span_analysis import check_spans, critical_path
+    from repro.runtime import RuntimeConfig, solve_over_sockets
+    from repro.runtime.smoke import smoke_problem
+
+    problem = smoke_problem()
+    config = DistributedConfig(max_iterations=8)
+
+    # Micro: the disabled fast path — with no recorder active (or
+    # spans=False) every obs.span() returns the shared no-op tracker.
+    calls = 200_000 if smoke else 1_000_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench", category="other"):
+            pass
+    noop_per_call = (time.perf_counter() - t0) / calls
+
+    # Gate 1: enabling spans must not perturb the existing stream — a
+    # spans-on run's events minus span/proxy must equal a spans-off
+    # run's events exactly (ListRecorder carries no seq numbers, so
+    # in-memory streams compare directly).
+    plain = ListRecorder()
+    spanned = ListRecorder()
+    with obs.recording(plain, timings=False):
+        baseline = solve_distributed(problem, config, rng=0)
+    with obs.recording(spanned, timings=False, spans=True):
+        result = solve_distributed(problem, config, rng=0)
+    non_span = [
+        event
+        for event in spanned.events
+        if event.get("type") not in ("span", "proxy")
+    ]
+    stream_identical = bool(non_span == plain.events and baseline.cost == result.cost)
+    span_events = [event for event in spanned.events if event.get("type") == "span"]
+
+    # Gates 2+3: two fault-free span-enabled socket runs must write
+    # byte-identical traces with a well-formed merged span tree.
+    with tempfile.TemporaryDirectory() as tmp:
+        first = Path(tmp) / "spans-a.jsonl"
+        second = Path(tmp) / "spans-b.jsonl"
+        for path in (first, second):
+            with obs.recording(str(path), timings=False, spans=True):
+                solve_over_sockets(problem, config, runtime=RuntimeConfig())
+        deterministic = bool(filecmp.cmp(first, second, shallow=False))
+    well_formed = not check_spans(spanned.events)
+
+    # Gate 4: on a timed socket run the critical path's blocking chain
+    # must sum to the root span's wall-clock within 5%.
+    timed = ListRecorder()
+    with obs.recording(timed, timings=True, spans=True):
+        solve_over_sockets(problem, config, runtime=RuntimeConfig())
+    path_report = critical_path(timed.events)
+    roots = [
+        event
+        for event in timed.events
+        if event.get("type") == "span" and event.get("parent") is None
+    ]
+    coverage_error = float("inf")
+    if path_report["basis"] == "wall" and roots and "seconds" in roots[0]:
+        root_seconds = float(roots[0]["seconds"])
+        coverage_error = abs(path_report["total"] - root_seconds) / max(
+            root_seconds, 1e-12
+        )
+    coverage_ok = coverage_error <= 0.05
+
+    record = {
+        "benchmark": "span_layer",
+        "smoke": smoke,
+        "machine": _machine_record(),
+        "noop_span": {"calls": calls, "seconds_per_call": noop_per_call},
+        "faultfree": {
+            "span_events": len(span_events),
+            "disabled_stream_identical": stream_identical,
+            "spans_deterministic": deterministic,
+            "well_formed": well_formed,
+        },
+        "critical_path": {
+            "basis": path_report["basis"],
+            "total_seconds": path_report["total"],
+            "coverage_error": coverage_error,
+            "coverage_ok": coverage_ok,
+        },
+    }
+    ok = stream_identical and deterministic and well_formed and coverage_ok
+    return record, bool(ok)
+
+
 def bench_scaling(smoke: bool, full: bool = False) -> tuple:
     """Multi-axis scaling: the sparse core on grids growing N, U *and* F.
 
@@ -542,7 +649,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only",
         action="append",
-        choices=("algorithm1", "sweeps", "metrics", "runtime", "scaling"),
+        choices=("algorithm1", "sweeps", "metrics", "runtime", "spans", "scaling"),
         metavar="NAME",
         help="run only the named section(s); repeatable (default: all)",
     )
@@ -563,6 +670,8 @@ def main(argv=None) -> int:
         ok &= _run_metrics(args)
     if wanted("runtime"):
         ok &= _run_runtime_bench(args)
+    if wanted("spans"):
+        ok &= _run_spans(args)
     if wanted("scaling"):
         ok &= _run_scaling(args)
 
@@ -650,6 +759,25 @@ def _run_runtime_bench(args) -> bool:
         f"(converged={chaos['converged']}) -> {path}"
     )
     return bool(runtime_ok)
+
+
+def _run_spans(args) -> bool:
+    spans_record, spans_ok = bench_spans(args.smoke)
+    path = args.out_dir / "BENCH_spans.json"
+    path.write_text(json.dumps(spans_record, indent=2) + "\n")
+    noop = spans_record["noop_span"]["seconds_per_call"]
+    faultfree = spans_record["faultfree"]
+    critical = spans_record["critical_path"]
+    print(
+        f"spans: no-op span {noop * 1e9:.0f} ns, "
+        f"{faultfree['span_events']} span events "
+        f"(stream identical={faultfree['disabled_stream_identical']}, "
+        f"deterministic={faultfree['spans_deterministic']}, "
+        f"well-formed={faultfree['well_formed']}); critical path covers "
+        f"root within {100.0 * critical['coverage_error']:.2f}% "
+        f"(ok={critical['coverage_ok']}) -> {path}"
+    )
+    return bool(spans_ok)
 
 
 if __name__ == "__main__":

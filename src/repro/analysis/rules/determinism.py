@@ -17,6 +17,11 @@ assumption machine-checked:
   calls make results depend on when the run happened.  Monotonic timers
   (``time.perf_counter``) remain allowed: they measure durations for
   perf instrumentation and never feed back into results.
+* ``span-wall-clock`` — span emission code (:mod:`repro.obs.spans` and
+  any function with ``span`` in its name) must funnel *every* clock
+  read, monotonic ones included, through a timings-gated ``_wall*``
+  helper, so a ``timings=False`` span trace is byte-identical by
+  construction rather than by audit.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from typing import Iterator
 from ..findings import Finding
 from .base import FileContext, Rule, dotted_name, register
 
-__all__ = ["NoStdlibRandom", "NumpyGlobalRng", "WallClockCall"]
+__all__ = ["NoStdlibRandom", "NumpyGlobalRng", "WallClockCall", "SpanWallClock"]
 
 #: ``np.random`` attributes that construct explicit, seedable generators
 #: rather than touching the hidden module-level ``RandomState``.
@@ -48,6 +53,20 @@ _GENERATOR_API = frozenset(
 #: Wall-clock entry points whose return value depends on the current time.
 _WALL_CLOCK = frozenset({"time.time", "time.time_ns", "time.ctime", "time.localtime"})
 _DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+#: Every clock read span code must route through a ``_wall*`` helper —
+#: including the monotonic timers REPRO103 tolerates elsewhere, because
+#: span events end up in byte-compared traces.
+_SPAN_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
 
 
 @register
@@ -154,3 +173,47 @@ class WallClockCall(Rule):
                     f"`{dotted}()` reads the wall clock; pass timestamps in "
                     "explicitly so runs stay reproducible",
                 )
+
+
+@register
+class SpanWallClock(Rule):
+    """Span emission sites may read clocks only via gated ``_wall*`` helpers.
+
+    Applies to the whole of :mod:`repro.obs.spans` and to any function
+    whose name contains ``span`` anywhere in the tree.  A clock call
+    inside a function whose own name starts with ``_wall`` is the
+    sanctioned, timings-gated helper and is exempt.
+    """
+
+    code = "REPRO104"
+    name = "span-wall-clock"
+    summary = "span emission sites must read clocks via timings-gated _wall helpers"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag direct clock calls in span-scoped code outside ``_wall*``."""
+        spans_module = ctx.in_package("repro.obs.spans")
+
+        def visit(node: ast.AST, stack: tuple) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack = stack + (node.name,)
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if (
+                    dotted in _SPAN_CLOCKS
+                    and not any(name.startswith("_wall") for name in stack)
+                    and (
+                        spans_module
+                        or any("span" in name.lower() for name in stack)
+                    )
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{dotted}()` inside span code bypasses the timings gate; "
+                        "read the clock through a `_wall*` helper so disabled/"
+                        "timings-off span traces stay byte-identical",
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, stack)
+
+        yield from visit(ctx.tree, ())

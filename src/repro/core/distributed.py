@@ -945,6 +945,11 @@ class DistributedOptimizer:
                 initial_cost=float(history.initial_cost),
             )
 
+        # Root causal span: explicit start/finish (not ``with``) so it
+        # closes before the ``run_end`` emit and its event stays inside
+        # the run bracket.  No-op unless the recorder enables spans.
+        run_span = obs.span("run", category="run", mode=config.mode).start()
+
         # Initial broadcast: the all-zero aggregate every SBS starts from
         # (the paper's y_{-n}(tau=0) = 0 initialisation).
         self.base_station.broadcast_aggregate(iteration=-1, phase=-1)
@@ -960,7 +965,7 @@ class DistributedOptimizer:
             )
             perf.count("algorithm1.iterations")
             self._sweep_gaps, self._sweep_norms = [], []
-            with perf.timed("algorithm1.sweep"):
+            with obs.span("iteration", category="iteration", iteration=iteration), perf.timed("algorithm1.sweep"):
                 if resilient:
                     self.channel.set_time(iteration)
                     self._resilient_sweep(iteration, history, slack, price_step)
@@ -993,11 +998,21 @@ class DistributedOptimizer:
             # prices removes any residual over-service left by the
             # transient slack.
             self._sweep_gaps, self._sweep_norms = [], []
-            if resilient:
-                self.channel.set_time(iterations)
-                self._resilient_sweep(iterations, history, slack=0.0, price_step=None)
-            else:
-                self._gauss_seidel_sweep(iterations, history, slack=0.0, price_step=None)
+            with obs.span(
+                "iteration",
+                category="iteration",
+                iteration=iterations,
+                restoration=True,
+            ):
+                if resilient:
+                    self.channel.set_time(iterations)
+                    self._resilient_sweep(
+                        iterations, history, slack=0.0, price_step=None
+                    )
+                else:
+                    self._gauss_seidel_sweep(
+                        iterations, history, slack=0.0, price_step=None
+                    )
             restoration_cost = self.base_station.system_cost()
             history.close_iteration(restoration_cost)
             self._trace_iteration(iterations, restoration_cost, restoration=True)
@@ -1018,6 +1033,9 @@ class DistributedOptimizer:
             unperturbed_cost=total_cost(problem, unperturbed),
             accountant=self.accountant,
         )
+        if obs.spans_enabled():
+            run_span.annotate(**obs.resource_attrs(obs.timings_enabled()))
+        run_span.finish()
         if obs.enabled():
             # repro-taint: disable=REPRO701 -- deliberate accuracy-loss reporting: pre-noise cost is a scalar system aggregate (Fig. 5)
             obs.emit(
@@ -1054,20 +1072,34 @@ class DistributedOptimizer:
         """
         for phase, index in enumerate(self._order):
             agent = self.sbss[index]
-            noise_l1 = agent.run_phase(iteration, phase, cap_slack=slack)
-            self.base_station.collect_upload(agent.index)
-            if price_step is not None:
-                self.base_station.update_prices(price_step)
-            self.base_station.broadcast_aggregate(iteration, phase)
-            record = PhaseRecord(
+            with obs.span(
+                "phase",
+                category="solve",
+                sbs=agent.index,
                 iteration=iteration,
                 phase=phase,
-                sbs=agent.index,
-                cost=self.base_station.system_cost(),
-                noise_l1=noise_l1,
-            )
-            history.record_phase(record)
-            self._trace_phase(record, agent)
+            ):
+                noise_l1 = agent.run_phase(iteration, phase, cap_slack=slack)
+                self.base_station.collect_upload(agent.index)
+                with obs.span(
+                    "aggregate",
+                    category="aggregate",
+                    sbs=agent.index,
+                    iteration=iteration,
+                    phase=phase,
+                ):
+                    if price_step is not None:
+                        self.base_station.update_prices(price_step)
+                    self.base_station.broadcast_aggregate(iteration, phase)
+                record = PhaseRecord(
+                    iteration=iteration,
+                    phase=phase,
+                    sbs=agent.index,
+                    cost=self.base_station.system_cost(),
+                    noise_l1=noise_l1,
+                )
+                history.record_phase(record)
+                self._trace_phase(record, agent)
 
     def _resilient_sweep(
         self,
@@ -1088,69 +1120,106 @@ class DistributedOptimizer:
         channel = self.channel
         for phase, index in enumerate(self._order):
             agent = self.sbss[index]
-            if not channel.node_is_up(agent.name):
-                agent.crash()
-                obs.emit(
-                    "protocol",
-                    event="crash_skip",
+            with obs.span(
+                "phase",
+                category="solve",
+                sbs=agent.index,
+                iteration=iteration,
+                phase=phase,
+            ) as phase_span:
+                if not channel.node_is_up(agent.name):
+                    agent.crash()
+                    obs.emit(
+                        "protocol",
+                        event="crash_skip",
+                        sbs=agent.index,
+                        iteration=iteration,
+                        phase=phase,
+                    )
+                    phase_span.annotate(category="straggler", crashed=True)
+                    record = PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=agent.index,
+                        cost=self.base_station.system_cost(),
+                        stale=True,
+                    )
+                    history.record_phase(record)
+                    self._trace_phase(record, agent)
+                    continue
+                agent.recover(self.checkpoints)
+                report, noise_l1 = agent.compute_phase(
+                    iteration, phase, cap_slack=slack
+                )
+                upload_span = obs.span(
+                    "upload",
+                    category="network",
                     sbs=agent.index,
                     iteration=iteration,
                     phase=phase,
                 )
-                record = PhaseRecord(
+                with upload_span:
+                    # repro-taint: disable=REPRO701,REPRO702 -- sanctioned upload release via ARQ retry path (same contract as run_phase)
+                    retries = self._upload_with_retries(
+                        agent, report, iteration, phase
+                    )
+                    upload_span.annotate(
+                        delivered=retries is not None,
+                        retries=(
+                            retries
+                            if retries is not None
+                            else self.config.max_retries
+                        ),
+                    )
+                    if retries:
+                        upload_span.annotate(category="retry")
+                if retries is None:
+                    # Delivery failed for good: the BS keeps the SBS's last
+                    # folded report; roll the SBS's own view back so its
+                    # y_{-n} bookkeeping matches what the BS actually holds.
+                    agent.rollback_report()
+                    obs.emit(
+                        "protocol",
+                        event="degrade",
+                        sbs=agent.index,
+                        iteration=iteration,
+                        phase=phase,
+                        retries=self.config.max_retries,
+                    )
+                    record = PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=agent.index,
+                        cost=self.base_station.system_cost(),
+                        noise_l1=noise_l1,
+                        retries=self.config.max_retries,
+                        stale=True,
+                    )
+                    history.record_phase(record)
+                    self._trace_phase(record, agent)
+                    continue
+                agent.commit_report()
+                agent.save_checkpoint(self.checkpoints, iteration)
+                with obs.span(
+                    "aggregate",
+                    category="aggregate",
+                    sbs=agent.index,
                     iteration=iteration,
                     phase=phase,
-                    sbs=agent.index,
-                    cost=self.base_station.system_cost(),
-                    stale=True,
-                )
-                history.record_phase(record)
-                self._trace_phase(record, agent)
-                continue
-            agent.recover(self.checkpoints)
-            report, noise_l1 = agent.compute_phase(iteration, phase, cap_slack=slack)
-            # repro-taint: disable=REPRO701,REPRO702 -- sanctioned upload release via ARQ retry path (same contract as run_phase)
-            retries = self._upload_with_retries(agent, report, iteration, phase)
-            if retries is None:
-                # Delivery failed for good: the BS keeps the SBS's last
-                # folded report; roll the SBS's own view back so its
-                # y_{-n} bookkeeping matches what the BS actually holds.
-                agent.rollback_report()
-                obs.emit(
-                    "protocol",
-                    event="degrade",
-                    sbs=agent.index,
-                    iteration=iteration,
-                    phase=phase,
-                    retries=self.config.max_retries,
-                )
+                ):
+                    if price_step is not None:
+                        self.base_station.update_prices(price_step)
+                    self.base_station.broadcast_aggregate(iteration, phase)
                 record = PhaseRecord(
                     iteration=iteration,
                     phase=phase,
                     sbs=agent.index,
                     cost=self.base_station.system_cost(),
                     noise_l1=noise_l1,
-                    retries=self.config.max_retries,
-                    stale=True,
+                    retries=retries,
                 )
                 history.record_phase(record)
                 self._trace_phase(record, agent)
-                continue
-            agent.commit_report()
-            agent.save_checkpoint(self.checkpoints, iteration)
-            if price_step is not None:
-                self.base_station.update_prices(price_step)
-            self.base_station.broadcast_aggregate(iteration, phase)
-            record = PhaseRecord(
-                iteration=iteration,
-                phase=phase,
-                sbs=agent.index,
-                cost=self.base_station.system_cost(),
-                noise_l1=noise_l1,
-                retries=retries,
-            )
-            history.record_phase(record)
-            self._trace_phase(record, agent)
 
     def _upload_with_retries(
         self, agent: SBSAgent, report: np.ndarray, iteration: int, phase: int

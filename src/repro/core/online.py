@@ -140,11 +140,16 @@ def simulate_online(
             private=config.privacy is not None,
         )
 
+    # Root causal span for the horizon; slot spans nest under it and the
+    # inner distributed runs' spans nest under those (ambient tracker).
+    run_span = obs.span("run", category="run", slots=len(demand_slots)).start()
+
     records: List[SlotRecord] = []
     epsilon_spent = 0.0
     caching: Optional[np.ndarray] = None
 
     for slot, demand in enumerate(demand_slots):
+        slot_span = obs.span("slot", category="epoch", slot=slot).start()
         problem = _problem_for_slot(base, demand)
         due = slot % config.reoptimize_every == 0
         reoptimize = caching is None or (adaptive and due)
@@ -188,6 +193,8 @@ def simulate_online(
             reoptimized=reoptimize,
         )
         records.append(record)
+        slot_span.annotate(reoptimized=record.reoptimized)
+        slot_span.finish()
         obs.emit(
             "slot",
             slot=slot,
@@ -197,6 +204,7 @@ def simulate_online(
             reoptimized=record.reoptimized,
         )
     result = OnlineResult(records=records, epsilon_spent=epsilon_spent)
+    run_span.finish()
     if obs.enabled():
         obs.emit(
             "run_end",

@@ -919,11 +919,16 @@ def solve_distributed_sparse(
         residual = np.maximum(1.0 - aggregate.values, 0.0)
         return float(np.sum(f1_terms)) + float(np.dot(pair_bs_weight, residual))
 
+    run_span = obs.span(
+        "run", category="run", mode=config.mode, sparse=True
+    ).start()
     for iteration in range(config.max_iterations):
         perf.count("algorithm1.sparse_iterations")
         sweep_gaps: List[float] = []
         sweep_norms: List[float] = []
-        with perf.timed("algorithm1.sparse_sweep"):
+        with obs.span(
+            "iteration", category="iteration", iteration=iteration
+        ), perf.timed("algorithm1.sparse_sweep"):
             for phase, sbs in enumerate(order):
                 index = indexes[sbs]
                 stats: Optional[Dict[str, float]] = None
@@ -935,6 +940,7 @@ def solve_distributed_sparse(
                     np.clip(others, 0.0, None, out=others)
                     block.ravel()[index.local_flat] = others
                     if workspace is None:
+                        perf.count("sparse.workspace_allocs")
                         workspace = SubproblemWorkspace(sub_problem)
                     solution = solve_subproblem(
                         sub_problem,
@@ -1020,6 +1026,9 @@ def solve_distributed_sparse(
         converged=converged,
         history=history,
     )
+    if obs.spans_enabled():
+        run_span.annotate(**obs.resource_attrs(obs.timings_enabled()))
+    run_span.finish()
     if obs.enabled():
         obs.emit(
             "run_end",

@@ -42,7 +42,18 @@ from .recorder import (
     recording,
     timings_enabled,
 )
+from .recorder import spans_enabled
 from .report import compare_snapshots, render_dashboard
+from .span_analysis import (
+    SpanNode,
+    build_span_tree,
+    check_spans,
+    collect_spans,
+    critical_path,
+    proxy_fates_by_span,
+    render_timeline,
+)
+from .spans import NOOP_TRACKER, SpanTracker, resource_attrs, span
 from .trace import (
     RunSegment,
     RunSummary,
@@ -70,6 +81,18 @@ __all__ = [
     "enabled",
     "recording",
     "timings_enabled",
+    "spans_enabled",
+    "NOOP_TRACKER",
+    "SpanTracker",
+    "span",
+    "resource_attrs",
+    "SpanNode",
+    "build_span_tree",
+    "check_spans",
+    "collect_spans",
+    "critical_path",
+    "proxy_fates_by_span",
+    "render_timeline",
     "Counter",
     "Gauge",
     "Histogram",

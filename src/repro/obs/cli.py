@@ -1,6 +1,6 @@
 """Command-line entry point: ``repro-trace <subcommand> <trace.jsonl>``.
 
-Three subcommands over JSONL run traces written by
+Subcommands over JSONL run traces written by
 :class:`repro.obs.TraceWriter`::
 
     repro-trace summary run.jsonl            # reconstruct curve + ledger
@@ -8,13 +8,19 @@ Three subcommands over JSONL run traces written by
     repro-trace validate run.jsonl           # structural + semantic checks
     repro-trace diff a.jsonl b.jsonl         # compare two traces
     repro-trace diff a.jsonl b.jsonl --tolerance 1e-9
+    repro-trace diff a.jsonl b.jsonl --strict-timings  # compare wall-clock too
+    repro-trace timeline run.jsonl --out timeline.svg  # per-node span Gantt
+    repro-trace critical-path run.jsonl      # blocking-chain attribution
 
 ``summary`` prints, per run, the convergence curve, the per-party
 epsilon ledger and the protocol counters reconstructed from the event
 stream, next to the solver-reported outcome.  ``validate`` exits
 nonzero when the trace is malformed or the reconstruction disagrees
 with the report — the CI trace-smoke job gates on it.  ``diff`` exits
-nonzero when the two traces differ beyond the tolerance.
+nonzero when the two traces differ beyond the tolerance; wall-clock
+fields are masked unless ``--strict-timings``.  ``timeline`` and
+``critical-path`` consume the causal ``span`` events of a trace
+recorded with ``spans=True`` (:mod:`repro.obs.spans`).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import sys
 from typing import List, Optional
 
 from ..exceptions import ValidationError
+from .span_analysis import check_spans, critical_path, render_timeline
 from .trace import TraceReader, diff_traces, summarize_trace, validate_events
 
 __all__ = ["main"]
@@ -91,13 +98,64 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     left = _load(args.trace)
     right = _load(args.other)
-    differences = diff_traces(left.events, right.events, tolerance=args.tolerance)
+    differences = diff_traces(
+        left.events,
+        right.events,
+        tolerance=args.tolerance,
+        strict_timings=args.strict_timings,
+    )
     if differences:
         for difference in differences:
             print(f"DIFF: {difference}")
         return 1
     print("traces agree")
     return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    reader = _load(args.trace)
+    try:
+        svg = render_timeline(reader.events, run=args.run, title=args.trace)
+    except (ValueError, IndexError) as error:
+        print(f"repro-trace timeline: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"wrote {args.out}")
+    else:
+        print(svg, end="")
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    reader = _load(args.trace)
+    issues = check_spans(reader.events)
+    for issue in issues:
+        print(f"MALFORMED: {issue}", file=sys.stderr)
+    try:
+        report = critical_path(reader.events, run=args.run)
+    except (ValueError, IndexError) as error:
+        print(f"repro-trace critical-path: {error}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        unit = "s" if report["basis"] == "wall" else "ticks"
+        print(
+            f"root {report['root']} ({report['root_name']}): "
+            f"{report['total']:.6g} {unit} [{report['basis']}]"
+        )
+        total = report["total"] or 1.0
+        for category, share in sorted(
+            report["by_category"].items(), key=lambda item: -item[1]
+        ):
+            print(
+                f"  {category:<12} {share:>12.6g} {unit}  "
+                f"({100.0 * share / total:5.1f}%)"
+            )
+        print(f"  chain segments: {len(report['chain'])}")
+    return 1 if issues else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -141,7 +199,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="X",
         help="maximum |cost delta| still considered equal (default: exact)",
     )
+    diff.add_argument(
+        "--strict-timings",
+        action="store_true",
+        help="compare wall-clock fields too (masked by default)",
+    )
     diff.set_defaults(handler=_cmd_diff)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="render a run's span tree as a per-node Gantt SVG"
+    )
+    timeline.add_argument("trace", help="path to a JSONL trace with span events")
+    timeline.add_argument(
+        "--run", type=int, default=0, help="top-level run index (default: 0)"
+    )
+    timeline.add_argument(
+        "--out", metavar="SVG", help="write the SVG here instead of stdout"
+    )
+    timeline.set_defaults(handler=_cmd_timeline)
+
+    critical = subparsers.add_parser(
+        "critical-path",
+        help="attribute a run's wall-clock to solve/network/retry/straggler spans",
+    )
+    critical.add_argument("trace", help="path to a JSONL trace with span events")
+    critical.add_argument(
+        "--run", type=int, default=0, help="top-level run index (default: 0)"
+    )
+    critical.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output encoding (default: text)",
+    )
+    critical.set_defaults(handler=_cmd_critical_path)
 
     args = parser.parse_args(argv)
     result: int = args.handler(args)

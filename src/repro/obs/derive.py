@@ -401,6 +401,57 @@ class MetricsDeriver:
             "repro_sweep_cells_total", "Distinct sweep cells evaluated, by scheme.", ("scheme",)
         ).labels(scheme=scheme).inc()
 
+    def _on_span(self, event: Event) -> None:
+        registry = self.registry
+        name = str(event.get("name", "?"))
+        node = str(event.get("node", "-"))
+        category = str(event.get("category", "other"))
+        registry.counter(
+            "repro_spans_total",
+            "Causal spans closed, by span name, node and category.",
+            ("name", "node", "category"),
+        ).labels(name=name, node=node, category=category).inc()
+        if event.get("seconds") is not None:
+            registry.histogram(
+                "repro_span_seconds",
+                "Wall-clock span latency, by span name and node (volatile).",
+                ("name", "node"),
+                buckets=SECONDS_BUCKETS,
+            ).labels(name=name, node=node).observe(float(event["seconds"]))
+            if name == "phase":
+                registry.histogram(
+                    "repro_phase_latency_seconds",
+                    "End-to-end per-phase latency seen by the BS (volatile).",
+                    ("node",),
+                    buckets=SECONDS_BUCKETS,
+                ).labels(node=node).observe(float(event["seconds"]))
+
+    def _on_proxy(self, event: Event) -> None:
+        registry = self.registry
+        fate = str(event.get("fate", "?"))
+        if fate == "summary":
+            for outcome in (
+                "forwarded",
+                "dropped",
+                "duplicated",
+                "delayed",
+                "reordered",
+                "truncated",
+                "schedule_dropped",
+            ):
+                if event.get(outcome):
+                    registry.counter(
+                        "repro_runtime_proxy_frames_total",
+                        "Chaos-proxy frame outcomes (ProxyStats), by outcome.",
+                        ("outcome",),
+                    ).labels(outcome=outcome).inc(float(event[outcome]))
+            return
+        registry.counter(
+            "repro_runtime_proxy_fates_total",
+            "Per-frame chaos-proxy fault injections, by fate and frame kind.",
+            ("fate", "kind"),
+        ).labels(fate=fate, kind=event.get("kind", "-")).inc()
+
 
 class MetricsRecorder(TraceRecorder):
     """A recorder that folds the event stream into a metrics registry.
@@ -449,13 +500,15 @@ def metering(
     *,
     trace: Union[str, Path, IO[str], TraceRecorder, None] = None,
     timings: bool = True,
+    spans: bool = False,
 ) -> Iterator[MetricsRegistry]:
     """Collect metrics for the body; optionally record a trace too.
 
     With ``trace`` given, events fan out to a trace sink *and* the
     metrics deriver (one emission, two consumers), so the written trace
     re-derives to exactly the registry this context yields.  ``timings``
-    controls whether solvers measure wall-clock ``solve_seconds``
+    controls whether solvers measure wall-clock ``solve_seconds``;
+    ``spans`` opts in to causal span events
     (see :func:`repro.obs.recorder.recording`).
     """
     recorder = MetricsRecorder(registry)
@@ -469,7 +522,7 @@ def metering(
             sink = owned
         target = TeeRecorder(sink, recorder)
     try:
-        with recording(target, timings=timings):
+        with recording(target, timings=timings, spans=spans):
             yield recorder.registry
     finally:
         if owned is not None:

@@ -57,6 +57,28 @@ Event types
     Sweep-runner brackets; ``cell_start`` announces one distinct sweep
     cell (``cell`` tag, ``scheme``, ``rng``, ``epsilon``) whose solver
     events follow, each tagged with the same ``cell`` value.
+``span``
+    One closed causal span (:mod:`repro.obs.spans`): ``name``, span id
+    ``span`` (``node:counter``), emitting ``node``, ``trace`` id,
+    ``parent`` span id (``null`` for the root), ``category`` (critical-
+    path bucket: ``run`` / ``iteration`` / ``epoch`` / ``solve`` /
+    ``network`` / ``retry`` / ``straggler`` / ``aggregate`` /
+    ``broadcast``), and the hybrid-logical-clock interval ``ls`` /
+    ``le``.  When the recorder was activated with ``timings=True`` the
+    span also carries wall-clock ``t0`` / ``t1`` / ``seconds`` and
+    optional resource attributes (``rss_peak_kb``, ``perf_timings_s``)
+    — all masked from determinism comparisons like other wall-clock
+    fields.  Spans are emitted at close, so a parent's event follows
+    its children's.
+``proxy``
+    One chaos-proxy observation, emitted inside the run bracket just
+    before ``run_end`` when spans are enabled.  ``fate`` is either a
+    per-frame fault outcome (``dropped`` / ``truncated`` / ``delayed``
+    / ``reordered`` / ``duplicated`` / ``schedule_dropped``, annotated
+    with the victim frame's header fields and — when the frame carried
+    trace-context — the ``span`` it belongs to) or ``summary`` (the
+    merged :class:`repro.runtime.chaos.ProxyStats` counters, from which
+    ``repro_runtime_proxy_*`` metric families derive).
 """
 
 from __future__ import annotations
@@ -83,6 +105,8 @@ REQUIRED_FIELDS: Dict[str, FrozenSet[str]] = {
     "sweep_start": frozenset({"name"}),
     "sweep_end": frozenset({"name"}),
     "cell_start": frozenset({"cell", "scheme"}),
+    "span": frozenset({"name", "span", "node", "ls", "le"}),
+    "proxy": frozenset({"fate"}),
 }
 
 #: The known event types (keys of :data:`REQUIRED_FIELDS`).

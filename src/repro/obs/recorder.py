@@ -54,6 +54,7 @@ __all__ = [
     "recording",
     "enabled",
     "timings_enabled",
+    "spans_enabled",
     "emit",
 ]
 
@@ -169,18 +170,23 @@ class TeeRecorder(TraceRecorder):
 
 _recorder: Optional[TraceRecorder] = None
 _timings: bool = True
+_spans: bool = False
 
 
-def activate(recorder: TraceRecorder, *, timings: bool = True) -> TraceRecorder:
+def activate(
+    recorder: TraceRecorder, *, timings: bool = True, spans: bool = False
+) -> TraceRecorder:
     """Install ``recorder`` as the process-wide event sink.
 
     ``timings`` controls whether solvers measure wall-clock
     ``solve_seconds`` while this recorder is active (see
-    :func:`timings_enabled`).
+    :func:`timings_enabled`); ``spans`` opts in to the causal span
+    layer (see :func:`spans_enabled` and :mod:`repro.obs.spans`).
     """
-    global _recorder, _timings
+    global _recorder, _timings, _spans
     _recorder = recorder
     _timings = timings
+    _spans = spans
     return recorder
 
 
@@ -210,11 +216,23 @@ def timings_enabled() -> bool:
     return _recorder is not None and _timings
 
 
+def spans_enabled() -> bool:
+    """Whether the causal span layer should emit ``span`` events.
+
+    Spans are strictly opt-in: only while a recorder is active *and* it
+    was installed with ``spans=True``.  With spans off, every span
+    entry point returns a shared no-op object, so traces stay
+    byte-identical to pre-span output.
+    """
+    return _recorder is not None and _spans
+
+
 @contextmanager
 def recording(
     target: Union[str, Path, IO[str], TraceRecorder],
     *,
     timings: bool = True,
+    spans: bool = False,
 ) -> Iterator[TraceRecorder]:
     """Activate a recorder for the body, restoring the previous one after.
 
@@ -222,9 +240,10 @@ def recording(
     a :class:`TraceWriter` is created (and closed on exit).  With
     ``timings=True`` (the default) traced solvers measure per-phase
     wall-clock ``solve_seconds`` inline; pass ``timings=False`` when
-    the trace must be byte-identical across runs.
+    the trace must be byte-identical across runs.  ``spans=True``
+    additionally records causal ``span`` events (:mod:`repro.obs.spans`).
     """
-    global _recorder, _timings
+    global _recorder, _timings, _spans
     owned: Optional[TraceWriter] = None
     if isinstance(target, TraceRecorder):
         recorder: TraceRecorder = target
@@ -233,13 +252,16 @@ def recording(
         recorder = owned
     previous = _recorder
     previous_timings = _timings
+    previous_spans = _spans
     _recorder = recorder
     _timings = timings
+    _spans = spans
     try:
         yield recorder
     finally:
         _recorder = previous
         _timings = previous_timings
+        _spans = previous_spans
         if owned is not None:
             owned.close()
 

@@ -1,0 +1,390 @@
+"""Deterministic analysis over merged span trees.
+
+Consumes the ``span`` (and ``proxy``) events of a trace
+(:mod:`repro.obs.spans`) and provides:
+
+* :func:`check_spans` — well-formedness of the merged tree per
+  top-level run: exactly one root, no orphan parents, no parent-chain
+  cycles, unique span ids;
+* :func:`critical_path` — attribute every instant of the root span's
+  interval to the *deepest* span covering it, bucketed by span
+  ``category`` (solve / network / retry / straggler / aggregate /
+  broadcast / ...).  The per-category durations sum to the root span's
+  duration by construction, so the blocking chain accounts for run
+  wall-clock exactly (the acceptance tolerance absorbs only float
+  rounding).  Uses wall-clock ``t0``/``t1`` when the trace was recorded
+  with timings, else the logical ``ls``/``le`` clock;
+* :func:`render_timeline` — a self-contained per-node Gantt SVG in the
+  same deterministic pure-function style as the ``repro-report``
+  dashboard curves.
+
+Everything here is a pure function of the event list: rendering or
+analysing the same trace twice yields identical bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .recorder import Event
+from .trace import RunSegment, split_runs
+
+__all__ = [
+    "SpanNode",
+    "collect_spans",
+    "build_span_tree",
+    "check_spans",
+    "critical_path",
+    "proxy_fates_by_span",
+    "render_timeline",
+]
+
+
+@dataclasses.dataclass
+class SpanNode:
+    """One span event plus its resolved children, ordered by start."""
+
+    event: Event
+    children: List["SpanNode"] = dataclasses.field(default_factory=list)
+
+    @property
+    def span_id(self) -> str:
+        return str(self.event.get("span"))
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        parent = self.event.get("parent")
+        return None if parent is None else str(parent)
+
+    @property
+    def name(self) -> str:
+        return str(self.event.get("name", "?"))
+
+    @property
+    def node(self) -> str:
+        return str(self.event.get("node", "-"))
+
+    @property
+    def category(self) -> str:
+        return str(self.event.get("category", "other"))
+
+    def interval(self, basis: str) -> Tuple[float, float]:
+        """(start, end) on the requested basis (``wall`` or ``logical``)."""
+        if basis == "wall":
+            return float(self.event["t0"]), float(self.event["t1"])
+        return float(self.event.get("ls", 0)), float(self.event.get("le", 0))
+
+
+def _segment_spans(segment: RunSegment) -> List[Event]:
+    spans = segment.own("span")
+    for child in segment.children:
+        spans.extend(_segment_spans(child))
+    return spans
+
+
+def collect_spans(events: Sequence[Event], *, run: int = 0) -> List[Event]:
+    """Span events of one top-level run (nested child runs included).
+
+    Falls back to every ``span`` event in the stream when the trace has
+    no run brackets (e.g. a bare replayed buffer).
+    """
+    segments = split_runs(list(events))
+    if not segments:
+        return [e for e in events if e.get("type") == "span"]
+    if run >= len(segments):
+        raise IndexError(f"trace has {len(segments)} runs, requested run {run}")
+    return _segment_spans(segments[run])
+
+
+def build_span_tree(
+    spans: Sequence[Event],
+) -> Tuple[List[SpanNode], Dict[str, SpanNode], List[str]]:
+    """Link span events into trees; returns (roots, by-id index, issues)."""
+    issues: List[str] = []
+    by_id: Dict[str, SpanNode] = {}
+    nodes: List[SpanNode] = []
+    for event in spans:
+        node = SpanNode(event)
+        if node.span_id in by_id:
+            issues.append(f"duplicate span id {node.span_id}")
+            continue
+        by_id[node.span_id] = node
+        nodes.append(node)
+    roots: List[SpanNode] = []
+    for node in nodes:
+        parent = node.parent_id
+        if parent is None:
+            roots.append(node)
+        elif parent in by_id:
+            by_id[parent].children.append(node)
+        else:
+            issues.append(
+                f"orphan span {node.span_id} ({node.name}): "
+                f"parent {parent} not in trace"
+            )
+            roots.append(node)
+    for node in nodes:
+        node.children.sort(key=lambda child: (child.event.get("ls", 0), child.span_id))
+    return roots, by_id, issues
+
+
+def _check_cycles(by_id: Dict[str, SpanNode], issues: List[str]) -> None:
+    safe: set = set()
+    for start_id in by_id:
+        seen: set = set()
+        current: Optional[str] = start_id
+        while current is not None and current in by_id:
+            if current in safe:
+                break
+            if current in seen:
+                issues.append(f"span parent cycle through {current}")
+                break
+            seen.add(current)
+            current = by_id[current].parent_id
+        safe.update(seen)
+
+
+def check_spans(events: Sequence[Event]) -> List[str]:
+    """Well-formedness issues of every run's span tree ([] when clean).
+
+    Checks, per top-level run that contains spans: exactly one root
+    span, no orphan parent references, no parent-chain cycles, no
+    duplicate span ids.
+    """
+    issues: List[str] = []
+    segments = split_runs(list(events))
+    groups: List[Tuple[str, List[Event]]] = []
+    if segments:
+        for index, segment in enumerate(segments):
+            groups.append((f"run {index}", _segment_spans(segment)))
+    else:
+        groups.append(("trace", [e for e in events if e.get("type") == "span"]))
+    for label, spans in groups:
+        if not spans:
+            continue
+        roots, by_id, local = build_span_tree(spans)
+        issues.extend(f"{label}: {issue}" for issue in local)
+        true_roots = [node for node in roots if node.parent_id is None]
+        if len(true_roots) != 1:
+            issues.append(
+                f"{label}: expected exactly one root span, found {len(true_roots)}"
+            )
+        cycle_issues: List[str] = []
+        _check_cycles(by_id, cycle_issues)
+        issues.extend(f"{label}: {issue}" for issue in cycle_issues)
+    return issues
+
+
+def _basis_for(spans: Sequence[Event]) -> str:
+    return "wall" if all("t0" in e and "t1" in e for e in spans) else "logical"
+
+
+def _attribute(
+    node: SpanNode,
+    lo: float,
+    hi: float,
+    basis: str,
+    by_category: Dict[str, float],
+    chain: List[Dict[str, Any]],
+) -> None:
+    """Assign [lo, hi) to ``node``'s category except where a child covers it."""
+
+    def credit(start: float, end: float) -> None:
+        if end <= start:
+            return
+        by_category[node.category] = by_category.get(node.category, 0.0) + (
+            end - start
+        )
+        chain.append(
+            {
+                "span": node.span_id,
+                "name": node.name,
+                "node": node.node,
+                "category": node.category,
+                "start": start,
+                "end": end,
+                "duration": end - start,
+            }
+        )
+
+    cursor = lo
+    for child in node.children:
+        cs, ce = child.interval(basis)
+        cs, ce = max(cs, cursor), min(ce, hi)
+        if ce <= cs:
+            continue
+        credit(cursor, cs)
+        _attribute(child, cs, ce, basis, by_category, chain)
+        cursor = ce
+    credit(cursor, hi)
+
+
+def critical_path(events: Sequence[Event], *, run: int = 0) -> Dict[str, Any]:
+    """Blocking-chain attribution of one run's root span interval.
+
+    Returns ``{basis, root, total, by_category, chain}`` where
+    ``chain`` lists maximal segments in time order, each attributed to
+    the deepest covering span, and ``sum(by_category.values())``
+    equals ``total`` (the root span's duration) up to float rounding.
+    """
+    spans = collect_spans(events, run=run)
+    if not spans:
+        raise ValueError("trace contains no span events (record with spans=True)")
+    roots, _, issues = build_span_tree(spans)
+    true_roots = [node for node in roots if node.parent_id is None]
+    if len(true_roots) != 1:
+        raise ValueError(
+            f"critical path needs exactly one root span, found {len(true_roots)}"
+            + (f"; issues: {issues}" if issues else "")
+        )
+    root = true_roots[0]
+    basis = _basis_for(spans)
+    lo, hi = root.interval(basis)
+    by_category: Dict[str, float] = {}
+    chain: List[Dict[str, Any]] = []
+    _attribute(root, lo, hi, basis, by_category, chain)
+    total = hi - lo
+    return {
+        "basis": basis,
+        "root": root.span_id,
+        "root_name": root.name,
+        "total": total,
+        "by_category": {key: by_category[key] for key in sorted(by_category)},
+        "chain": chain,
+    }
+
+
+def proxy_fates_by_span(events: Sequence[Event]) -> Dict[str, List[Dict[str, Any]]]:
+    """Chaos-proxy fate events grouped by the span they annotate."""
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for event in events:
+        if event.get("type") != "proxy" or event.get("fate") == "summary":
+            continue
+        span_id = event.get("span")
+        if span_id is None:
+            continue
+        entry = {
+            key: value
+            for key, value in event.items()
+            if key not in ("type", "seq", "span")
+        }
+        grouped.setdefault(str(span_id), []).append(entry)
+    return grouped
+
+
+_CATEGORY_COLORS = {
+    "run": "#cbd5e1",
+    "epoch": "#a5b4fc",
+    "iteration": "#93c5fd",
+    "phase": "#bae6fd",
+    "solve": "#34d399",
+    "network": "#fbbf24",
+    "retry": "#f87171",
+    "straggler": "#c084fc",
+    "aggregate": "#2dd4bf",
+    "broadcast": "#38bdf8",
+    "other": "#d1d5db",
+}
+
+_LANE_HEIGHT = 34
+_BAR_HEIGHT = 18
+_LEFT_MARGIN = 90
+_TOP_MARGIN = 28
+_PLOT_WIDTH = 880
+
+
+def _depths(roots: List[SpanNode]) -> Dict[str, int]:
+    depth: Dict[str, int] = {}
+    stack = [(node, 0) for node in roots]
+    while stack:
+        node, level = stack.pop()
+        depth[node.span_id] = level
+        stack.extend((child, level + 1) for child in node.children)
+    return depth
+
+
+def render_timeline(
+    events: Sequence[Event], *, run: int = 0, title: str = "span timeline"
+) -> str:
+    """Per-node Gantt chart of one run's spans as a self-contained SVG.
+
+    One lane per emitting node (``bs`` first, then peers in sorted
+    order); bars are colored by category and inset by tree depth, so
+    nesting reads at a glance.  Deterministic: same trace, same bytes.
+    """
+    spans = collect_spans(events, run=run)
+    if not spans:
+        raise ValueError("trace contains no span events (record with spans=True)")
+    roots, _, _ = build_span_tree(spans)
+    depth = _depths(roots)
+    basis = _basis_for(spans)
+    fates = proxy_fates_by_span(events)
+    lows = [SpanNode(e).interval(basis)[0] for e in spans]
+    highs = [SpanNode(e).interval(basis)[1] for e in spans]
+    lo, hi = min(lows), max(highs)
+    scale = _PLOT_WIDTH / (hi - lo) if hi > lo else 1.0
+
+    nodes = sorted({str(e.get("node", "-")) for e in spans})
+    nodes.sort(key=lambda name: (name != "bs", name != "local", name))
+    lane = {name: index for index, name in enumerate(nodes)}
+    height = _TOP_MARGIN + _LANE_HEIGHT * len(nodes) + 46
+    width = _LEFT_MARGIN + _PLOT_WIDTH + 20
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="monospace" font-size="11">'
+    )
+    parts.append(
+        f'<text x="{_LEFT_MARGIN}" y="16" font-size="13">{title} '
+        f"(basis: {basis})</text>"
+    )
+    for name in nodes:
+        y = _TOP_MARGIN + lane[name] * _LANE_HEIGHT
+        parts.append(
+            f'<text x="4" y="{y + _LANE_HEIGHT / 2 + 4:.1f}">{name}</text>'
+        )
+        parts.append(
+            f'<line x1="{_LEFT_MARGIN}" y1="{y + _LANE_HEIGHT}" '
+            f'x2="{_LEFT_MARGIN + _PLOT_WIDTH}" y2="{y + _LANE_HEIGHT}" '
+            'stroke="#e5e7eb"/>'
+        )
+    ordered = sorted(
+        (SpanNode(e) for e in spans),
+        key=lambda node: (node.event.get("ls", 0), node.span_id),
+    )
+    for node in ordered:
+        start, end = node.interval(basis)
+        x = _LEFT_MARGIN + (start - lo) * scale
+        bar = max((end - start) * scale, 1.0)
+        level = min(depth.get(node.span_id, 0), 4)
+        y = (
+            _TOP_MARGIN
+            + lane[node.node] * _LANE_HEIGHT
+            + (_LANE_HEIGHT - _BAR_HEIGHT) / 2
+            + level * 2
+        )
+        h = max(_BAR_HEIGHT - level * 4, 4)
+        color = _CATEGORY_COLORS.get(node.category, _CATEGORY_COLORS["other"])
+        faulted = node.span_id in fates
+        stroke = ' stroke="#dc2626" stroke-width="1.5"' if faulted else ""
+        label = node.name + (" !" + str(len(fates[node.span_id])) if faulted else "")
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y:.1f}" width="{bar:.2f}" height="{h}" '
+            f'fill="{color}"{stroke}><title>{node.span_id} {label} '
+            f"[{node.category}]</title></rect>"
+        )
+    legend_y = _TOP_MARGIN + _LANE_HEIGHT * len(nodes) + 18
+    x = _LEFT_MARGIN
+    for category, color in _CATEGORY_COLORS.items():
+        parts.append(
+            f'<rect x="{x}" y="{legend_y}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 13}" y="{legend_y + 9}">{category}</text>'
+        )
+        x += 13 + 7 * len(category) + 18
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

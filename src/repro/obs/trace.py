@@ -416,14 +416,96 @@ def validate_events(events: List[Event]) -> List[str]:
     return issues
 
 
-def diff_traces(
-    a: List[Event], b: List[Event], *, tolerance: float = 0.0
+#: Event fields masked from :func:`diff_traces` unless ``strict_timings``:
+#: exact-name matches plus any key containing ``seconds``.  These are
+#: wall-clock (or wall-clock-derived resource) measurements, legitimately
+#: different between two otherwise identical ``timings=True`` runs.
+_VOLATILE_EVENT_KEYS = frozenset(
+    {"t0", "t1", "time_seconds", "rss_peak_kb", "perf_timings_s"}
+)
+
+
+def _mask_event(event: Event) -> Event:
+    """Event copy with writer artifacts and wall-clock fields removed."""
+    return {
+        key: value
+        for key, value in event.items()
+        if key != "seq"
+        and key not in _VOLATILE_EVENT_KEYS
+        and "seconds" not in key
+    }
+
+
+def _values_match(x: Any, y: Any, tolerance: float) -> bool:
+    """Deep equality with ``tolerance`` slack on numeric leaves."""
+    if isinstance(x, bool) or isinstance(y, bool):
+        return x == y
+    if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+        return abs(float(x) - float(y)) <= tolerance
+    if isinstance(x, dict) and isinstance(y, dict):
+        return x.keys() == y.keys() and all(
+            _values_match(x[key], y[key], tolerance) for key in x
+        )
+    if isinstance(x, (list, tuple)) and isinstance(y, (list, tuple)):
+        return len(x) == len(y) and all(
+            _values_match(xi, yi, tolerance) for xi, yi in zip(x, y)
+        )
+    return bool(x == y)
+
+
+def _diff_events(
+    a: List[Event],
+    b: List[Event],
+    *,
+    tolerance: float,
+    strict_timings: bool,
+    limit: int = 5,
 ) -> List[str]:
-    """Differences between two traces, run by run.
+    """Event-by-event differences, wall-clock fields masked by default."""
+    differences: List[str] = []
+    if len(a) != len(b):
+        differences.append(f"event count: {len(a)} vs {len(b)}")
+    mask = (lambda event: {k: v for k, v in event.items() if k != "seq"}) if (
+        strict_timings
+    ) else _mask_event
+    shown = 0
+    for index, (left, right) in enumerate(zip(a, b)):
+        x, y = mask(left), mask(right)
+        if _values_match(x, y, tolerance):
+            continue
+        if shown < limit:
+            keys = sorted(
+                key
+                for key in x.keys() | y.keys()
+                if not _values_match(x.get(key), y.get(key), tolerance)
+            )
+            differences.append(
+                f"event[{index}] ({left.get('type', '?')}): fields differ "
+                f"({', '.join(keys)})"
+            )
+        shown += 1
+    if shown > limit:
+        differences.append(f"... and {shown - limit} more differing events")
+    return differences
+
+
+def diff_traces(
+    a: List[Event],
+    b: List[Event],
+    *,
+    tolerance: float = 0.0,
+    strict_timings: bool = False,
+) -> List[str]:
+    """Differences between two traces, run by run and event by event.
 
     Compares run kinds, iteration counts, convergence curves (point by
-    point, up to ``tolerance``), epsilon ledgers and protocol counters.
-    An empty list means the traces tell the same story.
+    point, up to ``tolerance``), epsilon ledgers and protocol counters,
+    then the raw event streams.  Wall-clock fields (``*seconds*``,
+    span ``t0``/``t1``, resource attributes) are masked from the
+    event-level comparison unless ``strict_timings=True`` — two
+    ``timings=True`` recordings of the same seeded run legitimately
+    disagree only on those.  An empty list means the traces tell the
+    same story.
     """
     differences: List[str] = []
     runs_a = [summarize_run(segment) for segment in _walk(split_runs(a))]
@@ -465,4 +547,7 @@ def diff_traces(
             )
         if left.epsilon_by_party != right.epsilon_by_party and tolerance <= 0:
             differences.append(f"{tag}: epsilon ledgers differ")
+    differences.extend(
+        _diff_events(a, b, tolerance=tolerance, strict_timings=strict_timings)
+    )
     return differences

@@ -36,7 +36,13 @@ The proxy never emits trace events: its pump tasks run concurrently
 with the BS server, so emitting from here would interleave
 nondeterministically with the server's trace.  It keeps its own
 :class:`ProxyStats` ledger instead, reported via
-:class:`~repro.runtime.config.RuntimeReport`.
+:class:`~repro.runtime.config.RuntimeReport`.  For span-enabled runs it
+additionally records one *fate entry* per injected fault — tagged with
+the victim frame's header fields and, when the frame carried a
+trace-context (:mod:`repro.obs.spans`), the span it belonged to — which
+the BS server drains via :meth:`ChaosProxy.fate_events` and emits as
+``proxy`` trace events just before ``run_end``, deterministically
+ordered by link and frame ordinal.
 """
 
 from __future__ import annotations
@@ -50,7 +56,7 @@ import numpy as np
 from ..exceptions import FrameError, ValidationError
 from ..network.faults import FaultConfig
 from ..network.messaging import MessageKind
-from .wire import peek_header, read_frame_bytes, write_raw
+from .wire import FrameHeader, peek_header, peek_trace_ctx, read_frame_bytes, write_raw
 
 __all__ = ["ProxyStats", "ChaosProxy"]
 
@@ -88,11 +94,36 @@ class _LinkDirection:
     def __init__(self, config: FaultConfig, index: int, direction: int) -> None:
         self._config = config
         self._node = f"sbs-{index}"
+        self._direction = "c2s" if direction == 0 else "s2c"
         self._rng = np.random.default_rng([config.seed, index, direction])
         self._count = 0
         self._held: List[Tuple[int, int, bytes]] = []  # (due_count, order, raw)
         self._held_counter = 0
         self.stats = ProxyStats()
+        self.fates: List[Dict[str, Any]] = []
+
+    def _note(self, fate: str, raw: bytes, header: FrameHeader) -> None:
+        """Record one injected fault for span annotation (deterministic)."""
+        entry: Dict[str, Any] = {
+            "fate": fate,
+            "link": self._node,
+            "direction": self._direction,
+            "ordinal": self._count,
+            "kind": header.kind.value,
+            "iteration": header.iteration,
+            "phase": header.phase,
+            "frame_seq": header.seq,
+        }
+        try:
+            ctx = peek_trace_ctx(raw)
+        except FrameError:
+            ctx = None
+        if ctx is not None:
+            if ctx.get("span") is not None:
+                entry["span"] = str(ctx["span"])
+            if ctx.get("trace") is not None:
+                entry["trace"] = str(ctx["trace"])
+        self.fates.append(entry)
 
     def _release_due(self) -> List[bytes]:
         due = [entry for entry in self._held if entry[0] <= self._count]
@@ -125,6 +156,7 @@ class _LinkDirection:
             "bs", self._node, header.iteration
         ):
             self.stats.schedule_dropped += 1
+            self._note("schedule_dropped", raw, header)
             return outputs
         profile = self._config.profile_for(header.kind)
         if profile.is_quiet:
@@ -136,24 +168,29 @@ class _LinkDirection:
         # then delay/reorder, then duplicate.
         if self._rng.random() < profile.drop:
             self.stats.dropped += 1
+            self._note("dropped", raw, header)
             return outputs
         if profile.truncate > 0.0 and self._rng.random() < profile.truncate:
             self.stats.truncated += 1
+            self._note("truncated", raw, header)
             outputs.append(raw[: max(8, len(raw) // 2)])
             return outputs
         if self._rng.random() < profile.delay:
             ticks = 1 + int(self._rng.integers(profile.max_delay_ticks))
             self.stats.delayed += 1
+            self._note("delayed", raw, header)
             self._hold(raw, ticks)
         elif profile.reorder > 0.0 and self._rng.random() < profile.reorder:
             # Overtaken by the next frame on this direction.
             self.stats.reordered += 1
+            self._note("reordered", raw, header)
             self._hold(raw, 1)
         else:
             self.stats.forwarded += 1
             outputs.append(raw)
         if self._rng.random() < profile.duplicate:
             self.stats.duplicated += 1
+            self._note("duplicated", raw, header)
             outputs.append(raw)
         return outputs
 
@@ -195,6 +232,7 @@ class ChaosProxy:
         self._server: Optional[asyncio.base_events.Server] = None
         self._links: List[_LinkDirection] = []
         self._handlers: List["asyncio.Task[None]"] = []
+        self._closed_fates: List[Dict[str, Any]] = []
 
     async def start(self) -> int:
         """Bind an ephemeral port and start accepting; returns the port."""
@@ -219,6 +257,7 @@ class ChaosProxy:
         for link in self._links:
             link.abandon_held()
             self.stats.merge(link.stats)
+            self._closed_fates.extend(link.fates)
         self._links = []
 
     def stats_dict(self) -> Dict[str, Any]:
@@ -228,6 +267,22 @@ class ChaosProxy:
             merged.merge(link.stats)
         merged.merge(self.stats)
         return dataclasses.asdict(merged)
+
+    def fate_events(self) -> List[Dict[str, Any]]:
+        """Every recorded fault injection, deterministically ordered.
+
+        Sorted by (link, direction, frame ordinal) — a pure function of
+        the seeded fault sequences, independent of pump scheduling — so
+        the BS can emit them as ``proxy`` trace events without breaking
+        byte-determinism.
+        """
+        entries: List[Dict[str, Any]] = list(self._closed_fates)
+        for link in self._links:
+            entries.extend(link.fates)
+        entries.sort(
+            key=lambda e: (e["link"], e["direction"], e["ordinal"], e["fate"])
+        )
+        return [dict(entry) for entry in entries]
 
     async def _handle(
         self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter

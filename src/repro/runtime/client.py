@@ -24,6 +24,16 @@ in a local :class:`~repro.obs.ListRecorder` and *shipped* with
 which is safe because they contain no ``await`` — nothing else can run
 while the swap is active.
 
+When the session opts into spans, the client owns a per-node
+:class:`~repro.obs.spans.SpanTracker` (``sbs-i`` ids, Lamport clock
+seeded from the grant's wire trace-context) whose events go into the
+same shipped buffer: a ``solve`` span around recover+compute and one
+``upload`` span per ARQ attempt (category ``network`` for the first,
+``retry`` after), each upload frame carrying its span's trace-context
+so the chaos proxy can annotate the exact attempt it tampers with.
+The tracker writes to the local buffer directly — never the global
+recorder — so span capture is safe across the ARQ ``await``s too.
+
 ``client_main`` is the picklable ``spawn`` entry point for
 ``"processes"`` mode.
 """
@@ -37,6 +47,7 @@ from typing import Any, Deque, Dict, List, Optional
 import numpy as np
 
 from .. import obs
+from ..obs import spans
 from ..core.distributed import CheckpointStore, SBSAgent
 from ..exceptions import ProtocolError, ProtocolTimeout
 from ..network.messaging import Channel, Message, MessageKind
@@ -106,6 +117,13 @@ class _ClientLoop:
         self.agent.resilient = True
         self.store = CheckpointStore()
         self.events = obs.ListRecorder()
+        self.tracker: Any = (
+            spans.SpanTracker(
+                session.name, sink=self.events, timings=session.timings
+            )
+            if session.spans
+            else spans.NOOP_TRACKER
+        )
         self.corrupted = 0
         self._corrupt_shipped = 0
         self._adversary_spent = False
@@ -219,16 +237,25 @@ class _ClientLoop:
         iteration = int(meta.get("iteration", 0))
         phase = int(meta.get("phase", 0))
         cap_slack = float(meta.get("cap_slack", 0.0))
+        parent = self.tracker.adopt(grant.trace_ctx)
         if self.session.adversary == "straggle" and not self._adversary_spent:
             self._adversary_spent = True
             await asyncio.sleep(self.session.straggle_seconds)
         # Sync agent calls run under the local recorder; the window has
         # no awaits, so in tasks mode nothing else can emit meanwhile.
         with obs.recording(self.events, timings=self.session.timings):
-            self.agent.recover(self.store)
-            report, noise_l1 = self.agent.compute_phase(
-                iteration, phase, cap_slack=cap_slack
-            )
+            with self.tracker.span(
+                "solve",
+                parent=parent,
+                category="solve",
+                sbs=self.session.index,
+                iteration=iteration,
+                phase=phase,
+            ):
+                self.agent.recover(self.store)
+                report, noise_l1 = self.agent.compute_phase(
+                    iteration, phase, cap_slack=cap_slack
+                )
         upload = report
         if (
             self.session.adversary in ("nan", "range", "shape")
@@ -241,6 +268,17 @@ class _ClientLoop:
         attempts_used = 0
         for attempt in range(self.session.config.max_retries + 1):
             attempts_used = attempt
+            attempt_span = self.tracker.span(
+                "upload",
+                parent=parent,
+                category="network" if attempt == 0 else "retry",
+                sbs=self.session.index,
+                iteration=iteration,
+                phase=phase,
+                attempt=attempt,
+                upload_seq=seq,
+            )
+            attempt_span.start()
             # repro-taint: disable=REPRO701,REPRO702 -- sanctioned upload frame: perturbed when privacy is on, epsilon booked whenever an accountant is attached
             await self._send(
                 Frame(
@@ -251,9 +289,13 @@ class _ClientLoop:
                     phase=phase,
                     seq=seq,
                     array=upload,
+                    trace_ctx=attempt_span.context(),
                 )
             )
-            if await self._await_ack(seq, self.session.ack_timeout):
+            got_ack = await self._await_ack(seq, self.session.ack_timeout)
+            attempt_span.annotate(acked=got_ack)
+            attempt_span.finish()
+            if got_ack:
                 acked = True
                 break
         if not acked and self.agent.await_ack(seq):

@@ -159,6 +159,7 @@ class ClientSession:
     ack_timeout: float
     control_timeout: float
     timings: bool = False
+    spans: bool = False
     privacy: Optional[MechanismConfig] = None
     privacy_seed: Optional[int] = None
     adversary: Optional[str] = None

@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from .. import obs
+from ..obs import spans
 from .._validation import rng_from
 from ..core.convergence import CostHistory, PhaseRecord
 from ..core.cost import total_cost
@@ -152,6 +153,12 @@ class RuntimeServer:
         self._slack = 0.0
         self._server: Optional[asyncio.base_events.Server] = None
         self.port: Optional[int] = None
+        # Chaos proxy (when interposed), so span-enabled runs can emit
+        # its recorded fault fates into the trace before ``run_end``.
+        self.proxy: Optional[ChaosProxy] = None
+        # Span tracker for the BS node; re-evaluated at run() entry so a
+        # server built outside a recording context still picks spans up.
+        self._spans: Any = spans.NOOP_TRACKER
 
     # -- connection plumbing -------------------------------------------
     async def start(self) -> int:
@@ -229,7 +236,13 @@ class RuntimeServer:
             await self._flush_link(link)
 
     async def _send_control(
-        self, link: _ClientLink, iteration: int, phase: int, meta: Dict[str, Any]
+        self,
+        link: _ClientLink,
+        iteration: int,
+        phase: int,
+        meta: Dict[str, Any],
+        *,
+        trace_ctx: Optional[Dict[str, Any]] = None,
     ) -> None:
         self._write(
             link,
@@ -240,6 +253,7 @@ class RuntimeServer:
                 iteration=iteration,
                 phase=phase,
                 meta=meta,
+                trace_ctx=trace_ctx,
             ),
         )
         if link.alive:
@@ -320,15 +334,33 @@ class RuntimeServer:
         await self._flush_link(link)
 
     # -- event replay --------------------------------------------------
-    def _replay_events(self, events: List[Dict[str, Any]]) -> None:
+    def _replay_events(
+        self, events: List[Dict[str, Any]], *, rebase: Optional[float] = None
+    ) -> None:
         """Re-emit client-captured trace events into the server's trace.
 
         Only the event families the in-process optimizer emits from
         *inside* a phase are replayed — privacy releases (also folded
-        into the server's accountant) and crash recoveries.  Retries are
-        synthesized separately from the ``phase_done`` retry count so
-        they can never be double-reported.
+        into the server's accountant), crash recoveries and, for
+        span-enabled runs, the client's ``span`` events (solve + upload
+        attempts).  Retries are synthesized separately from the
+        ``phase_done`` retry count so they can never be double-reported.
+
+        ``rebase`` is the server-side wall-clock at grant time: client
+        span ``t0``/``t1`` values come from a foreign ``perf_counter``
+        epoch (a different process in ``"processes"`` mode), so they are
+        shifted onto the server's clock before re-emission, anchoring
+        the earliest client span at the grant.
         """
+        shift: Optional[float] = None
+        if rebase is not None:
+            t0s = [
+                event["t0"]
+                for event in events
+                if event.get("type") == "span" and "t0" in event
+            ]
+            if t0s:
+                shift = rebase - min(t0s)
         for event in events:
             fields = {key: value for key, value in event.items() if key != "type"}
             type_ = event.get("type")
@@ -342,6 +374,16 @@ class RuntimeServer:
                 obs.emit("privacy", **fields)
             elif type_ == "protocol" and fields.get("event") == "recover":
                 obs.emit("protocol", **fields)
+            elif type_ == "span" and obs.spans_enabled():
+                try:
+                    self._spans.observe_clock(int(fields.get("le", 0)))
+                except (TypeError, ValueError):
+                    pass
+                if shift is not None:
+                    for key in ("t0", "t1"):
+                        if key in fields:
+                            fields[key] = float(fields[key]) + shift
+                obs.emit("span", **fields)
 
     async def _replay_late(self, link: _ClientLink, meta: Dict[str, Any]) -> None:
         """Handle a ``phase_done`` for a phase the deadline already closed.
@@ -483,68 +525,33 @@ class RuntimeServer:
         Phase-for-phase the event and record sequence of
         ``DistributedOptimizer._resilient_sweep``, with the deadline
         policy layered on where the in-process version cannot block.
+        Each phase body is bracketed by a ``phase`` span whose
+        trace-context rides the solve grant, so the client-side solve
+        and upload-attempt spans stitch in under it.
         """
         self._slack = slack
         schedule = self.runtime.faults.schedule if self.runtime.faults else None
         for phase, index in enumerate(self.problem.sbs_indices()):
             link = self._links[index]
-            if schedule is not None and schedule.is_crashed(link.name, iteration):
-                await self._send_control(
-                    link, iteration, phase, {"action": "crash"}
-                )
-                obs.emit(
-                    "protocol",
-                    event="crash_skip",
-                    sbs=index,
-                    iteration=iteration,
-                    phase=phase,
-                )
-                record = PhaseRecord(
-                    iteration=iteration,
-                    phase=phase,
-                    sbs=index,
-                    cost=self.base_station.system_cost(),
-                    stale=True,
-                )
-                history.record_phase(record)
-                self._emit_phase(record, None)
-                continue
-            await self._drain_backlog(link)
-            meta: Optional[Dict[str, Any]] = None
-            fold_before = self._fold_count[index]
-            if link.alive:
-                await self._send_control(
-                    link,
-                    iteration,
-                    phase,
-                    {
-                        "action": "solve",
-                        "iteration": iteration,
-                        "phase": phase,
-                        "cap_slack": slack,
-                    },
-                )
-                meta = await self._await_phase_done(link, iteration, phase)
-            if meta is None:
-                # Straggler (or dead client): the deadline policy closes
-                # the phase now.  If the upload made it into the fold the
-                # phase is *delivered* — mirroring the in-process
-                # exclusive boundary rule — otherwise it is stale.
-                folded = link.alive and self._fold_count[index] > fold_before
-                if folded:
-                    verdict = "delivered"
-                    if price_step is not None:
-                        self.base_station.update_prices(price_step)
-                    self.base_station.broadcast_aggregate(iteration, phase)
-                    await self._flush_all()
-                    record = PhaseRecord(
+            with self._spans.span(
+                "phase",
+                category="network",
+                sbs=index,
+                iteration=iteration,
+                phase=phase,
+            ) as phase_span:
+                if schedule is not None and schedule.is_crashed(link.name, iteration):
+                    await self._send_control(
+                        link, iteration, phase, {"action": "crash"}
+                    )
+                    obs.emit(
+                        "protocol",
+                        event="crash_skip",
+                        sbs=index,
                         iteration=iteration,
                         phase=phase,
-                        sbs=index,
-                        cost=self.base_station.system_cost(),
                     )
-                else:
-                    verdict = "degraded"
+                    phase_span.annotate(category="straggler", crashed=True)
                     record = PhaseRecord(
                         iteration=iteration,
                         phase=phase,
@@ -552,95 +559,180 @@ class RuntimeServer:
                         cost=self.base_station.system_cost(),
                         stale=True,
                     )
+                    history.record_phase(record)
+                    self._emit_phase(record, None)
+                    continue
+                await self._drain_backlog(link)
+                meta: Optional[Dict[str, Any]] = None
+                fold_before = self._fold_count[index]
+                # Server-side wall-clock at grant time: the anchor client
+                # span timestamps are rebased onto (timings-gated).
+                window_t0 = self._spans.wall()
                 if link.alive:
-                    self.bus.stats.deadline_expired += 1
+                    await self._send_control(
+                        link,
+                        iteration,
+                        phase,
+                        {
+                            "action": "solve",
+                            "iteration": iteration,
+                            "phase": phase,
+                            "cap_slack": slack,
+                        },
+                        trace_ctx=phase_span.context(),
+                    )
+                    meta = await self._await_phase_done(link, iteration, phase)
+                if meta is None:
+                    # Straggler (or dead client): the deadline policy closes
+                    # the phase now.  If the upload made it into the fold the
+                    # phase is *delivered* — mirroring the in-process
+                    # exclusive boundary rule — otherwise it is stale.
+                    folded = link.alive and self._fold_count[index] > fold_before
+                    if folded:
+                        verdict = "delivered"
+                        with self._spans.span(
+                            "aggregate",
+                            category="aggregate",
+                            sbs=index,
+                            iteration=iteration,
+                            phase=phase,
+                        ):
+                            if price_step is not None:
+                                self.base_station.update_prices(price_step)
+                            self.base_station.broadcast_aggregate(iteration, phase)
+                        with self._spans.span(
+                            "broadcast",
+                            category="broadcast",
+                            sbs=index,
+                            iteration=iteration,
+                            phase=phase,
+                        ):
+                            await self._flush_all()
+                        record = PhaseRecord(
+                            iteration=iteration,
+                            phase=phase,
+                            sbs=index,
+                            cost=self.base_station.system_cost(),
+                        )
+                    else:
+                        verdict = "degraded"
+                        record = PhaseRecord(
+                            iteration=iteration,
+                            phase=phase,
+                            sbs=index,
+                            cost=self.base_station.system_cost(),
+                            stale=True,
+                        )
+                    if link.alive:
+                        self.bus.stats.deadline_expired += 1
+                        obs.emit(
+                            "protocol",
+                            event="deadline_expired",
+                            sbs=index,
+                            iteration=iteration,
+                            phase=phase,
+                            folded=folded,
+                        )
+                        phase_span.annotate(
+                            category="straggler",
+                            deadline_expired=True,
+                            folded=folded,
+                        )
+                    link.resolved[(iteration, phase)] = verdict
+                    history.record_phase(record)
+                    self._emit_phase(record, None)
+                    continue
+                # Normal completion: replay the client's in-phase events,
+                # then synthesize the retry events its ARQ loop needed.
+                self._replay_events(
+                    list(meta.get("events", [])), rebase=window_t0
+                )
+                self.bus.stats.corrupted += int(meta.get("corrupted", 0))
+                retries = int(meta.get("retries", 0))
+                seq = int(meta.get("seq", 0))
+                noise_l1 = float(meta.get("noise_l1", 0.0))
+                stats = meta.get("stats") or None
+                for attempt in range(1, retries + 1):
+                    self.bus.stats.retransmissions += 1
                     obs.emit(
                         "protocol",
-                        event="deadline_expired",
+                        event="retry",
                         sbs=index,
                         iteration=iteration,
                         phase=phase,
-                        folded=folded,
+                        attempt=attempt,
+                        seq=seq,
                     )
-                link.resolved[(iteration, phase)] = verdict
+                delivered = bool(meta.get("delivered")) or self.base_station.has_folded(
+                    index, seq
+                )
+                if delivered:
+                    verdict = "delivered"
+                    with self._spans.span(
+                        "aggregate",
+                        category="aggregate",
+                        sbs=index,
+                        iteration=iteration,
+                        phase=phase,
+                    ):
+                        if price_step is not None:
+                            self.base_station.update_prices(price_step)
+                        self.base_station.broadcast_aggregate(iteration, phase)
+                    record = PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=index,
+                        cost=self.base_station.system_cost(),
+                        noise_l1=noise_l1,
+                        retries=retries,
+                    )
+                else:
+                    verdict = "degraded"
+                    obs.emit(
+                        "protocol",
+                        event="degrade",
+                        sbs=index,
+                        iteration=iteration,
+                        phase=phase,
+                        retries=self.config.max_retries,
+                    )
+                    if self.config.on_timeout == "raise":
+                        raise ProtocolTimeout(
+                            f"{link.name} upload seq {seq} undelivered after "
+                            f"{self.config.max_retries} retries (iteration "
+                            f"{iteration}, phase {phase})"
+                        )
+                    record = PhaseRecord(
+                        iteration=iteration,
+                        phase=phase,
+                        sbs=index,
+                        cost=self.base_station.system_cost(),
+                        noise_l1=noise_l1,
+                        retries=self.config.max_retries,
+                        stale=True,
+                    )
+                await self._send_control(
+                    link,
+                    iteration,
+                    phase,
+                    {
+                        "action": "phase_result",
+                        "iteration": iteration,
+                        "phase": phase,
+                        "verdict": verdict,
+                    },
+                )
+                if verdict == "delivered":
+                    with self._spans.span(
+                        "broadcast",
+                        category="broadcast",
+                        sbs=index,
+                        iteration=iteration,
+                        phase=phase,
+                    ):
+                        await self._flush_all()
                 history.record_phase(record)
-                self._emit_phase(record, None)
-                continue
-            # Normal completion: replay the client's in-phase events,
-            # then synthesize the retry events its ARQ loop needed.
-            self._replay_events(list(meta.get("events", [])))
-            self.bus.stats.corrupted += int(meta.get("corrupted", 0))
-            retries = int(meta.get("retries", 0))
-            seq = int(meta.get("seq", 0))
-            noise_l1 = float(meta.get("noise_l1", 0.0))
-            stats = meta.get("stats") or None
-            for attempt in range(1, retries + 1):
-                self.bus.stats.retransmissions += 1
-                obs.emit(
-                    "protocol",
-                    event="retry",
-                    sbs=index,
-                    iteration=iteration,
-                    phase=phase,
-                    attempt=attempt,
-                    seq=seq,
-                )
-            delivered = bool(meta.get("delivered")) or self.base_station.has_folded(
-                index, seq
-            )
-            if delivered:
-                verdict = "delivered"
-                if price_step is not None:
-                    self.base_station.update_prices(price_step)
-                self.base_station.broadcast_aggregate(iteration, phase)
-                record = PhaseRecord(
-                    iteration=iteration,
-                    phase=phase,
-                    sbs=index,
-                    cost=self.base_station.system_cost(),
-                    noise_l1=noise_l1,
-                    retries=retries,
-                )
-            else:
-                verdict = "degraded"
-                obs.emit(
-                    "protocol",
-                    event="degrade",
-                    sbs=index,
-                    iteration=iteration,
-                    phase=phase,
-                    retries=self.config.max_retries,
-                )
-                if self.config.on_timeout == "raise":
-                    raise ProtocolTimeout(
-                        f"{link.name} upload seq {seq} undelivered after "
-                        f"{self.config.max_retries} retries (iteration "
-                        f"{iteration}, phase {phase})"
-                    )
-                record = PhaseRecord(
-                    iteration=iteration,
-                    phase=phase,
-                    sbs=index,
-                    cost=self.base_station.system_cost(),
-                    noise_l1=noise_l1,
-                    retries=self.config.max_retries,
-                    stale=True,
-                )
-            await self._send_control(
-                link,
-                iteration,
-                phase,
-                {
-                    "action": "phase_result",
-                    "iteration": iteration,
-                    "phase": phase,
-                    "verdict": verdict,
-                },
-            )
-            if verdict == "delivered":
-                await self._flush_all()
-            history.record_phase(record)
-            self._emit_phase(record, stats)
+                self._emit_phase(record, stats)
 
     # -- run orchestration ---------------------------------------------
     async def _shutdown_clients(self) -> None:
@@ -686,6 +778,9 @@ class RuntimeServer:
 
     async def run(self) -> DistributedResult:
         """Execute Algorithm 1 against the connected clients."""
+        self._spans = (
+            spans.SpanTracker("bs") if obs.spans_enabled() else spans.NOOP_TRACKER
+        )
         await self._await_hellos()
         problem, config = self.problem, self.config
         history = CostHistory(initial_cost=problem.max_cost())
@@ -708,6 +803,12 @@ class RuntimeServer:
                 warm_start=config.warm_start,
                 initial_cost=float(history.initial_cost),
             )
+        run_span = self._spans.span(
+            "run",
+            category="run",
+            mode=self.runtime.mode,
+            num_sbs=problem.num_sbs,
+        ).start()
         self.base_station.broadcast_aggregate(iteration=-1, phase=-1)
         await self._flush_all()
 
@@ -723,7 +824,10 @@ class RuntimeServer:
                 else None
             )
             self._sweep_gaps, self._sweep_norms = [], []
-            await self._sweep(iteration, history, slack, price_step)
+            with self._spans.span(
+                "iteration", category="iteration", iteration=iteration
+            ):
+                await self._sweep(iteration, history, slack, price_step)
             cost = self.base_station.system_cost()
             history.close_iteration(cost)
             iterations = iteration + 1
@@ -739,7 +843,13 @@ class RuntimeServer:
 
         if with_prices:
             self._sweep_gaps, self._sweep_norms = [], []
-            await self._sweep(iterations, history, slack=0.0, price_step=None)
+            with self._spans.span(
+                "iteration",
+                category="iteration",
+                iteration=iterations,
+                restoration=True,
+            ):
+                await self._sweep(iterations, history, slack=0.0, price_step=None)
             restoration_cost = self.base_station.system_cost()
             history.close_iteration(restoration_cost)
             self._emit_iteration(iterations, restoration_cost, restoration=True)
@@ -765,6 +875,16 @@ class RuntimeServer:
             unperturbed_cost=total_cost(problem, unperturbed),
             accountant=self.accountant,
         )
+        if obs.spans_enabled():
+            # Chaos-proxy fault fates (deterministically ordered by link
+            # and frame ordinal) and the run's resource profile belong
+            # inside the run bracket, before the root span closes.
+            if self.proxy is not None:
+                for fate in self.proxy.fate_events():
+                    obs.emit("proxy", **fate)
+                obs.emit("proxy", fate="summary", **self.proxy.stats_dict())
+            run_span.annotate(**spans.resource_attrs(obs.timings_enabled()))
+        run_span.finish()
         if obs.enabled():
             # repro-taint: disable=REPRO701 -- deliberate accuracy-loss reporting: pre-noise cost is a scalar system aggregate (Fig. 5)
             obs.emit(
@@ -800,7 +920,9 @@ async def _run_runtime(
         if runtime.faults is not None:
             proxy = ChaosProxy(runtime.faults, runtime.host, port, host=runtime.host)
             client_port = await proxy.start()
+            server.proxy = proxy
         timings = obs.timings_enabled()
+        spans_on = obs.spans_enabled()
         sessions = [
             ClientSession(
                 index=index,
@@ -811,6 +933,7 @@ async def _run_runtime(
                 ack_timeout=runtime.ack_timeout,
                 control_timeout=runtime.control_timeout,
                 timings=timings,
+                spans=spans_on,
                 privacy=privacy,
                 privacy_seed=server.privacy_seeds.get(index),
                 adversary=runtime.adversaries.get(index),

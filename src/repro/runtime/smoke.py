@@ -1,6 +1,7 @@
 """CI smoke driver for the socket runtime: ``python -m repro.runtime.smoke``.
 
-Two checks, exercised by the ``runtime-smoke`` CI job:
+Three checks, exercised by the ``runtime-smoke`` and ``timeline-smoke``
+CI jobs:
 
 * ``faultfree`` — solve one 3-SBS instance twice, once over sockets and
   once with the in-process simulator (quiet ``FaultConfig``), and demand
@@ -9,9 +10,15 @@ Two checks, exercised by the ``runtime-smoke`` CI job:
 * ``chaos`` — run the same instance through the chaos proxy on a fixed
   seed (drops, duplicates, delays, reordering, truncation, one crash
   window) and demand that the run still converges and that the trace
-  passes every ``repro-trace validate`` invariant.
+  passes every ``repro-trace validate`` invariant;
+* ``timeline`` — span-enabled runs: two fault-free ``spans=True,
+  timings=False`` runs must produce byte-identical traces with a
+  well-formed merged span tree (single root, no orphans, no cycles),
+  then a timed chaos run renders the per-node Gantt SVG and the
+  critical-path attribution JSON as CI artifacts, gating that the
+  critical path covers the root span's wall-clock within 5%.
 
-Both exit nonzero on failure, so the job gates merges.  The instance is
+All exit nonzero on failure, so the jobs gate merges.  The instance is
 deterministic (fixed generator seed) and small enough to finish in
 seconds.
 """
@@ -33,6 +40,8 @@ from ..core.distributed import DistributedConfig, solve_distributed
 from ..core.problem import ProblemInstance
 from ..network.faults import FaultConfig, FaultSchedule, LinkFaultProfile
 from ..obs.cli import main as trace_cli
+from ..obs.span_analysis import check_spans, critical_path
+from ..obs.trace import TraceReader
 from .config import RuntimeConfig
 from .server import solve_over_sockets
 
@@ -144,6 +153,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    problem = smoke_problem()
+    config = _config()
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="runtime-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+
+    # 1) Span determinism + well-formedness: two fault-free runs with
+    # spans on and timings off must be byte-identical, and their merged
+    # span tree must have one root, no orphans and no cycles.
+    first = workdir / f"spans-{args.mode}-a.jsonl"
+    second = workdir / f"spans-{args.mode}-b.jsonl"
+    for path in (first, second):
+        with obs.recording(path, timings=False, spans=True):
+            solve_over_sockets(
+                problem, config, runtime=RuntimeConfig(mode=args.mode)
+            )
+    if filecmp.cmp(first, second, shallow=False):
+        print(f"span traces byte-identical: {first} == {second}")
+    else:
+        print(
+            "FAIL: span-enabled traces differ across identical runs",
+            file=sys.stderr,
+        )
+        trace_cli(["diff", str(first), str(second), "--strict-timings"])
+        failures += 1
+    issues = check_spans(TraceReader(str(first)).events)
+    if issues:
+        for issue in issues:
+            print(f"FAIL: malformed span tree: {issue}", file=sys.stderr)
+        failures += 1
+    else:
+        print("span tree well-formed (single root, no orphans, no cycles)")
+
+    # 2) Timed chaos run: render the Gantt SVG and the critical-path
+    # attribution JSON (the CI job uploads both as artifacts).
+    runtime = RuntimeConfig(
+        mode=args.mode,
+        faults=chaos_plan(args.seed),
+        ack_timeout=0.1,
+        phase_deadline=10.0,
+    )
+    trace = workdir / f"timeline-{args.mode}.jsonl"
+    with obs.recording(trace, timings=True, spans=True):
+        result, _report = solve_over_sockets(problem, config, runtime=runtime)
+    if not result.converged:
+        print("FAIL: chaos timeline run did not converge", file=sys.stderr)
+        failures += 1
+    events = TraceReader(str(trace)).events
+    chaos_issues = check_spans(events)
+    if chaos_issues:
+        for issue in chaos_issues:
+            print(f"FAIL: malformed chaos span tree: {issue}", file=sys.stderr)
+        failures += 1
+    svg = workdir / f"timeline-{args.mode}.svg"
+    if trace_cli(["timeline", str(trace), "--out", str(svg)]) != 0:
+        failures += 1
+    report = critical_path(events)
+    path_json = workdir / f"critical-path-{args.mode}.json"
+    path_json.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {path_json}")
+    roots = [
+        event
+        for event in events
+        if event.get("type") == "span" and event.get("parent") is None
+    ]
+    if report["basis"] == "wall" and roots and "seconds" in roots[0]:
+        root_seconds = float(roots[0]["seconds"])
+        error = abs(report["total"] - root_seconds) / max(root_seconds, 1e-12)
+        print(
+            f"critical path covers {report['total']:.4f}s of the root span's "
+            f"{root_seconds:.4f}s ({100.0 * error:.2f}% error)"
+        )
+        if error > 0.05:
+            print(
+                "FAIL: critical path does not sum to the run wall-clock "
+                "within 5%",
+                file=sys.stderr,
+            )
+            failures += 1
+    else:
+        print("FAIL: timed run produced no wall-basis root span", file=sys.stderr)
+        failures += 1
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-runtime-smoke",
@@ -166,6 +263,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--seed", type=int, default=3)
     chaos.add_argument("--workdir", default=None, help="keep traces here")
     chaos.set_defaults(func=_cmd_chaos)
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="span determinism + Gantt/critical-path rendering for a chaos run",
+    )
+    timeline.add_argument(
+        "--mode", choices=("tasks", "processes"), default="tasks"
+    )
+    timeline.add_argument("--seed", type=int, default=3)
+    timeline.add_argument("--workdir", default=None, help="keep artifacts here")
+    timeline.set_defaults(func=_cmd_timeline)
 
     args = parser.parse_args(argv)
     return int(args.func(args))

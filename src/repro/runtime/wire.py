@@ -2,12 +2,19 @@
 
 One protocol message travels as one length-prefixed frame::
 
-    u32 length | header | sender | recipient | dims | payload | u32 crc32
+    u32 length | header | sender | recipient | [trace] | dims | payload | u32 crc32
 
 with a fixed little-endian header::
 
     magic "RPRO" | version u8 | kind u8 | flags u8 | ndim u8 |
     iteration i32 | phase i32 | seq u32 | sender_len u8 | recipient_len u8
+
+The optional ``trace`` section — present only when the ``flags`` bit
+``0x02`` is set — is a u8-length-prefixed sorted-key JSON object
+carrying the causal trace-context of :mod:`repro.obs.spans` (trace id,
+span id, logical clock).  It is how BS-side and SBS-side spans stitch
+into one tree across OS processes.  Spans are opt-in, so frames of a
+spans-disabled run are byte-identical to the pre-span wire format.
 
 Payloads come in two flavours, selected by the flags bit:
 
@@ -52,6 +59,7 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "peek_header",
+    "peek_trace_ctx",
     "frame_from_message",
     "read_frame_bytes",
     "read_frame",
@@ -69,6 +77,8 @@ _MAGIC = b"RPRO"
 _HEADER = struct.Struct("<4sBBBBiiIBB")
 _U32 = struct.Struct("<I")
 _FLAG_JSON = 0x01
+_FLAG_TRACE = 0x02
+_MAX_TRACE_CTX_BYTES = 255
 
 _KIND_CODES: Dict[MessageKind, int] = {
     MessageKind.POLICY_UPLOAD: 1,
@@ -86,7 +96,10 @@ class Frame:
 
     Exactly one of ``array`` / ``meta`` is set.  Array frames map 1:1 to
     in-process messages via :meth:`to_message`; JSON frames carry the
-    runtime's control vocabulary in ``meta``.
+    runtime's control vocabulary in ``meta``.  ``trace_ctx`` is the
+    optional causal trace-context (:mod:`repro.obs.spans`) riding in
+    the frame's trace section — orthogonal to the payload choice and
+    absent when spans are off.
     """
 
     kind: MessageKind
@@ -97,6 +110,7 @@ class Frame:
     seq: int = 0
     array: Optional[np.ndarray] = None
     meta: Optional[Mapping[str, Any]] = None
+    trace_ctx: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if (self.array is None) == (self.meta is None):
@@ -153,9 +167,23 @@ def _encode_names(frame: Frame) -> Tuple[bytes, bytes]:
     return sender, recipient
 
 
+def _encode_trace_ctx(frame: Frame) -> bytes:
+    """The frame's trace section: u8 length + sorted-key JSON (or empty)."""
+    if frame.trace_ctx is None:
+        return b""
+    encoded = json.dumps(dict(frame.trace_ctx), sort_keys=True).encode("utf-8")
+    if len(encoded) > _MAX_TRACE_CTX_BYTES:
+        raise FrameError(
+            f"frame trace context is {len(encoded)} bytes, "
+            f"exceeding the {_MAX_TRACE_CTX_BYTES}-byte limit"
+        )
+    return bytes((len(encoded),)) + encoded
+
+
 def encode_frame(frame: Frame) -> bytes:
-    """Serialize one frame (header, names, dims, payload, CRC32)."""
+    """Serialize one frame (header, names, trace ctx, dims, payload, CRC32)."""
     sender, recipient = _encode_names(frame)
+    trace_section = _encode_trace_ctx(frame)
     if frame.meta is not None:
         flags = _FLAG_JSON
         dims: Tuple[int, ...] = ()
@@ -179,6 +207,8 @@ def encode_frame(frame: Frame) -> bytes:
             f"{frame.kind.value} frame payload is {len(payload)} bytes, "
             f"exceeding the {MAX_PAYLOAD_BYTES}-byte limit"
         )
+    if trace_section:
+        flags |= _FLAG_TRACE
     header = _HEADER.pack(
         _MAGIC,
         WIRE_VERSION,
@@ -192,13 +222,22 @@ def encode_frame(frame: Frame) -> bytes:
         len(recipient),
     )
     body = b"".join(
-        [header, sender, recipient, b"".join(_U32.pack(d) for d in dims), payload]
+        [
+            header,
+            sender,
+            recipient,
+            trace_section,
+            b"".join(_U32.pack(d) for d in dims),
+            payload,
+        ]
     )
     return body + _U32.pack(zlib.crc32(body))
 
 
-def _split(data: bytes) -> Tuple[tuple, bytes, bytes, Tuple[int, ...], bytes]:
-    """Header fields, names, dims and payload of ``data`` (no CRC check)."""
+def _split(
+    data: bytes,
+) -> Tuple[tuple, bytes, bytes, Optional[bytes], Tuple[int, ...], bytes]:
+    """Header fields, names, trace ctx, dims and payload (no CRC check)."""
     if len(data) < _HEADER.size + _U32.size:
         raise FrameError(f"frame too short ({len(data)} bytes)")
     fields = _HEADER.unpack_from(data, 0)
@@ -207,24 +246,50 @@ def _split(data: bytes) -> Tuple[tuple, bytes, bytes, Tuple[int, ...], bytes]:
         raise FrameError(f"bad frame magic {magic!r}")
     if version != WIRE_VERSION:
         raise FrameError(f"unsupported wire version {version}")
+    flags = fields[3]
     ndim, sender_len, recipient_len = fields[4], fields[8], fields[9]
     offset = _HEADER.size
     names_end = offset + sender_len + recipient_len
-    dims_end = names_end + ndim * _U32.size
+    payload_limit = len(data) - _U32.size
+    cursor = names_end
+    trace_raw: Optional[bytes] = None
+    if flags & _FLAG_TRACE:
+        if cursor + 1 > payload_limit:
+            raise FrameError("frame truncated before its trace context")
+        ctx_len = data[cursor]
+        cursor += 1
+        if cursor + ctx_len > payload_limit:
+            raise FrameError("frame truncated inside its trace context")
+        trace_raw = data[cursor : cursor + ctx_len]
+        cursor += ctx_len
+    dims_end = cursor + ndim * _U32.size
     if dims_end + _U32.size > len(data):
         raise FrameError("frame truncated before its payload")
     sender = data[offset : offset + sender_len]
     recipient = data[offset + sender_len : names_end]
     dims = tuple(
-        _U32.unpack_from(data, names_end + i * _U32.size)[0] for i in range(ndim)
+        _U32.unpack_from(data, cursor + i * _U32.size)[0] for i in range(ndim)
     )
     payload = data[dims_end : len(data) - _U32.size]
-    return fields, sender, recipient, dims, payload
+    return fields, sender, recipient, trace_raw, dims, payload
+
+
+def _decode_trace_ctx(trace_raw: Optional[bytes]) -> Optional[Dict[str, Any]]:
+    """Parse the trace section's JSON object (``None`` when absent)."""
+    if trace_raw is None:
+        return None
+    try:
+        ctx = json.loads(trace_raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"frame trace context is malformed: {error}") from error
+    if not isinstance(ctx, dict):
+        raise FrameError("frame trace context must be a JSON object")
+    return ctx
 
 
 def decode_frame(data: bytes) -> Frame:
     """Parse and verify one encoded frame; raise :class:`FrameError` if bad."""
-    fields, sender, recipient, dims, payload = _split(data)
+    fields, sender, recipient, trace_raw, dims, payload = _split(data)
     (expected_crc,) = _U32.unpack_from(data, len(data) - _U32.size)
     if zlib.crc32(data[: len(data) - _U32.size]) != expected_crc:
         raise FrameError("frame checksum mismatch")
@@ -238,6 +303,7 @@ def decode_frame(data: bytes) -> Frame:
         recipient_name = recipient.decode("utf-8")
     except UnicodeDecodeError as error:
         raise FrameError(f"frame node names are not UTF-8: {error}") from error
+    trace_ctx = _decode_trace_ctx(trace_raw)
     if flags & _FLAG_JSON:
         try:
             meta = json.loads(payload.decode("utf-8"))
@@ -253,6 +319,7 @@ def decode_frame(data: bytes) -> Frame:
             phase=phase,
             seq=seq,
             meta=meta,
+            trace_ctx=trace_ctx,
         )
     expected = 8 * int(np.prod(dims, dtype=np.int64)) if dims else 8
     if len(payload) != expected:
@@ -269,6 +336,7 @@ def decode_frame(data: bytes) -> Frame:
         phase=phase,
         seq=seq,
         array=array,
+        trace_ctx=trace_ctx,
     )
 
 
@@ -279,7 +347,7 @@ def peek_header(data: bytes) -> FrameHeader:
     message kind selects the fault profile, the iteration tag indexes the
     crash/partition schedule, and the sender identifies the link.
     """
-    fields, sender, recipient, _, _ = _split(data)
+    fields, sender, recipient, _, _, _ = _split(data)
     kind = _CODE_KINDS.get(fields[2])
     if kind is None:
         raise FrameError(f"unknown frame kind code {fields[2]}")
@@ -291,6 +359,21 @@ def peek_header(data: bytes) -> FrameHeader:
         sender=sender.decode("utf-8", errors="replace"),
         recipient=recipient.decode("utf-8", errors="replace"),
     )
+
+
+def peek_trace_ctx(data: bytes) -> Optional[Dict[str, Any]]:
+    """The frame's trace-context, if any, without payload decode or CRC.
+
+    Cheap pre-check: frames without the trace flag return ``None``
+    before any parsing, so the chaos proxy pays nothing on spans-off
+    runs.  Raises :class:`FrameError` on a truncated or malformed
+    trace section, like :func:`decode_frame` would.
+    """
+    if len(data) <= _HEADER.size or not data[6] & _FLAG_TRACE:
+        return None
+    fields, _, _, trace_raw, _, _ = _split(data)
+    del fields
+    return _decode_trace_ctx(trace_raw)
 
 
 async def read_frame_bytes(reader: asyncio.StreamReader) -> bytes:

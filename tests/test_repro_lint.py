@@ -79,6 +79,98 @@ class TestDeterminismRules:
         assert sum(1 for f in findings if f.code == "REPRO103") == 1
 
 
+class TestSpanWallClockRule:
+    def _lint_as(self, tmp_path, source, module):
+        """Lint ``source`` as if it lived at dotted ``module``."""
+        import ast as ast_module
+
+        from repro.analysis.rules.base import FileContext
+        from repro.analysis.rules.determinism import SpanWallClock
+
+        path = tmp_path / (module.rsplit(".", 1)[-1] + ".py")
+        path.write_text(textwrap.dedent(source))
+        text = path.read_text()
+        ctx = FileContext(
+            path=path,
+            display_path=str(path),
+            source=text,
+            lines=text.splitlines(),
+            tree=ast_module.parse(text),
+            module=module,
+        )
+        return list(SpanWallClock().check(ctx))
+
+    def test_monotonic_clock_in_span_function_fires(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def emit_span():
+                return time.perf_counter()
+            """,
+        )
+        assert "REPRO104" in codes(findings)
+
+    def test_clock_anywhere_in_spans_module_fires(self, tmp_path):
+        findings = self._lint_as(
+            tmp_path,
+            """
+            import time
+
+            def unrelated_helper():
+                return time.monotonic()
+            """,
+            "repro.obs.spans",
+        )
+        assert [f.code for f in findings] == ["REPRO104"]
+
+    def test_wall_helper_inside_span_code_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def finish_span(enabled):
+                def _wall_now(gate):
+                    return time.perf_counter() if gate else None
+
+                return _wall_now(enabled)
+            """,
+        )
+        assert "REPRO104" not in codes(findings)
+
+    def test_monotonic_clock_outside_span_code_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+        )
+        assert "REPRO104" not in codes(findings)
+
+    def test_pragma_suppresses(self, tmp_path):
+        from repro.analysis.engine import lint_file as engine_lint_file
+        from repro.analysis import select_rules as select
+
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                import time
+
+                def emit_span():
+                    return time.perf_counter()  # repro-lint: disable=REPRO104
+                """
+            )
+        )
+        findings = engine_lint_file(path, select(), warn_unused=True)
+        assert "REPRO104" not in codes(findings)
+
+
 class TestPrivacyProvenanceRule:
     def test_noise_draw_outside_privacy_fires(self, tmp_path):
         findings = lint_source(

@@ -1,6 +1,7 @@
-"""Wire codec tests: framing, CRC detection, header peeking, limits."""
+"""Wire codec tests: framing, CRC, header/trace peeking, limits, fuzz."""
 
 import struct
+import zlib
 
 import numpy as np
 import pytest
@@ -14,6 +15,7 @@ from repro.runtime import (
     frame_from_message,
     peek_header,
 )
+from repro.runtime.wire import peek_trace_ctx
 
 
 def _array_frame(**overrides):
@@ -137,6 +139,109 @@ class TestPeekHeader:
         raw[-6] ^= 0xFF
         header = peek_header(bytes(raw))
         assert header.sender == "sbs-0"
+
+
+def _resign(body: bytes) -> bytes:
+    """Append a fresh CRC32 so only the deliberate damage is visible."""
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+_CTX = {"trace": "bs", "span": "bs:4", "clock": 17}
+
+
+class TestTraceContext:
+    def test_context_round_trips_on_both_payload_flavours(self):
+        for frame in (
+            _array_frame(trace_ctx=_CTX),
+            _array_frame(
+                array=None, meta={"action": "grant"}, kind=MessageKind.CONTROL,
+                trace_ctx=_CTX,
+            ),
+        ):
+            decoded = decode_frame(encode_frame(frame))
+            assert decoded.trace_ctx == _CTX
+
+    def test_frames_without_context_are_unchanged(self):
+        # The trace section is strictly additive: no flag bit, no extra
+        # bytes, and peeking returns None before any parsing.
+        raw = encode_frame(_array_frame())
+        assert not raw[6] & 0x02
+        assert peek_trace_ctx(raw) is None
+        assert decode_frame(raw).trace_ctx is None
+        assert len(encode_frame(_array_frame(trace_ctx=_CTX))) > len(raw)
+
+    def test_peek_matches_full_decode(self):
+        raw = encode_frame(_array_frame(trace_ctx=_CTX))
+        assert peek_trace_ctx(raw) == decode_frame(raw).trace_ctx
+
+    def test_oversized_context_rejected(self):
+        huge = {"trace": "x" * 300}
+        with pytest.raises(FrameError, match="exceeding"):
+            encode_frame(_array_frame(trace_ctx=huge))
+
+    def test_truncated_inside_context_rejected(self):
+        raw = bytearray(encode_frame(_array_frame(trace_ctx=_CTX)))
+        # Inflate the u8 section length past the end of the frame.
+        offset = 22 + len("sbs-0") + len("bs")
+        raw[offset] = 255
+        with pytest.raises(FrameError, match="truncated inside its trace context"):
+            decode_frame(_resign(bytes(raw[:-4])))
+
+    def test_flag_without_section_rejected(self):
+        # Set the trace flag on a frame that carries no trace section:
+        # whatever bytes follow the names are not a valid section.
+        raw = bytearray(encode_frame(_array_frame()))
+        raw[6] |= 0x02
+        with pytest.raises(FrameError):
+            decode_frame(_resign(bytes(raw[:-4])))
+
+    def test_garbage_json_in_context_rejected(self):
+        raw = bytearray(encode_frame(_array_frame(trace_ctx=_CTX)))
+        offset = 22 + len("sbs-0") + len("bs")
+        length = raw[offset]
+        raw[offset + 1 : offset + 1 + length] = b"\xff" * length
+        with pytest.raises(FrameError, match="malformed"):
+            decode_frame(_resign(bytes(raw[:-4])))
+        with pytest.raises(FrameError, match="malformed"):
+            peek_trace_ctx(_resign(bytes(raw[:-4])))
+
+    def test_non_object_context_rejected(self):
+        raw = bytearray(encode_frame(_array_frame(trace_ctx=_CTX)))
+        offset = 22 + len("sbs-0") + len("bs")
+        length = raw[offset]
+        body = b"[1, 2]".ljust(length, b" ")
+        raw[offset + 1 : offset + 1 + length] = body
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_frame(_resign(bytes(raw[:-4])))
+
+    def test_fuzzed_mutations_never_crash(self):
+        # Corrupt frames must either decode cleanly (CRC collision) or
+        # raise FrameError — never escape as a different exception.
+        rng = np.random.default_rng(2024)
+        base = encode_frame(
+            _array_frame(trace_ctx=_CTX, array=np.arange(6.0))
+        )
+        for _ in range(400):
+            raw = bytearray(base)
+            op = int(rng.integers(3))
+            if op == 0:  # flip one bit
+                pos = int(rng.integers(len(raw)))
+                raw[pos] ^= 1 << int(rng.integers(8))
+                data = bytes(raw)
+            elif op == 1:  # truncate
+                data = bytes(raw[: int(rng.integers(len(raw)))])
+            else:  # corrupt a slice, then re-sign so parsing runs deep
+                pos = int(rng.integers(max(1, len(raw) - 8)))
+                span = int(rng.integers(1, 8))
+                raw[pos : pos + span] = bytes(
+                    int(b) for b in rng.integers(0, 256, size=span)
+                )
+                data = _resign(bytes(raw[:-4]))
+            for probe in (decode_frame, peek_trace_ctx):
+                try:
+                    probe(data)
+                except FrameError:
+                    pass
 
 
 class TestEncodeLimits:
